@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures (at reduced
+sample counts so the suite stays minutes-scale) and *prints* the same
+rows/series the paper reports, while pytest-benchmark times the generation.
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def show():
+    """Print experiment output even without -s by writing via terminal."""
+
+    def _show(text: str) -> None:
+        print("\n" + text)
+
+    return _show

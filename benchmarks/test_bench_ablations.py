@@ -1,0 +1,53 @@
+"""Ablation benches for DESIGN.md's called-out design choices."""
+
+import numpy as np
+
+from repro.ipu.ehu import mc_cycle_counts
+from repro.nn.zoo import resnet18_convs
+from repro.tile.config import SMALL_TILE
+from repro.tile.simulator import simulate_network
+from repro.tile.workload import sample_product_exponents
+from repro.utils.table import render_table
+
+
+def test_bench_ablation_skip_empty_cycles(benchmark, show):
+    """How much would a smarter EHU stage 5 (skipping empty serve
+    partitions) recover? The paper's sequential-threshold hardware pays for
+    empty intermediate cycles; this quantifies the gap."""
+
+    def run():
+        layers = resnet18_convs()[2:10]
+        rows = []
+        for direction in ("forward", "backward"):
+            seq = simulate_network(layers, SMALL_TILE.with_precision(12), 28,
+                                   direction, samples=192, rng=5)
+            skip = simulate_network(layers, SMALL_TILE.with_precision(12), 28,
+                                    direction, samples=192, rng=5,
+                                    skip_empty_cycles=True)
+            rows.append([direction, round(seq.total_cycles / skip.total_cycles, 3)])
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    show(render_table(["direction", "sequential/skip-empty cycle ratio"], rows,
+                      title="Ablation: EHU empty-partition skipping (MC-IPU(12), sw=28)"))
+
+
+def test_bench_ablation_buffer_depth(benchmark, show):
+    """Cluster decoupling vs local buffer depth (§3.3's buffering premise)."""
+    from repro.tile.cluster import simulate_tile_queue
+    from repro.tile.simulator import step_cycle_samples
+
+    def run():
+        layer = resnet18_convs()[6]
+        exps = sample_product_exponents(layer, 8, 4, 3000, "backward", rng=7)
+        per_cluster = step_cycle_samples(exps, 16, 28)
+        costs = np.stack([np.roll(per_cluster, k * 97) for k in range(8)], axis=1)
+        rows = []
+        for depth in (1, 2, 4, 8, 32):
+            res = simulate_tile_queue(costs, depth)
+            rows.append([depth, res.total_cycles, f"{100 * res.stall_fraction:.1f}%"])
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    show(render_table(["buffer depth", "makespan [cycles]", "broadcast stalls"], rows,
+                      title="Ablation: cluster input-buffer depth (backward, MC-IPU(16))"))

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the accuracy-vs-IPU-precision table (§3.1)."""
+
+from repro.experiments import accuracy_table
+
+
+def test_bench_accuracy(benchmark, show):
+    results = benchmark.pedantic(
+        accuracy_table.run,
+        kwargs=dict(precisions=(8, 12), n_eval=32, styles=("plain",)),
+        iterations=1, rounds=1,
+    )
+    show(accuracy_table.render(results))

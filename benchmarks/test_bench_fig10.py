@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 10 (efficiency design space)."""
+
+from repro.experiments import fig10
+
+
+def test_bench_fig10(benchmark, show):
+    points = benchmark.pedantic(
+        fig10.run, kwargs=dict(samples=128, rng=31), iterations=1, rounds=1
+    )
+    show(fig10.render(points))

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 3 (error metrics vs IPU precision)."""
+
+from repro.experiments import fig3
+
+
+def test_bench_fig3(benchmark, show):
+    sweep = benchmark.pedantic(
+        fig3.run,
+        kwargs=dict(batch=4000, chunks=2,
+                    precisions=(8, 12, 16, 20, 24, 26, 28, 38),
+                    sources=("laplace", "normal", "uniform")),
+        iterations=1, rounds=1,
+    )
+    show(fig3.render(sweep))

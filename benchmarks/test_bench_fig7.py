@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Figure 7 (tile area/power breakdowns)."""
+
+from repro.experiments import fig7
+
+
+def test_bench_fig7(benchmark, show):
+    result = benchmark(fig7.run)
+    show(fig7.render(result))

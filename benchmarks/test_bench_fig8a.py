@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 8(a) (exec time vs MC-IPU precision)."""
+
+from repro.experiments import fig8
+
+
+def test_bench_fig8a(benchmark, show):
+    result = benchmark.pedantic(
+        fig8.run_precision_sweep, kwargs=dict(samples=192, rng=11),
+        iterations=1, rounds=1,
+    )
+    show(fig8.render(result))

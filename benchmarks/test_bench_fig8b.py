@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 8(b) (exec time vs cluster size)."""
+
+from repro.experiments import fig8
+
+
+def test_bench_fig8b(benchmark, show):
+    result = benchmark.pedantic(
+        fig8.run_cluster_sweep, kwargs=dict(samples=192, rng=12),
+        iterations=1, rounds=1,
+    )
+    show(fig8.render(result))

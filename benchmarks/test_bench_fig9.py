@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 9 (exponent-difference histograms)."""
+
+from repro.experiments import fig9
+
+
+def test_bench_fig9(benchmark, show):
+    result = benchmark.pedantic(
+        fig9.run, kwargs=dict(samples_per_layer=800, rng=21),
+        iterations=1, rounds=1,
+    )
+    show(fig9.render(result))

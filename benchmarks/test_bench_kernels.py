@@ -1,0 +1,26 @@
+"""Microbenchmarks of the emulation kernels themselves (throughput)."""
+
+import numpy as np
+
+from repro.ipu.vectorized import fp_ip_batch
+from repro.tile.simulator import step_cycle_samples
+
+
+def test_bench_fp_ip_batch_single_cycle(benchmark):
+    rng = np.random.default_rng(0)
+    a = rng.laplace(0, 1, (20000, 16))
+    b = rng.laplace(0, 1, (20000, 16))
+    benchmark(fp_ip_batch, a, b, 16)
+
+
+def test_bench_fp_ip_batch_multi_cycle(benchmark):
+    rng = np.random.default_rng(1)
+    a = rng.laplace(0, 1, (20000, 16))
+    b = rng.laplace(0, 1, (20000, 16))
+    benchmark(fp_ip_batch, a, b, 12, 28, multi_cycle=True)
+
+
+def test_bench_step_cycles(benchmark):
+    rng = np.random.default_rng(2)
+    exps = rng.integers(-28, 31, size=(4096, 8, 16))
+    benchmark(step_cycle_samples, exps, 16, 28)

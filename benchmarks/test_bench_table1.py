@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 1 (TOPS/mm2 and TOPS/W across designs)."""
+
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark, show):
+    cells = benchmark.pedantic(
+        table1.run, kwargs=dict(samples=128, rng=41), iterations=1, rounds=1
+    )
+    show(table1.render(cells))

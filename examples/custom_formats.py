@@ -1,0 +1,54 @@
+"""Custom FP formats on the nibble IPU: BFloat16 and TF32 (Appendix B).
+
+The paper notes the architecture extends to BFloat16/TF32 by widening the
+EHU to 8-bit exponents and adjusting the nibble count (BF16 magnitudes fill
+two nibbles -> only four nibble iterations per product). This example runs
+the golden datapath on all supported formats and compares iteration counts
+and accuracy against exact references.
+
+Usage: python examples/custom_formats.py
+"""
+
+import numpy as np
+
+from repro.fp import BF16, FP16, FP32, TF32, exact_inner_product_bits
+from repro.ipu import InnerProductUnit, IPUConfig
+from repro.nibble import fp_nibble_count, fp_schedule
+from repro.utils.table import render_table
+
+
+def bits_for(fmt, values):
+    return [fmt.encode_value(float(v)) for v in values]
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    a = rng.laplace(0, 1, 8)
+    b = rng.laplace(0, 1, 8)
+
+    rows = []
+    for fmt in (FP16, BF16, TF32):
+        nibbles = fp_nibble_count(fmt)
+        iterations = len(fp_schedule(fmt))
+        a_bits = bits_for(fmt, a)
+        b_bits = bits_for(fmt, b)
+        ipu = InnerProductUnit(IPUConfig(n_inputs=8, adder_width=38, software_precision=38))
+        res = ipu.fp_dot(a_bits, b_bits, in_fmt=fmt, out_fmt=FP32)
+        exact = FP32.decode_value(exact_inner_product_bits(fmt, a_bits, b_bits, FP32))
+        rel = abs(res.value - exact) / max(abs(exact), 1e-30)
+        rows.append([
+            fmt.name, f"(1,{fmt.exp_bits},{fmt.man_bits})", nibbles,
+            iterations, res.value, f"{rel:.2e}",
+        ])
+    print(render_table(
+        ["format", "(s,e,m)", "nibbles/operand", "nibble iterations",
+         "IPU(38) result", "rel err vs exact"],
+        rows,
+        title="Custom FP formats on the temporal nibble IPU (Appendix B)",
+    ))
+    print("\nBF16 products need only 4 nibble iterations (vs 9 for FP16/TF32):",
+          "\nthe wider 8-bit exponent range costs EHU width, not multiplier passes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Explore the accelerator design space: adder-tree precision x clustering.
+
+For a chosen workload, sweeps MC-IPU precision and cluster size, reporting
+normalized execution time (performance cost) next to tile area and power
+(hardware cost) — the Figure 8 + Figure 10 trade-off in one table. Use it
+to pick a design point for your own precision/throughput requirements.
+
+Usage: python examples/design_space.py [resnet18|resnet50|inceptionv3] [--backward]
+"""
+
+import sys
+
+from repro.hw.tile_cost import tile_cost
+from repro.ipu.mc_ipu import BASELINE_ADDER_WIDTH
+from repro.nn.zoo import WORKLOADS
+from repro.tile.config import SMALL_TILE
+from repro.tile.simulator import simulate_network
+from repro.utils.table import render_table
+
+
+def main() -> None:
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    workload = args[0] if args else "resnet18"
+    direction = "backward" if "--backward" in sys.argv else "forward"
+    layers = WORKLOADS[workload]()
+    software_precision = 28  # FP32 accumulation
+
+    base_tile = SMALL_TILE.with_precision(BASELINE_ADDER_WIDTH)
+    baseline = simulate_network(layers, base_tile, software_precision, direction,
+                                samples=256, rng=0)
+    base_cost = tile_cost(base_tile, mode="fp")
+
+    rows = []
+    for width in (12, 16, 20, 28):
+        for cluster in (1, 4, None):
+            tile = SMALL_TILE.with_precision(width, cluster)
+            perf = simulate_network(layers, tile, software_precision, direction,
+                                    samples=256, rng=0)
+            cost = tile_cost(tile, mode="fp")
+            rows.append([
+                width,
+                "tile" if cluster is None else cluster,
+                round(perf.normalized_to(baseline), 3),
+                f"{100 * (cost.area_mm2 / base_cost.area_mm2 - 1):+.1f}%",
+                f"{100 * (cost.power_w / base_cost.power_w - 1):+.1f}%",
+            ])
+    rows.append([BASELINE_ADDER_WIDTH, "-", 1.0, "+0.0%", "+0.0%"])
+    print(render_table(
+        ["adder width", "cluster", "normalized time", "area vs baseline",
+         "power vs baseline"],
+        rows,
+        title=f"Design space: {workload} ({direction}), FP32 accumulation, 8-input tile",
+    ))
+    print("\nreading guide: (12,1) and (16,1) are the paper's Pareto picks —",
+          "large area/power savings for modest FP-mode slowdowns.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Per-layer mixed-precision inference scheduling on the tile simulator.
+
+Assigns each conv layer of a workload a data type (INT4 / INT8 / FP16) the
+way a mixed-precision quantization scheme would (first/last layers kept in
+FP16, sensitive thin layers INT8, the bulk INT4), then reports the cycle
+cost per layer on the MC-IPU tile versus two rigid alternatives: an
+FP16-everything accelerator and the NVDLA-style wide-adder baseline.
+
+This is the deployment story of the paper's intro: one INT4-based tile
+serves the whole mixed schedule, paying FP overhead only where FP is used.
+
+Usage: python examples/mixed_precision_inference.py [resnet18|resnet50|inceptionv3]
+"""
+
+import sys
+
+from repro.ipu.mc_ipu import BASELINE_ADDER_WIDTH
+from repro.nibble.schedule import iteration_count
+from repro.nn.zoo import WORKLOADS
+from repro.tile.config import SMALL_TILE
+from repro.tile.simulator import FP16_ITERATIONS, simulate_layer
+from repro.tile.workload import layer_ip_ops
+from repro.utils.table import render_table
+
+
+def assign_precision(layer, index: int, total: int) -> str:
+    """A representative mixed-precision schedule (paper intro's use case)."""
+    if index == 0 or index == total - 1:
+        return "fp16"       # first/last layers: keep FP (Zhu et al. 2016)
+    if layer.c_in < 64 or "down" in layer.name:
+        return "int8"       # thin/projection layers: sensitive to 4-bit
+    return "int4"           # the bulk: INT4 quantization
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "resnet18"
+    layers = WORKLOADS[workload]()
+    tile = SMALL_TILE.with_precision(16, 1)  # MC-IPU(16), clusters of 1
+    parallel = tile.n_tiles * tile.ipus_per_tile
+
+    rows = []
+    mixed_total = fp16_total = 0.0
+    for i, layer in enumerate(layers):
+        steps = -(-layer_ip_ops(layer, tile.c_unroll) // parallel)
+        mode = assign_precision(layer, i, len(layers))
+        if mode == "fp16":
+            perf = simulate_layer(layer, tile, software_precision=28,
+                                  samples=256, rng=i)
+            cycles = perf.cycles
+        elif mode == "int8":
+            cycles = steps * iteration_count(8, 8)
+        else:
+            cycles = steps * iteration_count(4, 4)
+        fp16_cycles = simulate_layer(layer, tile, 28, samples=128, rng=i).cycles
+        mixed_total += cycles
+        fp16_total += fp16_cycles
+        if i < 8 or i >= len(layers) - 2:  # keep the table readable
+            rows.append([layer.name, mode, int(steps), int(cycles)])
+        elif i == 8:
+            rows.append(["...", "...", "...", "..."])
+
+    baseline_tile = SMALL_TILE.with_precision(BASELINE_ADDER_WIDTH)
+    baseline_fp16 = sum(
+        -(-layer_ip_ops(l, 8) // parallel) * FP16_ITERATIONS for l in layers
+    )
+    print(render_table(["layer", "precision", "steps", "cycles"], rows,
+                       title=f"Mixed-precision schedule on MC-IPU(16) tiles — {workload}"))
+    print(f"\ntotal cycles, mixed schedule:        {mixed_total:,.0f}")
+    print(f"total cycles, all-FP16 on this tile: {fp16_total:,.0f} "
+          f"({fp16_total / mixed_total:.2f}x the mixed schedule)")
+    print(f"total cycles, all-FP16 on 38b baseline: {baseline_fp16:,.0f}")
+    print("\nthe mixed schedule exploits INT4's 9x cycle advantage over FP16",
+          "wherever quantization tolerates it, on one physical tile.")
+
+
+if __name__ == "__main__":
+    main()

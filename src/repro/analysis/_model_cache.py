@@ -1,0 +1,80 @@
+"""Process-level cache of small trained models and their tensor chunks.
+
+The Figure-3 "network tensor" sources and the accuracy experiments need a
+trained model; training takes a couple of seconds, so we train once per
+(style, seed) and reuse across sweep points and tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.datasets import make_pattern_dataset
+from repro.nn.models import model_conv_layers, tiny_convnet, tiny_resnet
+from repro.nn.training import train
+from repro.utils.rng import as_generator
+
+_CACHE: dict = {}
+
+
+def trained_model(style: str = "resnet", seed: int = 7):
+    """A trained model plus its dataset; cached per (style, seed)."""
+    key = ("model", style, seed)
+    if key not in _CACHE:
+        rng = np.random.default_rng(seed)
+        # noise tuned so trained accuracy sits near ~80%: precision
+        # effects on borderline samples become observable
+        dataset = make_pattern_dataset(n_samples=768, noise=3.2, rng=rng)
+        if style == "resnet":
+            model = tiny_resnet(rng=rng)
+            epochs = 5
+        elif style == "plain":
+            model = tiny_convnet(rng=rng)
+            epochs = 5
+        else:
+            raise ValueError(f"unknown model style {style!r}")
+        train(model, dataset, epochs=epochs, rng=rng)
+        _CACHE[key] = (model, dataset)
+    return _CACHE[key]
+
+
+def trained_conv_chunks(batch: int, n: int, rng, style: str = "resnet"):
+    """(a, b) inner-product operand chunks drawn from a trained model's
+    conv layers: real activation windows against real filter slices."""
+    rng = as_generator(rng)
+    key = ("chunks", style)
+    if key not in _CACHE:
+        from repro.nn.functional import im2col
+
+        model, dataset = trained_model(style)
+        model.eval()
+        model(dataset.images[:64])  # populate layer input caches
+        pools = []
+        for conv in model_conv_layers(model):
+            x = conv.last_input
+            k, c, kh, kw = conv.weight.data.shape
+            cols = im2col(x, kh, kw, conv.stride, conv.padding)  # (N, D, P)
+            d = cols.shape[1]
+            acts = np.moveaxis(cols, 1, 2).reshape(-1, d)        # (N*P, D)
+            wmat = conv.weight.data.reshape(k, d)
+            pools.append((acts, wmat))
+        _CACHE[key] = pools
+    pools = _CACHE[key]
+    a_out = np.empty((batch, n))
+    b_out = np.empty((batch, n))
+    per = -(-batch // len(pools))
+    row = 0
+    for acts, wmat in pools:
+        take = min(per, batch - row)
+        if take <= 0:
+            break
+        d = acts.shape[1]
+        start = rng.integers(0, max(d - n, 1), size=take)
+        rows = rng.integers(0, acts.shape[0], size=take)
+        ks = rng.integers(0, wmat.shape[0], size=take)
+        idx = start[:, None] + np.arange(n)[None, :]
+        idx = np.minimum(idx, d - 1)
+        a_out[row : row + take] = acts[rows[:, None], idx]
+        b_out[row : row + take] = wmat[ks[:, None], idx]
+        row += take
+    return a_out[:row], b_out[:row]

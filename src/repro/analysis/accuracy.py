@@ -1,0 +1,148 @@
+"""End-to-end accuracy under emulated IPU arithmetic (paper §3.1, last part).
+
+The paper evaluates ResNet-18/50 Top-1 on ImageNet with conv layers computed
+through the approximate FP-IP at several IPU precisions, finding precision
+>= 12 indistinguishable from FP32 and 8-bit fluctuating by batch. We run the
+same protocol on small trained models: every convolution is computed
+bit-accurately through the vectorized IPU emulation; everything else stays
+float32.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fp.formats import FP32, FPFormat
+from repro.ipu.vectorized import fp_ip_batch
+from repro.nn.functional import im2col
+from repro.nn.layers import BatchNorm2d, Conv2d, GlobalAvgPool, Linear, MaxPool2d, ReLU, Residual, Sequential
+from repro.utils.rng import as_generator
+
+__all__ = ["emulated_conv2d", "emulated_forward", "AccuracyPoint", "accuracy_vs_precision"]
+
+
+def emulated_conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    stride: int,
+    padding: int,
+    adder_width: int,
+    acc_fmt: FPFormat = FP32,
+) -> np.ndarray:
+    """Convolution computed through the emulated approximate FP-IP.
+
+    Operands are cast to FP16; each n=16 chunk runs one emulated inner
+    product (single-cycle IPU(w) semantics, the Figure-2/Figure-3
+    convention); chunk partials accumulate exactly and round once into the
+    accumulator format, modelling the non-normalized wide accumulator.
+    """
+    n_ipu = 16
+    k, c, kh, kw = weight.shape
+    nimg = x.shape[0]
+    cols = im2col(x, kh, kw, stride, padding)          # (N, D, P)
+    d, p = cols.shape[1], cols.shape[2]
+    chunks = -(-d // n_ipu)
+    pad = chunks * n_ipu - d
+    if pad:
+        cols = np.pad(cols, ((0, 0), (0, pad), (0, 0)))
+    wmat = weight.reshape(k, d)
+    if pad:
+        wmat = np.pad(wmat, ((0, 0), (0, pad)))
+    acts = np.moveaxis(cols, 1, 2).reshape(nimg * p, chunks, n_ipu)
+    wchunks = wmat.reshape(k, chunks, n_ipu)
+
+    # fold output channels into the batch axis: one emulation call per layer
+    a_flat = np.broadcast_to(
+        acts[None], (k, nimg * p, chunks, n_ipu)
+    ).reshape(-1, n_ipu)
+    b_flat = np.broadcast_to(
+        wchunks[:, None], (k, nimg * p, chunks, n_ipu)
+    ).reshape(-1, n_ipu)
+    res = fp_ip_batch(a_flat, b_flat, adder_width=adder_width, acc_fmt=acc_fmt)
+    out = res.values.reshape(k, nimg * p, chunks).sum(axis=2)
+    out_t = out.T.reshape(nimg, p, k).transpose(0, 2, 1)
+    if acc_fmt.name == "fp32":
+        out_t = out_t.astype(np.float32)
+    else:
+        out_t = out_t.astype(np.float16).astype(np.float32)
+    ho = (x.shape[2] + 2 * padding - kh) // stride + 1
+    wo = (x.shape[3] + 2 * padding - kw) // stride + 1
+    result = out_t.reshape(nimg, k, ho, wo)
+    if bias is not None:
+        result = result + bias[None, :, None, None]
+    return result
+
+
+def emulated_forward(
+    model: Sequential, x: np.ndarray, adder_width: int | None, acc_fmt: FPFormat = FP32
+) -> np.ndarray:
+    """Forward pass with every Conv2d routed through the emulation.
+
+    ``adder_width=None`` runs the plain float32 path (the reference).
+    """
+
+    def run(layer, h):
+        if isinstance(layer, Conv2d):
+            if adder_width is None:
+                return layer(h)
+            return emulated_conv2d(
+                h, layer.weight.data,
+                None if layer.bias is None else layer.bias.data,
+                layer.stride, layer.padding, adder_width, acc_fmt,
+            )
+        if isinstance(layer, Residual):
+            main = h
+            for sub in layer.main.children:
+                main = run(sub, main)
+            skip = h
+            if layer.shortcut is not None:
+                for sub in layer.shortcut.children:
+                    skip = run(sub, skip)
+            return np.maximum(main + skip, 0)
+        if isinstance(layer, Sequential):
+            for sub in layer.children:
+                h = run(sub, h)
+            return h
+        return layer(h)
+
+    model.eval()
+    return run(model, x)
+
+
+@dataclass(frozen=True)
+class AccuracyPoint:
+    precision: int | None  # None = float32 reference
+    accuracy: float
+    per_batch: tuple[float, ...]
+
+    @property
+    def batch_spread(self) -> float:
+        return max(self.per_batch) - min(self.per_batch)
+
+
+def accuracy_vs_precision(
+    model: Sequential,
+    images: np.ndarray,
+    labels: np.ndarray,
+    precisions: tuple[int, ...] = (8, 10, 12, 16, 28),
+    acc_fmt: FPFormat = FP32,
+    batch_size: int = 32,
+) -> list[AccuracyPoint]:
+    """Top-1 accuracy at each IPU precision plus the float32 reference,
+    with per-batch accuracies (the paper's fluctuation analysis)."""
+    points = []
+    for w in (None, *precisions):
+        per_batch = []
+        correct = 0
+        for start in range(0, len(labels), batch_size):
+            xb = images[start : start + batch_size]
+            yb = labels[start : start + batch_size]
+            logits = emulated_forward(model, xb, w, acc_fmt)
+            hits = (logits.argmax(axis=1) == yb)
+            per_batch.append(float(hits.mean()))
+            correct += int(hits.sum())
+        points.append(AccuracyPoint(w, correct / len(labels), tuple(per_batch)))
+    return points

@@ -1,0 +1,73 @@
+"""Error metrics of the approximate FP-IP (paper §3.1).
+
+Three metrics, computed against the FP32-CPU reference exactly as the paper
+defines them:
+
+- absolute computation error;
+- absolute relative error (ARE, in percent);
+- number of *contaminated bits*: differing bits between the approximate
+  result and the reference, both encoded in the accumulator's format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fp.formats import FP16, FP32, FPFormat
+
+__all__ = ["ErrorStats", "error_stats", "contaminated_bits"]
+
+
+@dataclass(frozen=True)
+class ErrorStats:
+    """Medians (the paper's reported statistic) plus means for context."""
+
+    median_abs_error: float
+    median_rel_error_pct: float
+    median_contaminated_bits: float
+    mean_abs_error: float
+    mean_rel_error_pct: float
+    mean_contaminated_bits: float
+
+
+def contaminated_bits(approx: np.ndarray, reference: np.ndarray, fmt: FPFormat) -> np.ndarray:
+    """Hamming distance between the two results' ``fmt`` encodings."""
+    if fmt.name == "fp16":
+        a = np.asarray(approx, np.float16).view(np.uint16)
+        r = np.asarray(reference, np.float16).view(np.uint16)
+    elif fmt.name == "fp32":
+        a = np.asarray(approx, np.float32).view(np.uint32)
+        r = np.asarray(reference, np.float32).view(np.uint32)
+    else:
+        raise NotImplementedError(f"contaminated bits undefined for {fmt.name}")
+    return np.bitwise_count(a ^ r).astype(np.int64)
+
+
+def error_stats(
+    approx_values: np.ndarray,
+    reference_values: np.ndarray,
+    acc_fmt: FPFormat,
+) -> ErrorStats:
+    """Aggregate the three §3.1 metrics over a batch of inner products.
+
+    ``approx_values`` are the emulated accumulator contents (float64),
+    ``reference_values`` the FP32-CPU results. Relative error is taken only
+    over nonzero references (as the paper's percentage metric requires).
+    """
+    approx = np.asarray(approx_values, np.float64)
+    ref = np.asarray(reference_values, np.float64)
+    abs_err = np.abs(approx - ref)
+    nz = ref != 0
+    rel = np.full_like(abs_err, np.nan)
+    rel[nz] = abs_err[nz] / np.abs(ref[nz]) * 100.0
+    cont = contaminated_bits(approx, ref, acc_fmt)
+    return ErrorStats(
+        median_abs_error=float(np.median(abs_err)),
+        median_rel_error_pct=float(np.nanmedian(rel)),
+        median_contaminated_bits=float(np.median(cont)),
+        mean_abs_error=float(abs_err.mean()),
+        mean_rel_error_pct=float(np.nanmean(rel)),
+        mean_contaminated_bits=float(cont.mean()),
+    )

@@ -1,0 +1,138 @@
+"""Precision sweeps reproducing Figure 3 and the §3.1 conclusions.
+
+For each IPU precision and input source, emulate a batch of FP16 inner
+products and measure the three error metrics against the FP32-CPU
+reference — once for FP16 accumulators (paper's top row) and once for FP32
+accumulators (bottom row).
+
+Input sources cover the paper's five: Laplace / Normal / uniform synthetic
+vectors plus convolution-layer tensors sampled from (our) trained ResNet-
+style and plain CNNs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.error import ErrorStats, error_stats
+from repro.fp.formats import FP16, FP32, FPFormat
+from repro.ipu.reference import cpu_fp32_dot_batch
+from repro.ipu.vectorized import fp_ip_batch
+from repro.nn.sampling import sample_operand_batch
+from repro.utils.rng import as_generator
+
+__all__ = ["SweepPoint", "PrecisionSweep", "run_fig3_sweep", "model_tensor_operands",
+           "DEFAULT_PRECISIONS", "recommended_min_precision"]
+
+DEFAULT_PRECISIONS = (8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30, 34, 38)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    source: str
+    acc_fmt: str
+    precision: int
+    stats: ErrorStats
+
+
+@dataclass
+class PrecisionSweep:
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def series(self, source: str, acc_fmt: str, metric: str) -> list[tuple[int, float]]:
+        out = []
+        for p in self.points:
+            if p.source == source and p.acc_fmt == acc_fmt:
+                out.append((p.precision, getattr(p.stats, metric)))
+        return sorted(out)
+
+    def sources(self) -> list[str]:
+        seen: list[str] = []
+        for p in self.points:
+            if p.source not in seen:
+                seen.append(p.source)
+        return seen
+
+
+def model_tensor_operands(batch: int, n: int, rng, style: str = "resnet") -> tuple[np.ndarray, np.ndarray]:
+    """Operands sampled from a (small, freshly trained) conv model's tensors.
+
+    Stand-in for the paper's 5% ResNet-18/50 samples: we train a small
+    model on synthetic data and draw real (activation, weight) inner-product
+    chunks from its conv layers. Training is cached per style+seed.
+    """
+    from repro.analysis._model_cache import trained_conv_chunks
+
+    return trained_conv_chunks(batch, n, rng, style)
+
+
+def _operands_for(source: str, batch: int, n: int, rng) -> tuple[np.ndarray, np.ndarray]:
+    if source in ("laplace", "normal", "uniform"):
+        return sample_operand_batch(source, batch, n, rng)
+    if source == "resnet-tensors":
+        return model_tensor_operands(batch, n, rng, "resnet")
+    if source == "convnet-tensors":
+        return model_tensor_operands(batch, n, rng, "plain")
+    raise ValueError(f"unknown source {source!r}")
+
+
+def run_fig3_sweep(
+    sources: tuple[str, ...] = ("laplace", "normal", "uniform", "resnet-tensors", "convnet-tensors"),
+    precisions: tuple[int, ...] = DEFAULT_PRECISIONS,
+    acc_fmts: tuple[FPFormat, ...] = (FP16, FP32),
+    batch: int = 20000,
+    n: int = 16,
+    chunks: int = 1,
+    rng=None,
+) -> PrecisionSweep:
+    """The full Figure-3 grid.
+
+    ``batch`` trades fidelity for runtime (the paper uses 1M samples;
+    medians stabilize far earlier). ``chunks`` chains that many n-element
+    IPU ops into one longer dot product before comparing — the FP32
+    accumulator case only shows its full precision demand on accumulated
+    dots (conv reductions are hundreds of elements long).
+    """
+    rng = as_generator(rng)
+    sweep = PrecisionSweep()
+    for source in sources:
+        a, b = _operands_for(source, batch * chunks, n, rng)
+        # quantize operands to FP16 once so the reference sees the same bits
+        a16 = np.asarray(a, np.float16).astype(np.float64)
+        b16 = np.asarray(b, np.float16).astype(np.float64)
+        ref = cpu_fp32_dot_batch(a16, b16).astype(np.float64)
+        if chunks > 1:
+            ref = ref.reshape(batch, chunks).sum(axis=1)
+        for acc_fmt in acc_fmts:
+            for w in precisions:
+                res = fp_ip_batch(a16, b16, adder_width=w, acc_fmt=acc_fmt)
+                approx = res.values
+                if chunks > 1:
+                    approx = approx.reshape(batch, chunks).sum(axis=1)
+                approx = approx.astype(_np_cast(acc_fmt)).astype(np.float64)
+                ref_cast = ref.astype(np.float16).astype(np.float64) if acc_fmt.name == "fp16" else ref
+                sweep.points.append(
+                    SweepPoint(source, acc_fmt.name, w, error_stats(approx, ref_cast, acc_fmt))
+                )
+    return sweep
+
+
+def _np_cast(fmt: FPFormat):
+    return np.float16 if fmt.name == "fp16" else np.float32
+
+
+def recommended_min_precision(sweep: PrecisionSweep, acc_fmt: str, tol_bits: float = 0.5) -> int:
+    """Smallest precision whose *worst-source* median contaminated bits stay
+    within ``tol_bits`` — the §3.1 decision rule (16 for FP16, ~26-27 FP32)."""
+    precisions = sorted({p.precision for p in sweep.points if p.acc_fmt == acc_fmt})
+    for w in precisions:
+        worst = max(
+            p.stats.median_contaminated_bits
+            for p in sweep.points
+            if p.acc_fmt == acc_fmt and p.precision == w
+        )
+        if worst <= tol_bits:
+            return w
+    return precisions[-1]

@@ -1,0 +1,17 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Import :data:`EXPERIMENTS` lazily (``from repro.experiments.runner import
+EXPERIMENTS``) or run ``python -m repro.experiments.runner``; importing the
+runner here would shadow ``-m`` execution.
+"""
+
+
+def __getattr__(name):
+    if name in ("EXPERIMENTS", "main"):
+        from repro.experiments import runner
+
+        return getattr(runner, name)
+    raise AttributeError(name)
+
+
+__all__ = ["EXPERIMENTS", "main"]

@@ -1,0 +1,55 @@
+"""Figure 3: error metrics vs IPU precision for FP16/FP32 accumulators."""
+
+from __future__ import annotations
+
+from repro.analysis.sweeps import PrecisionSweep, recommended_min_precision, run_fig3_sweep
+from repro.utils.table import render_table
+
+__all__ = ["run", "render"]
+
+METRICS = (
+    ("median_abs_error", "absolute error (median)"),
+    ("median_rel_error_pct", "absolute relative error % (median)"),
+    ("median_contaminated_bits", "contaminated bits (median)"),
+)
+
+
+def run(
+    batch: int = 20000,
+    chunks: int = 4,
+    precisions=(8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 27, 28, 30, 38),
+    sources=("laplace", "normal", "uniform", "resnet-tensors", "convnet-tensors"),
+    rng=0,
+) -> PrecisionSweep:
+    return run_fig3_sweep(
+        sources=sources, precisions=precisions, batch=batch, chunks=chunks, rng=rng
+    )
+
+
+def render(sweep: PrecisionSweep) -> str:
+    blocks = []
+    precisions = sorted({p.precision for p in sweep.points})
+    for acc in ("fp16", "fp32"):
+        for metric, label in METRICS:
+            headers = ["source"] + [str(w) for w in precisions]
+            rows = []
+            for source in sweep.sources():
+                series = dict(sweep.series(source, acc, metric))
+                rows.append([source] + [series.get(w) for w in precisions])
+            blocks.append(
+                render_table(headers, rows, title=f"Figure 3 [{acc} accumulator] {label}")
+            )
+        blocks.append(
+            f"=> minimum IPU precision for {acc} accumulation (median contaminated "
+            f"bits == 0 on the worst source): {recommended_min_precision(sweep, acc)} "
+            f"bits (paper: {'16' if acc == 'fp16' else '26-27'})"
+        )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(render(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

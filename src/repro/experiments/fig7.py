@@ -1,0 +1,62 @@
+"""Figure 7: area and power breakdowns of MC-IPU based tiles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.components import COMPONENT_NAMES
+from repro.hw.tile_cost import TileCost, tile_cost
+from repro.tile.config import BIG_TILE, SMALL_TILE, TileConfig
+from repro.utils.table import render_table
+
+__all__ = ["run", "render", "FIG7_WIDTHS"]
+
+FIG7_WIDTHS = (12, 16, 20, 24, 28, 38)
+
+
+@dataclass
+class Fig7Result:
+    tiles: dict[str, list[TileCost]]  # per base tile: [INT, w12, ..., w38]
+    labels: list[str]
+
+
+def run() -> Fig7Result:
+    tiles = {}
+    labels = ["INT"] + [f"MC-IPU({w})" for w in FIG7_WIDTHS]
+    for base in (SMALL_TILE, BIG_TILE):
+        row = [tile_cost(base, fp_mode=None)]
+        for w in FIG7_WIDTHS:
+            row.append(tile_cost(base.with_precision(w), mode="fp"))
+        tiles[base.name] = row
+    return Fig7Result(tiles=tiles, labels=labels)
+
+
+def render(result: Fig7Result) -> str:
+    blocks = []
+    for tile_name, costs in result.tiles.items():
+        n_ipu = "8-input" if tile_name == "small" else "16-input"
+        for kind in ("area", "power"):
+            headers = ["config"] + list(COMPONENT_NAMES) + ["total", "vs 38b"]
+            ref = costs[-1]
+            rows = []
+            for label, cost in zip(result.labels, costs):
+                if kind == "area":
+                    comps = [cost.area_by_component[c] * 1e3 for c in COMPONENT_NAMES]
+                    total, ref_total = cost.area_mm2 * 1e3, ref.area_mm2 * 1e3
+                else:
+                    comps = [cost.power_by_component[c] * 1e3 for c in COMPONENT_NAMES]
+                    total, ref_total = cost.power_w * 1e3, ref.power_w * 1e3
+                rows.append([label] + comps + [total, f"{100 * (total / ref_total - 1):+.1f}%"])
+            unit = "area [1e-3 mm^2]" if kind == "area" else "power [mW]"
+            blocks.append(
+                render_table(headers, rows, title=f"Figure 7 ({kind}) — {n_ipu} tile, {unit}")
+            )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover
+    print(render(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,117 @@
+"""CLI entry point: regenerate any table/figure of the paper.
+
+Usage::
+
+    python -m repro.experiments.runner --list
+    python -m repro.experiments.runner fig3 fig9
+    python -m repro.experiments.runner --all [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+__all__ = ["EXPERIMENTS", "main"]
+
+
+def _fig3(quick: bool) -> str:
+    from repro.experiments import fig3
+
+    if quick:
+        return fig3.render(fig3.run(batch=4000, chunks=2,
+                                    precisions=(8, 12, 16, 20, 24, 28, 38),
+                                    sources=("laplace", "normal", "uniform")))
+    return fig3.render(fig3.run())
+
+
+def _fig7(quick: bool) -> str:
+    from repro.experiments import fig7
+
+    return fig7.render(fig7.run())
+
+
+def _fig8a(quick: bool) -> str:
+    from repro.experiments import fig8
+
+    return fig8.render(fig8.run_precision_sweep(samples=128 if quick else 512))
+
+
+def _fig8b(quick: bool) -> str:
+    from repro.experiments import fig8
+
+    return fig8.render(fig8.run_cluster_sweep(samples=128 if quick else 512))
+
+
+def _fig9(quick: bool) -> str:
+    from repro.experiments import fig9
+
+    return fig9.render(fig9.run(samples_per_layer=500 if quick else 1500))
+
+
+def _fig10(quick: bool) -> str:
+    from repro.experiments import fig10
+
+    return fig10.render(fig10.run(samples=96 if quick else 384))
+
+
+def _table1(quick: bool) -> str:
+    from repro.experiments import table1
+
+    return table1.render(table1.run(samples=96 if quick else 384))
+
+
+def _accuracy(quick: bool) -> str:
+    from repro.experiments import accuracy_table
+
+    if quick:
+        return accuracy_table.render(
+            accuracy_table.run(precisions=(8, 12), n_eval=32, styles=("plain",))
+        )
+    return accuracy_table.render(accuracy_table.run())
+
+
+EXPERIMENTS = {
+    "fig3": (_fig3, "error metrics vs IPU precision (FP16/FP32 accumulators)"),
+    "fig7": (_fig7, "tile area & power breakdowns"),
+    "fig8a": (_fig8a, "normalized exec time vs MC-IPU precision"),
+    "fig8b": (_fig8b, "normalized exec time vs cluster size"),
+    "fig9": (_fig9, "exponent-difference histograms (fwd vs bwd)"),
+    "fig10": (_fig10, "area/power efficiency design space"),
+    "table1": (_table1, "TOPS/mm2 and TOPS/W across designs"),
+    "accuracy": (_accuracy, "Top-1 accuracy vs IPU precision"),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("experiments", nargs="*", help="experiment ids (see --list)")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--quick", action="store_true", help="reduced sample counts")
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, (_, desc) in EXPERIMENTS.items():
+            print(f"{name:10s} {desc}")
+        return 0
+    names = list(EXPERIMENTS) if args.all else args.experiments
+    if not names:
+        parser.print_help()
+        return 2
+    for name in names:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; use --list", file=sys.stderr)
+            return 2
+        fn, desc = EXPERIMENTS[name]
+        print(f"\n{'=' * 72}\n{name}: {desc}\n{'=' * 72}")
+        start = time.time()
+        print(fn(args.quick))
+        print(f"[{name} done in {time.time() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,219 @@
+"""Floating-point format descriptions and bit-exact decode/encode.
+
+Implements the formats the paper targets (Table 2 and Appendix A.2):
+
+=========  ====================  ======
+format     (sign, exp, man)      bias
+=========  ====================  ======
+FP16       (1, 5, 10)            15
+FP32       (1, 8, 23)            127
+BFloat16   (1, 8, 7)             127
+TF32       (1, 8, 10)            127
+=========  ====================  ======
+
+Decoding follows the paper's conventions exactly: the *magnitude* is the
+integer ``1.mantissa`` (normal) or ``0.mantissa`` (subnormal) scaled by
+``2**man_bits``, and the *unbiased exponent* is ``exp - bias`` for normals
+and ``1 - bias`` for subnormals (the paper's note in Fig. 12). The value of
+a finite number is therefore::
+
+    (-1)**sign * magnitude * 2**(unbiased_exp - man_bits)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.utils.bits import get_field, mask
+
+__all__ = ["FPClass", "FPFormat", "Decoded", "FP16", "FP32", "BF16", "TF32", "FORMATS"]
+
+
+class FPClass(Enum):
+    """The five decode classes of Table 2."""
+
+    ZERO = "zero"
+    SUBNORMAL = "subnormal"
+    NORMAL = "normal"
+    INF = "inf"
+    NAN = "nan"
+
+
+@dataclass(frozen=True)
+class Decoded:
+    """A decoded finite/special FP number.
+
+    ``magnitude`` carries ``man_bits`` fraction bits (i.e. the stored
+    significand with the implicit bit made explicit), and ``unbiased_exp``
+    is subnormal-adjusted as described in the module docstring. For INF/NaN
+    the magnitude/exponent fields are not meaningful.
+    """
+
+    sign: int
+    unbiased_exp: int
+    magnitude: int
+    fpclass: FPClass
+
+    @property
+    def signed_magnitude(self) -> int:
+        return -self.magnitude if self.sign else self.magnitude
+
+
+@dataclass(frozen=True)
+class FPFormat:
+    """An IEEE-754-style binary format (no traps, RNE rounding)."""
+
+    name: str
+    exp_bits: int
+    man_bits: int
+
+    @property
+    def bias(self) -> int:
+        return (1 << (self.exp_bits - 1)) - 1
+
+    @property
+    def total_bits(self) -> int:
+        return 1 + self.exp_bits + self.man_bits
+
+    @property
+    def max_exp(self) -> int:
+        """Largest unbiased exponent of a finite normal number."""
+        return mask(self.exp_bits) - 1 - self.bias
+
+    @property
+    def min_exp(self) -> int:
+        """Unbiased exponent assigned to subnormals (= 1 - bias)."""
+        return 1 - self.bias
+
+    @property
+    def magnitude_bits(self) -> int:
+        """Bits of the unsigned magnitude ``1.man`` (paper: 11 for FP16)."""
+        return self.man_bits + 1
+
+    # -- decode ------------------------------------------------------------
+
+    def decode(self, bits: int) -> Decoded:
+        """Decode a raw bit pattern into sign/exponent/magnitude/class."""
+        if bits >> self.total_bits:
+            raise ValueError(f"pattern 0x{bits:x} wider than {self.name}")
+        sign = get_field(bits, self.exp_bits + self.man_bits, 1)
+        exp = get_field(bits, self.man_bits, self.exp_bits)
+        man = get_field(bits, 0, self.man_bits)
+        if exp == mask(self.exp_bits):
+            cls = FPClass.NAN if man else FPClass.INF
+            return Decoded(sign, 0, 0, cls)
+        if exp == 0:
+            if man == 0:
+                return Decoded(sign, self.min_exp, 0, FPClass.ZERO)
+            return Decoded(sign, self.min_exp, man, FPClass.SUBNORMAL)
+        return Decoded(sign, exp - self.bias, man | (1 << self.man_bits), FPClass.NORMAL)
+
+    def decode_value(self, bits: int) -> float:
+        """Decode a bit pattern to a Python float (exact for all formats here)."""
+        d = self.decode(bits)
+        if d.fpclass is FPClass.INF:
+            return float("-inf") if d.sign else float("inf")
+        if d.fpclass is FPClass.NAN:
+            return float("nan")
+        return (-1.0 if d.sign else 1.0) * d.magnitude * 2.0 ** (d.unbiased_exp - self.man_bits)
+
+    # -- encode ------------------------------------------------------------
+
+    def encode_parts(self, sign: int, exp_field: int, man_field: int) -> int:
+        """Assemble raw fields into a bit pattern (no validation of semantics)."""
+        if exp_field >> self.exp_bits or man_field >> self.man_bits:
+            raise ValueError("field overflow in encode_parts")
+        return (sign << (self.exp_bits + self.man_bits)) | (exp_field << self.man_bits) | man_field
+
+    def inf_bits(self, sign: int = 0) -> int:
+        return self.encode_parts(sign, mask(self.exp_bits), 0)
+
+    def nan_bits(self) -> int:
+        return self.encode_parts(0, mask(self.exp_bits), 1 << (self.man_bits - 1))
+
+    def max_finite_bits(self, sign: int = 0) -> int:
+        return self.encode_parts(sign, mask(self.exp_bits) - 1, mask(self.man_bits))
+
+    def encode_value(self, value: float) -> int:
+        """Round a Python float to this format with round-to-nearest-even.
+
+        Overflow goes to infinity; underflow denormalizes then flushes to
+        signed zero, matching IEEE-754 default behaviour.
+        """
+        if value != value:  # NaN
+            return self.nan_bits()
+        import math
+
+        sign = 1 if math.copysign(1.0, value) < 0 else 0
+        a = abs(value)
+        if a == float("inf"):
+            return self.inf_bits(sign)
+        if a == 0.0:
+            return self.encode_parts(sign, 0, 0)
+        m, e = _frexp_exact(a)  # a = m * 2**e with m an odd-or-even int > 0
+        return self._round_significand(sign, m, e)
+
+    def _round_significand(self, sign: int, m: int, e: int) -> int:
+        """Encode ``(-1)**sign * m * 2**e`` (m > 0 int) with RNE."""
+        # Normalize m to exactly man_bits+1 significant bits by tracking the
+        # target exponent of the leading bit.
+        nbits = m.bit_length()
+        lead_exp = e + nbits - 1  # exponent of the MSB of m
+        if lead_exp < self.min_exp:
+            # subnormal range: quantum is 2**(min_exp - man_bits)
+            target_lsb = self.min_exp - self.man_bits
+            man = _rne_shift(m, target_lsb - e)
+            if man == 0:
+                return self.encode_parts(sign, 0, 0)
+            if man >> self.man_bits:  # rounded up into the normal range
+                return self.encode_parts(sign, 1, man & mask(self.man_bits))
+            return self.encode_parts(sign, 0, man)
+        # normal candidate: want man_bits fraction bits below lead_exp
+        target_lsb = lead_exp - self.man_bits
+        sig = _rne_shift(m, target_lsb - e)
+        if sig >> (self.man_bits + 1):  # carry out of rounding, e.g. 1.111->10.00
+            sig >>= 1
+            lead_exp += 1
+        if lead_exp > self.max_exp:
+            return self.inf_bits(sign)
+        if lead_exp < self.min_exp:  # can happen after subnormal boundary checks
+            return self.encode_parts(sign, 0, sig & mask(self.man_bits))
+        exp_field = lead_exp + self.bias
+        return self.encode_parts(sign, exp_field, sig & mask(self.man_bits))
+
+    def round_fixed(self, significand: int, scale: int) -> int:
+        """Round the exact value ``significand * 2**scale`` into this format.
+
+        This is the "reformat to standard representation" step the paper's
+        accumulator performs before write-back.
+        """
+        if significand == 0:
+            return self.encode_parts(0, 0, 0)
+        sign = 1 if significand < 0 else 0
+        return self._round_significand(sign, abs(significand), scale)
+
+
+def _frexp_exact(a: float) -> tuple[int, int]:
+    """Exact (int mantissa, exponent) decomposition of a positive float."""
+    n, d = a.as_integer_ratio()
+    return n, -(d.bit_length() - 1)
+
+
+def _rne_shift(m: int, shift: int) -> int:
+    """Compute round-to-nearest-even of ``m / 2**shift`` (shift may be <= 0)."""
+    if shift <= 0:
+        return m << (-shift)
+    q, rem = m >> shift, m & mask(shift)
+    half = 1 << (shift - 1)
+    if rem > half or (rem == half and (q & 1)):
+        q += 1
+    return q
+
+
+FP16 = FPFormat("fp16", 5, 10)
+FP32 = FPFormat("fp32", 8, 23)
+BF16 = FPFormat("bfloat16", 8, 7)
+TF32 = FPFormat("tf32", 8, 10)
+
+FORMATS = {f.name: f for f in (FP16, FP32, BF16, TF32)}

@@ -1,0 +1,108 @@
+"""Vectorized FP decode over NumPy arrays.
+
+The Figure-3 error sweeps emulate millions of FP16 inner products, so the
+scalar :mod:`repro.fp.softfloat` path is far too slow there. This module
+decodes whole tensors at once into the (sign, unbiased exponent, magnitude)
+triples the IPU datapath consumes. Encoding back to standard formats happens
+through NumPy's own float16/float32 casts (validated against our softfloat
+in the test suite).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fp.formats import FP16, FP32, FPFormat
+
+__all__ = [
+    "decode_array",
+    "float_to_bits",
+    "bits_to_float",
+    "product_exponents",
+    "DecodedArray",
+]
+
+
+class DecodedArray:
+    """Structure-of-arrays decode result: sign/exponent/magnitude per element.
+
+    ``magnitude`` has ``fmt.man_bits`` fraction bits; ``unbiased_exp`` is
+    subnormal-adjusted (= 1 - bias for zeros and subnormals), exactly like
+    the scalar :meth:`repro.fp.formats.FPFormat.decode`.
+    """
+
+    __slots__ = ("fmt", "sign", "unbiased_exp", "magnitude")
+
+    def __init__(self, fmt: FPFormat, sign: np.ndarray, unbiased_exp: np.ndarray, magnitude: np.ndarray):
+        self.fmt = fmt
+        self.sign = sign
+        self.unbiased_exp = unbiased_exp
+        self.magnitude = magnitude
+
+    @property
+    def signed_magnitude(self) -> np.ndarray:
+        return np.where(self.sign.astype(bool), -self.magnitude, self.magnitude)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.sign.shape
+
+    def __len__(self) -> int:
+        return len(self.sign)
+
+
+_BIT_DTYPES = {"fp16": (np.float16, np.uint16), "fp32": (np.float32, np.uint32)}
+
+
+def float_to_bits(fmt: FPFormat, values: np.ndarray) -> np.ndarray:
+    """Cast values into ``fmt`` (NumPy rounding = RNE) and view as integers."""
+    try:
+        fdt, idt = _BIT_DTYPES[fmt.name]
+    except KeyError:
+        raise NotImplementedError(f"vectorized bits only for fp16/fp32, not {fmt.name}")
+    return np.asarray(values, dtype=fdt).view(idt)
+
+
+def bits_to_float(fmt: FPFormat, bits: np.ndarray) -> np.ndarray:
+    fdt, idt = _BIT_DTYPES[fmt.name]
+    return np.asarray(bits, dtype=idt).view(fdt)
+
+
+def decode_array(fmt: FPFormat, values: np.ndarray) -> DecodedArray:
+    """Decode an array of floats (cast into ``fmt`` first) into SoA fields.
+
+    Infs/NaNs are rejected — the datapath experiments only ever see finite
+    tensors, and silently decoding specials would corrupt error statistics.
+    """
+    bits = float_to_bits(fmt, values).astype(np.int64)
+    man_mask = (1 << fmt.man_bits) - 1
+    exp_mask = (1 << fmt.exp_bits) - 1
+    sign = (bits >> (fmt.exp_bits + fmt.man_bits)) & 1
+    exp = (bits >> fmt.man_bits) & exp_mask
+    man = bits & man_mask
+    if np.any(exp == exp_mask):
+        raise ValueError("decode_array got INF/NaN input")
+    is_normal = exp != 0
+    magnitude = np.where(is_normal, man | (1 << fmt.man_bits), man)
+    unbiased = np.where(is_normal, exp - fmt.bias, fmt.min_exp)
+    return DecodedArray(fmt, sign.astype(np.int8), unbiased.astype(np.int64), magnitude.astype(np.int64))
+
+
+def product_exponents(a: DecodedArray, b: DecodedArray) -> np.ndarray:
+    """Element-wise product exponents ``ê_a + ê_b`` (EHU stage 1)."""
+    return a.unbiased_exp + b.unbiased_exp
+
+
+def reference_dot_fp32(a: np.ndarray, b: np.ndarray, axis: int = -1) -> np.ndarray:
+    """FP32-CPU reference dot product the paper compares against."""
+    return np.sum(np.asarray(a, np.float32) * np.asarray(b, np.float32), axis=axis, dtype=np.float32)
+
+
+def reference_dot_exact(a: np.ndarray, b: np.ndarray) -> float:
+    """Exact dot product of two 1-D arrays via Fraction-free integer math."""
+    from repro.utils.fixedpoint import FixedPoint
+
+    acc = FixedPoint.zero()
+    for x, y in zip(np.asarray(a, np.float64), np.asarray(b, np.float64)):
+        acc = acc + FixedPoint.from_float(float(x)) * FixedPoint.from_float(float(y))
+    return acc.to_float()

@@ -1,0 +1,11 @@
+"""Hardware cost models: gate-level area/power substitute for 7 nm synthesis."""
+
+from repro.hw.components import COMPONENT_NAMES, IPUGeometry, component_areas_ge
+from repro.hw.gates import GE_AREA_MM2, GE_POWER_W, LEAKAGE_FRACTION
+from repro.hw.tile_cost import ACTIVITY, TileCost, tile_cost
+
+__all__ = [
+    "COMPONENT_NAMES", "IPUGeometry", "component_areas_ge",
+    "GE_AREA_MM2", "GE_POWER_W", "LEAKAGE_FRACTION",
+    "ACTIVITY", "TileCost", "tile_cost",
+]

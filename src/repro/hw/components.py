@@ -1,0 +1,108 @@
+"""Per-component area models of the IPU tile (Figure 7's six categories).
+
+Components follow the paper's breakdown legend: accumulators (FAcc), weight
+buffers (WBuf), exponent handling (ShCNT), multipliers (MULT), local
+shifters (Shft) and adder trees (AT). Each function returns GE for *one
+IPU's share* of the component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw import gates as g
+from repro.ipu.accumulator import ACC_BASE_BITS
+from repro.utils.bits import ceil_log2
+
+__all__ = ["IPUGeometry", "component_areas_ge", "COMPONENT_NAMES"]
+
+COMPONENT_NAMES = ("FAcc", "WBuf", "ShCNT", "MULT", "Shft", "AT")
+
+EXP_BITS = 6  # product exponents of FP16 span [-28, 30]: 6-bit signed
+
+
+@dataclass(frozen=True)
+class IPUGeometry:
+    """Structural parameters of one IPU instance for costing.
+
+    ``fp_mode`` is one of ``None`` (INT-only: no shifters/EHU, narrow
+    accumulator), ``"temporal"`` (this paper's nibble-iterated FP16),
+    ``"spatial"`` (NVDLA-style fusion of two units), ``"native"``
+    (a dedicated wide FP16 FMA datapath).
+    ``ehu_share`` is how many IPUs amortize one EHU (a cluster).
+    """
+
+    n_inputs: int = 16
+    mult_a: int = 5
+    mult_b: int = 5
+    adder_width: int = 28
+    fp_mode: str | None = "temporal"
+    multi_cycle: bool = True
+    ehu_share: int = 8
+    weight_buffer_bytes: int = 9
+    max_accumulations: int = 512
+
+    @property
+    def product_bits(self) -> int:
+        return self.mult_a + self.mult_b
+
+    @property
+    def supports_fp(self) -> bool:
+        return self.fp_mode is not None
+
+    @property
+    def accumulator_bits(self) -> int:
+        t = ceil_log2(max(self.n_inputs, 2))
+        l = ceil_log2(max(self.max_accumulations, 2))
+        # The INT-only design keeps the same register organization (the
+        # concat-and-shift path is shared); only the FP extras differ.
+        return ACC_BASE_BITS + t + l
+
+
+def component_areas_ge(geom: IPUGeometry) -> dict[str, float]:
+    """GE area of each Figure-7 component for one IPU (EHU amortized)."""
+    n, w = geom.n_inputs, geom.adder_width
+    areas = dict.fromkeys(COMPONENT_NAMES, 0.0)
+
+    # MULT: the n signed multipliers.
+    areas["MULT"] = n * g.multiplier_ge(geom.mult_a, geom.mult_b)
+
+    # AT: n-input adder tree at the IPU precision (INT-only trees only need
+    # the product width plus growth).
+    tree_width = w if geom.supports_fp else geom.product_bits
+    areas["AT"] = g.adder_tree_ge(n, tree_width)
+
+    # Shft: per-product local right shifters (FP only). The shifter places
+    # the 10-bit product anywhere in the w-bit truncating window, so it is
+    # a placement shifter, not a full w-wide barrel (see hw.gates).
+    if geom.supports_fp:
+        areas["Shft"] = n * g.placement_shifter_ge(geom.product_bits, w, w)
+        if geom.fp_mode == "temporal" and geom.multi_cycle:
+            areas["Shft"] += n * geom.product_bits  # masking AND gates
+
+    # FAcc: register + adder + alignment shifter + swap muxes + rounding.
+    acc_bits = geom.accumulator_bits
+    facc = g.register_ge(acc_bits) + g.adder_ge(acc_bits)
+    if geom.supports_fp:
+        facc += g.barrel_shifter_ge(acc_bits, acc_bits)  # any-amount shift
+        facc += 2 * g.mux_ge(acc_bits)                   # swap unit
+        facc += g.register_ge(EXP_BITS) + g.adder_ge(EXP_BITS)  # exponent reg
+    else:
+        facc += g.barrel_shifter_ge(acc_bits, 24)        # 4k-only shifts
+    areas["FAcc"] = facc
+
+    # WBuf: weight-stationary buffer, per multiplier.
+    areas["WBuf"] = n * g.sram_bit_ge(8 * geom.weight_buffer_bytes)
+
+    # ShCNT: the EHU, amortized over its cluster.
+    if geom.supports_fp:
+        ehu = n * g.adder_ge(EXP_BITS)                       # stage 1
+        ehu += (n - 1) * g.comparator_ge(EXP_BITS)           # stage 2 max tree
+        ehu += n * g.adder_ge(EXP_BITS)                      # stage 3 diffs
+        ehu += n * (g.comparator_ge(EXP_BITS) + 2.0)         # stage 4 masks
+        if geom.multi_cycle:
+            ehu += n * (g.comparator_ge(EXP_BITS) + g.register_ge(1) + 3.0)  # serve
+        ehu += 4 * n * g.register_ge(EXP_BITS) * 0.5         # pipeline regs
+        areas["ShCNT"] = ehu / max(geom.ehu_share, 1)
+
+    return areas

@@ -1,0 +1,94 @@
+"""Named accelerator design points for the sensitivity analysis (Table 1).
+
+Eight designs, as in the paper:
+
+=========  ======  =====  ==========================================
+design     MUL     ADT    FP16 support
+=========  ======  =====  ==========================================
+MC-SER     12x1    16b    temporal (bit-serial weights; >=12 passes)
+MC-IPU4    4x4     16b    temporal (this paper's nibble IPU; 9 passes)
+MC-IPU84   8x4     20b    temporal (2x3 = 6 passes)
+MC-IPU8    8x8     23b    temporal (2 packed passes; the four 8/4-bit
+                          partial products of a 12x12 pack into two
+                          8x8 array passes)
+NVDLA      8x8     36b    spatial (two units fuse per FP16 product)
+FP16       12x12   36b    native FMA datapath
+INT8       8x8     16b    none
+INT4       4x4     9b     none
+=========  ======  =====  ==========================================
+
+The INT-mode iteration count of an AxW MAC on an axb multiplier is
+``ceil(A/a) * ceil(W/b)`` (temporal decomposition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.components import IPUGeometry
+
+__all__ = ["Design", "DESIGNS", "TABLE1_PRECISIONS", "int_iterations"]
+
+
+def int_iterations(a_prec: int, w_prec: int, mult_a: int, mult_b: int) -> int:
+    """Temporal passes for an AxW integer MAC on an axb multiplier."""
+    return -(-a_prec // mult_a) * (-(-w_prec // mult_b))
+
+
+@dataclass(frozen=True)
+class Design:
+    """One column of Table 1."""
+
+    name: str
+    mult_a: int
+    mult_b: int
+    adder_width: int
+    fp_mode: str | None          # None | "temporal" | "spatial" | "native"
+    fp16_iterations: int | None  # multiplier passes per FP16 product
+    fp16_units_per_product: int = 1  # spatial designs fuse >1 multiplier
+    n_inputs: int = 16
+    ehu_share: int = 8
+
+    def supports(self, a_prec: int, w_prec: int) -> bool:
+        """Whether this design can run AxW (INT-only designs reject FP16)."""
+        if (a_prec, w_prec) == (16, 16):  # FP16 x FP16 row
+            return self.fp_mode is not None
+        # INT ops larger than the multiplier run temporally on any design.
+        return True
+
+    def iterations(self, a_prec: int, w_prec: int) -> int:
+        if (a_prec, w_prec) == (16, 16):
+            if self.fp16_iterations is None:
+                raise ValueError(f"{self.name} does not support FP16")
+            return self.fp16_iterations
+        return int_iterations(a_prec, w_prec, self.mult_a, self.mult_b)
+
+    def geometry(self) -> IPUGeometry:
+        # Signed temporal nibble designs need one guard bit per operand
+        # (the paper's 4x4 design uses 5b x 5b signed multipliers).
+        guard = 1 if self.fp_mode == "temporal" or self.fp_mode is None else 0
+        return IPUGeometry(
+            n_inputs=self.n_inputs,
+            mult_a=self.mult_a + guard,
+            mult_b=self.mult_b + (guard if self.mult_b > 1 else 0),
+            adder_width=self.adder_width,
+            fp_mode=self.fp_mode,
+            multi_cycle=self.fp_mode == "temporal" and self.adder_width < 28,
+            ehu_share=self.ehu_share,
+        )
+
+
+DESIGNS = {
+    "MC-SER": Design("MC-SER", 12, 1, 16, "temporal", fp16_iterations=12),
+    "MC-IPU4": Design("MC-IPU4", 4, 4, 16, "temporal", fp16_iterations=9),
+    "MC-IPU84": Design("MC-IPU84", 8, 4, 20, "temporal", fp16_iterations=6),
+    "MC-IPU8": Design("MC-IPU8", 8, 8, 23, "temporal", fp16_iterations=2),
+    "NVDLA": Design("NVDLA", 8, 8, 36, "spatial", fp16_iterations=1,
+                    fp16_units_per_product=2),
+    "FP16": Design("FP16", 12, 12, 36, "native", fp16_iterations=1),
+    "INT8": Design("INT8", 8, 8, 16, None, fp16_iterations=None),
+    "INT4": Design("INT4", 4, 4, 9, None, fp16_iterations=None),
+}
+
+# The AxW rows of Table 1; (16, 16) denotes FP16 x FP16.
+TABLE1_PRECISIONS = [(4, 4), (8, 4), (8, 8), (16, 16)]

@@ -1,0 +1,85 @@
+"""Area/power efficiency metrics: TOPS/mm², TOPS/W, TFLOPS/... (Table 1, Fig 10).
+
+Conventions (matching the paper):
+
+- An "OP" is one MAC at the operands' precision; TOPS counts 2 ops per MAC
+  (multiply + add).
+- FP16 throughput is *effective*: it includes the temporal iteration count
+  of the design and, for MC designs whose adder tree is narrower than the
+  software precision, the average alignment-cycle factor measured by the
+  performance simulator.
+- Clock is the tile model's 0.5 GHz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.components import component_areas_ge
+from repro.hw.designs import Design
+from repro.hw.gates import GE_AREA_MM2, GE_POWER_W, LEAKAGE_FRACTION
+from repro.hw.tile_cost import ACTIVITY
+from repro.tile.config import CLOCK_GHZ
+
+__all__ = ["EfficiencyPoint", "design_efficiency", "design_area_mm2", "design_power_w"]
+
+
+@dataclass(frozen=True)
+class EfficiencyPoint:
+    design: str
+    a_prec: int
+    w_prec: int
+    tops_per_mm2: float
+    tops_per_w: float
+
+    @property
+    def is_fp(self) -> bool:
+        return (self.a_prec, self.w_prec) == (16, 16)
+
+
+def design_area_mm2(design: Design) -> float:
+    """Area of one IPU instance of this design (mm²)."""
+    return sum(component_areas_ge(design.geometry()).values()) * GE_AREA_MM2
+
+
+def design_power_w(design: Design, mode: str) -> float:
+    """Power of one IPU instance (W) under the given activity mode."""
+    areas = component_areas_ge(design.geometry())
+    act = ACTIVITY["int" if design.fp_mode is None else mode]
+    total = 0.0
+    for comp, ge in areas.items():
+        effective = LEAKAGE_FRACTION + (1 - LEAKAGE_FRACTION) * act[comp]
+        total += ge * GE_POWER_W * effective
+    return total
+
+
+def design_efficiency(
+    design: Design,
+    a_prec: int,
+    w_prec: int,
+    alignment_factor: float = 1.0,
+) -> EfficiencyPoint | None:
+    """One cell pair of Table 1; ``None`` when the design lacks FP16.
+
+    ``alignment_factor`` is the average MC alignment cycles per iteration
+    (1.0 for INT ops and for designs whose adder tree meets the software
+    precision); callers obtain it from the performance simulator.
+    """
+    if not design.supports(a_prec, w_prec):
+        return None
+    is_fp = (a_prec, w_prec) == (16, 16)
+    iters = design.iterations(a_prec, w_prec)
+    cycles = iters * (alignment_factor if is_fp else 1.0)
+    units = design.fp16_units_per_product if is_fp else 1
+    # MACs per cycle across the IPU's n multipliers:
+    macs_per_cycle = design.n_inputs / (cycles * units)
+    ops_per_second = macs_per_cycle * 2 * CLOCK_GHZ * 1e9
+    area = design_area_mm2(design)
+    power = design_power_w(design, mode="fp" if is_fp else "int")
+    return EfficiencyPoint(
+        design=design.name,
+        a_prec=a_prec,
+        w_prec=w_prec,
+        tops_per_mm2=ops_per_second / area / 1e12,
+        tops_per_w=ops_per_second / power / 1e12,
+    )

@@ -1,0 +1,114 @@
+"""Gate-level area/energy primitives (substitute for 7 nm synthesis).
+
+The paper synthesizes SystemVerilog with Synopsys DC on 7 nm libraries; we
+replace that with a gate-equivalent (GE, NAND2-equivalent) model whose
+scaling laws are standard digital-design facts: array multipliers grow with
+the product of operand widths, barrel shifters with ``width * log(reach)``,
+adders and registers linearly with width. Absolute constants are calibrated
+once (see ``CALIBRATION`` notes in :mod:`repro.hw.tile_cost`) against the
+relative deltas the paper reports, so the *shape* of every area/power
+result is driven by structure, not tuning.
+
+All areas are in GE; ``GE_AREA_MM2`` converts to mm² (7 nm NAND2 footprint
+with routing/margin overhead) and ``GE_POWER_W`` gives dynamic+leakage power
+per GE at the paper's 0.71 V / 25% margin operating point and 0.5 GHz.
+"""
+
+from __future__ import annotations
+
+from repro.utils.bits import ceil_log2
+
+__all__ = [
+    "GE_AREA_MM2",
+    "GE_POWER_W",
+    "LEAKAGE_FRACTION",
+    "adder_ge",
+    "multiplier_ge",
+    "barrel_shifter_ge",
+    "register_ge",
+    "sram_bit_ge",
+    "mux_ge",
+    "comparator_ge",
+    "adder_tree_ge",
+]
+
+# 7 nm NAND2 ~0.027 um^2, scaled for routing, clocking and the paper's 25%
+# synthesis margin; pinned so the MC-IPU4 design reproduces its published
+# 18.8 TOPS/mm^2 (all other designs are then pure model predictions).
+GE_AREA_MM2 = 9.9e-8
+
+# Effective power per GE at full activity, 0.5 GHz, 0.71 V; pinned so the
+# MC-IPU4 design reproduces its published 3.3 TOPS/W.
+GE_POWER_W = 9.9e-7
+
+# Fraction of full-activity power burned even when a component idles
+# (leakage + clock tree).
+LEAKAGE_FRACTION = 0.25
+
+
+def adder_ge(width: int) -> float:
+    """Carry-propagate adder: ~5 GE per bit (mirror FA + lookahead share)."""
+    return 5.0 * width
+
+
+def multiplier_ge(a_bits: int, b_bits: int) -> float:
+    """Array multiplier: partial-product AND matrix + (a-1) rows of FAs."""
+    return 5.5 * a_bits * b_bits
+
+
+def barrel_shifter_ge(width: int, max_shift: int) -> float:
+    """Logarithmic barrel shifter: one mux layer per shift-bit stage."""
+    if max_shift <= 0:
+        return 0.0
+    stages = ceil_log2(max_shift + 1)
+    return mux_ge(width) * stages
+
+
+def placement_shifter_ge(data_bits: int, window: int, max_shift: int) -> float:
+    """Right shifter placing a narrow datum into a wider truncating window.
+
+    The IPU's local shifter moves a 10-bit product into a ``w``-bit adder
+    word; stage ``k`` (shift by 2**k) only needs muxes where live data can
+    land — ``min(data_bits + 2**k, window)`` bit positions — so it is much
+    cheaper than a full ``w``-wide barrel shifter.
+    """
+    if max_shift <= 0:
+        return 0.0
+    total_bits = 0
+    shift = 1
+    while shift <= max_shift:
+        total_bits += min(data_bits + shift, window)
+        shift <<= 1
+    return mux_ge(total_bits)
+
+
+def register_ge(bits: int) -> float:
+    """Flip-flop storage: ~4.5 GE per bit."""
+    return 4.5 * bits
+
+
+def sram_bit_ge(bits: int) -> float:
+    """Register-file / small-SRAM storage: denser than flops (~1.2 GE/bit)."""
+    return 1.2 * bits
+
+
+def mux_ge(width: int) -> float:
+    """2:1 mux layer across a word: ~1.8 GE per bit."""
+    return 1.8 * width
+
+
+def comparator_ge(width: int) -> float:
+    """Magnitude comparator: ~2 GE per bit plus priority logic."""
+    return 2.0 * width + 4.0
+
+
+def adder_tree_ge(n_inputs: int, width: int) -> float:
+    """n-input adder tree of ``width``-bit words.
+
+    Level k has n/2^k adders of width ``width + k``; summed over levels this
+    is ``(n-1)`` adders at an average width of roughly ``width + log2(n)/2``.
+    """
+    if n_inputs < 2:
+        return 0.0
+    avg_width = width + ceil_log2(n_inputs) / 2.0
+    return adder_ge(int(round(avg_width))) * (n_inputs - 1)

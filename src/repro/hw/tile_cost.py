@@ -1,0 +1,86 @@
+"""Tile-level area and power rollups (reproduces Figure 7).
+
+CALIBRATION. The free constants live in :mod:`repro.hw.gates` and the
+activity factors below. They were fixed once against the paper's reported
+relative deltas (§4.2): dropping the adder tree from 38 to 28 bits saves
+~15-17% tile area/power; dropping to 12 bits saves up to ~39%; an
+MC-IPU(12) tile costs ~1.43x an INT-only tile. The test suite checks the
+model stays inside loose bands around those anchors so refactors cannot
+silently de-calibrate it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.components import COMPONENT_NAMES, IPUGeometry, component_areas_ge
+from repro.hw.gates import GE_AREA_MM2, GE_POWER_W, LEAKAGE_FRACTION
+from repro.tile.config import TileConfig
+
+__all__ = ["TileCost", "tile_cost", "ACTIVITY"]
+
+# Per-component switching activity by operating mode. INT mode leaves the
+# FP alignment logic idle (leakage/clock only); FP mode exercises
+# everything. These drive the Figure-7(b) power split.
+ACTIVITY = {
+    "int": {"FAcc": 0.55, "WBuf": 0.15, "ShCNT": 0.0, "MULT": 0.85, "Shft": 0.0, "AT": 0.7},
+    "fp": {"FAcc": 0.65, "WBuf": 0.15, "ShCNT": 0.5, "MULT": 0.85, "Shft": 0.6, "AT": 0.75},
+}
+
+
+@dataclass(frozen=True)
+class TileCost:
+    """Area (mm²) and power (W) of one tile, by Figure-7 component."""
+
+    name: str
+    area_by_component: dict[str, float]
+    power_by_component: dict[str, float]
+
+    @property
+    def area_mm2(self) -> float:
+        return sum(self.area_by_component.values())
+
+    @property
+    def power_w(self) -> float:
+        return sum(self.power_by_component.values())
+
+    def area_fraction(self, component: str) -> float:
+        return self.area_by_component[component] / self.area_mm2
+
+
+def tile_cost(
+    tile: TileConfig,
+    fp_mode: str | None = "temporal",
+    mode: str = "fp",
+    ehu_share: int | None = None,
+    max_accumulations: int = 512,
+) -> TileCost:
+    """Cost one tile configuration.
+
+    ``fp_mode=None`` prices the INT-only design point of Figure 7;
+    ``mode`` selects the activity set for the power rollup ("int"/"fp").
+    """
+    if mode not in ACTIVITY:
+        raise ValueError(f"mode must be one of {sorted(ACTIVITY)}")
+    if fp_mode is None and mode == "fp":
+        mode = "int"  # an INT-only tile has no FP activity profile
+    share = ehu_share if ehu_share is not None else tile.effective_cluster_size
+    geom = IPUGeometry(
+        n_inputs=tile.c_unroll,
+        adder_width=tile.adder_width,
+        fp_mode=fp_mode,
+        multi_cycle=fp_mode == "temporal" and tile.adder_width < 28,
+        ehu_share=share,
+        weight_buffer_bytes=tile.weight_buffer_depth,
+        max_accumulations=max_accumulations,
+    )
+    per_ipu = component_areas_ge(geom)
+    act = ACTIVITY[mode]
+    area = {}
+    power = {}
+    for comp in COMPONENT_NAMES:
+        ge = per_ipu[comp] * tile.ipus_per_tile
+        area[comp] = ge * GE_AREA_MM2
+        effective_activity = LEAKAGE_FRACTION + (1 - LEAKAGE_FRACTION) * act[comp]
+        power[comp] = ge * GE_POWER_W * effective_activity
+    return TileCost(name=tile.name, area_by_component=area, power_by_component=power)

@@ -1,0 +1,132 @@
+"""The (33 + t + l)-bit partial-sum accumulator (paper §2.2, Figure 1).
+
+The accumulator keeps two pieces of state: an *exponent* and a
+*non-normalized signed magnitude* register. With respect to its exponent the
+register is a fixed-point number with ``3 + t + l`` integer bits (sign
+included) and 30 fraction bits, where ``t = ceil(log2 n)`` absorbs the adder
+tree growth and ``l = ceil(log2 d)`` absorbs ``d`` accumulations.
+
+Alignment of an incoming adder-tree result uses only a *right* shift plus a
+*swap*: when the incoming exponent exceeds the accumulator's, the register
+itself is shifted right (losing its lowest bits, exactly like the hardware)
+and the exponent is raised; a dedicated left shifter is never needed.
+"""
+
+from __future__ import annotations
+
+from repro.fp.formats import FPFormat
+from repro.utils.bits import ceil_log2, floor_div_pow2
+
+__all__ = ["Accumulator", "ACC_FRACTION_BITS", "ACC_BASE_BITS"]
+
+ACC_FRACTION_BITS = 30
+ACC_BASE_BITS = 33  # sign + 2 integer bits + 30 fraction bits
+
+
+class Accumulator:
+    """Bit-accurate scalar accumulator model.
+
+    Parameters
+    ----------
+    n_inputs:
+        IPU width ``n`` (sets ``t``).
+    max_accumulations:
+        ``d``: how many adder-tree results may accumulate without overflow
+        (sets ``l``). The model asserts the register never exceeds its
+        physical width rather than silently wrapping.
+    """
+
+    def __init__(self, n_inputs: int, max_accumulations: int = 512):
+        self.t = ceil_log2(max(n_inputs, 2))
+        self.l = ceil_log2(max(max_accumulations, 2))
+        self.width = ACC_BASE_BITS + self.t + self.l
+        self.register = 0  # signed, ACC_FRACTION_BITS fraction bits
+        self.exponent = 0
+        self._touched = False
+
+    # -- alignment ---------------------------------------------------------
+
+    def align_to(self, incoming_exp: int) -> int:
+        """Swap-then-shift alignment; returns the residual right shift to
+        apply to the *incoming* value (0 when the register itself moved)."""
+        if not self._touched:
+            # first contribution adopts the incoming exponent outright
+            self.exponent = incoming_exp
+            self._touched = True
+            return 0
+        if incoming_exp > self.exponent:
+            # swap path: the register is the smaller operand; shift it right
+            self.register = floor_div_pow2(self.register, incoming_exp - self.exponent)
+            self.exponent = incoming_exp
+            return 0
+        return self.exponent - incoming_exp
+
+    def add(self, value: int, lsb_weight_exp: int, value_exp: int) -> None:
+        """Accumulate ``value * 2**lsb_weight_exp * 2**value_exp``.
+
+        ``value_exp`` is the max-exponent of the adder-tree result (the
+        EHU's ``max_exp``); ``lsb_weight_exp`` places the result's LSB
+        relative to ``2**value_exp`` (e.g. ``-30`` for a contribution already
+        expressed at accumulator granularity).
+        """
+        extra = self.align_to(value_exp)
+        # express the contribution in register units (2**(exponent - 30))
+        shift_left = lsb_weight_exp + ACC_FRACTION_BITS - extra
+        if shift_left >= 0:
+            self.register += value << shift_left
+        else:
+            self.register += floor_div_pow2(value, -shift_left)
+        self._check_width()
+
+    def add_integer(self, value: int, weight_exp: int) -> None:
+        """INT-mode accumulation: exact integer add at ``2**weight_exp``.
+
+        INT mode runs with ``exp = max_exponent = 0`` (paper §2.1). The
+        register is then a plain wide integer: nibble-iteration results are
+        placed at their significance (the hardware realizes this as a left
+        placement by ``33 - w`` zeros followed by the significance-dependent
+        right shift, which never drops non-zero bits in INT mode).
+        """
+        if not self._touched:
+            self.exponent = 0
+            self._touched = True
+        if self.exponent != 0:
+            raise RuntimeError("INT-mode accumulation on an FP-mode accumulator")
+        if weight_exp < 0:
+            raise ValueError("INT-mode significance must be non-negative")
+        self.register += value << weight_exp
+        self._check_width()
+
+    # -- readout -------------------------------------------------------------
+
+    def value(self) -> float:
+        return float(self.register) * 2.0 ** (self.exponent - ACC_FRACTION_BITS)
+
+    def exact(self) -> tuple[int, int]:
+        """(significand, scale) of the held value, exact."""
+        return self.register, self.exponent - ACC_FRACTION_BITS
+
+    def to_format(self, fmt: FPFormat) -> int:
+        """Normalize and round (RNE) into a standard format's bit pattern."""
+        return fmt.round_fixed(self.register, self.exponent - ACC_FRACTION_BITS)
+
+    def to_int(self) -> int:
+        """INT-mode readout: the exact integer result."""
+        if self.exponent != 0:
+            raise RuntimeError("to_int on an FP-mode accumulator")
+        return self.register
+
+    def reset(self) -> None:
+        self.register = 0
+        self.exponent = 0
+        self._touched = False
+
+    # -- internals -----------------------------------------------------------
+
+    def _check_width(self) -> None:
+        if self.register.bit_length() + 1 > self.width:
+            raise OverflowError(
+                f"accumulator register needs {self.register.bit_length() + 1} bits "
+                f"but is only {self.width} wide (33 + t={self.t} + l={self.l}); "
+                "increase max_accumulations or flush partial sums"
+            )

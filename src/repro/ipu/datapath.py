@@ -1,0 +1,76 @@
+"""Combinational datapath pieces of the IPU (Figure 1, left side).
+
+These scalar models enforce hardware field widths explicitly (operand
+ranges, shifter reach, adder-tree word length) so the golden IPU model fails
+loudly if the architecture-level code ever drives them out of spec.
+"""
+
+from __future__ import annotations
+
+from repro.ipu.theory import PRODUCT_MAGNITUDE_BITS, safe_precision
+from repro.nibble.decompose import OPERAND_MAX, OPERAND_MIN
+from repro.utils.bits import bit_length_signed, floor_div_pow2
+
+__all__ = ["SignedMultiplier5x5", "LocalShifter", "AdderTree"]
+
+
+class SignedMultiplier5x5:
+    """5-bit signed multiplier: operands in [-16, 15], product in 10 bits."""
+
+    def multiply(self, a: int, b: int) -> int:
+        if not (OPERAND_MIN <= a <= OPERAND_MAX and OPERAND_MIN <= b <= OPERAND_MAX):
+            raise OverflowError(f"operands ({a}, {b}) exceed 5-bit signed range")
+        return a * b
+
+
+class LocalShifter:
+    """Per-product right shifter with truncation into the adder-tree window.
+
+    The shifter realizes the fixed-point convention of Proposition 1: the
+    adder-tree word has ``sp = w - 9`` fraction bits below the product LSB,
+    so the shifted value is ``floor(p * 2**(sp - s))`` — exact iff
+    ``s <= sp``. INT mode always uses ``s = 0``. The reach is bounded by the
+    IPU precision ``w``; the EHU never requests more because larger shifts
+    are either masked or decomposed by the MC serve loop.
+    """
+
+    def __init__(self, adder_width: int):
+        self.width = adder_width
+        self.sp = safe_precision(adder_width)
+
+    def shift(self, product: int, amount: int) -> int:
+        if amount < 0:
+            raise ValueError("local shifter only shifts right")
+        if amount > self.width:
+            raise OverflowError(
+                f"shift {amount} exceeds the {self.width}-bit shifter reach"
+            )
+        if self.sp >= 0:
+            value = floor_div_pow2(product << self.sp, amount)
+        else:  # sub-product window: truncation starts before any shift
+            value = floor_div_pow2(product, amount - self.sp)
+        if bit_length_signed(value) > self.width + 1:
+            raise OverflowError("shifted product does not fit the adder word")
+        return value
+
+
+class AdderTree:
+    """n-input adder tree over ``w``-bit words.
+
+    Output grows by ``ceil(log2 n)`` bits (the ``t`` of the accumulator).
+    The model checks each input against the word width; the sum is exact.
+    """
+
+    def __init__(self, n_inputs: int, width: int):
+        if n_inputs < 1:
+            raise ValueError("adder tree needs at least one input")
+        self.n_inputs = n_inputs
+        self.width = width
+
+    def sum(self, inputs: list[int]) -> int:
+        if len(inputs) != self.n_inputs:
+            raise ValueError(f"expected {self.n_inputs} inputs, got {len(inputs)}")
+        for v in inputs:
+            if bit_length_signed(v) > self.width + 1:
+                raise OverflowError(f"adder input {v} exceeds {self.width} bits")
+        return sum(inputs)

@@ -1,0 +1,25 @@
+"""Nibble decomposition of INT and FP operands for temporal execution."""
+
+from repro.nibble.decompose import (
+    NIBBLE_BITS,
+    OPERAND_MAX,
+    OPERAND_MIN,
+    FPDecomposition,
+    fp_magnitude_nibbles_vec,
+    fp_magnitude_to_nibbles,
+    fp_nibble_count,
+    fp_nibble_weight_exp,
+    fp_nibbles_to_magnitude,
+    int_nibble_count,
+    int_to_nibbles,
+    nibbles_to_int,
+)
+from repro.nibble.schedule import NibbleIteration, fp_schedule, int_schedule, iteration_count
+
+__all__ = [
+    "NIBBLE_BITS", "OPERAND_MAX", "OPERAND_MIN", "FPDecomposition",
+    "fp_magnitude_nibbles_vec", "fp_magnitude_to_nibbles", "fp_nibble_count",
+    "fp_nibble_weight_exp", "fp_nibbles_to_magnitude", "int_nibble_count",
+    "int_to_nibbles", "nibbles_to_int",
+    "NibbleIteration", "fp_schedule", "int_schedule", "iteration_count",
+]

@@ -1,0 +1,158 @@
+"""Temporal nibble decomposition of INT and FP operands (paper §2).
+
+The IPU's multipliers are 5-bit signed. Wider integers are split into 4-bit
+nibbles (unsigned except the most significant one), and FP16 signed
+magnitudes are split into the three 5-bit operands the paper specifies::
+
+    M[11:0]  ->  N2 = {M11..M7},  N1 = {0, M6..M3},  N0 = {0, M2..M0, 0}
+
+i.e. for an 11-bit magnitude ``m``: ``n2 = m >> 7``, ``n1 = (m >> 3) & 0xF``,
+``n0 = (m & 0x7) << 1`` so that ``2*m = n2*2**8 + n1*2**4 + n0``. The
+trailing zero injected into N0 is the implicit left shift that preserves one
+extra bit through the right-shift-and-truncate alignment path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fp.formats import FPFormat
+from repro.utils.bits import mask
+
+__all__ = [
+    "NIBBLE_BITS",
+    "OPERAND_MIN",
+    "OPERAND_MAX",
+    "int_nibble_count",
+    "int_to_nibbles",
+    "nibbles_to_int",
+    "fp_nibble_count",
+    "fp_magnitude_to_nibbles",
+    "fp_nibbles_to_magnitude",
+    "fp_nibble_weight_exp",
+    "fp_magnitude_nibbles_vec",
+    "FPDecomposition",
+]
+
+NIBBLE_BITS = 4
+# 5-bit signed multiplier operand range (the paper's 5b x 5b multipliers).
+OPERAND_MIN, OPERAND_MAX = -16, 15
+
+
+def int_nibble_count(bits: int) -> int:
+    """Number of nibble operands for a ``bits``-wide integer (K in the paper)."""
+    if bits < 1:
+        raise ValueError(f"integer width must be >= 1, got {bits}")
+    return -(-bits // NIBBLE_BITS)
+
+
+def int_to_nibbles(value: int, bits: int, signed: bool = True) -> list[int]:
+    """Split an integer into K nibble operands, least significant first.
+
+    All nibbles are unsigned 4-bit digits except the most significant one,
+    which carries the sign when ``signed``; every returned operand fits the
+    5-bit signed multiplier input.
+    """
+    k = int_nibble_count(bits)
+    if signed:
+        lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    else:
+        lo, hi = 0, (1 << bits) - 1
+    if not lo <= value <= hi:
+        raise OverflowError(f"{value} out of range for {'' if signed else 'u'}int{bits}")
+    pattern = value & mask(bits)
+    nibbles = [(pattern >> (NIBBLE_BITS * i)) & 0xF for i in range(k)]
+    if signed:
+        top_bits = bits - NIBBLE_BITS * (k - 1)
+        top = nibbles[-1]
+        if top & (1 << (top_bits - 1)):
+            top -= 1 << top_bits
+        nibbles[-1] = top
+    return nibbles
+
+
+def nibbles_to_int(nibbles: list[int]) -> int:
+    """Inverse of :func:`int_to_nibbles` (works for FP nibble triples too)."""
+    return sum(n << (NIBBLE_BITS * i) for i, n in enumerate(nibbles))
+
+
+def fp_nibble_count(fmt: FPFormat) -> int:
+    """Nibble operands for the signed magnitude of ``fmt``.
+
+    FP16/TF32 magnitudes are 11 bits -> 3 nibbles (with the left-shift trick);
+    BFloat16 magnitudes are 8 bits -> 2 nibbles (Appendix B: only 4 nibble
+    iterations per product).
+    """
+    return -(-fmt.magnitude_bits // NIBBLE_BITS)
+
+
+@dataclass(frozen=True)
+class FPDecomposition:
+    """Signed nibble operands of one FP value plus their significance.
+
+    ``operands[k]`` is the signed 5-bit multiplier input; its weight within
+    the magnitude is ``2**weight_exp(k)`` relative to ``2**unbiased_exp``.
+    """
+
+    operands: tuple[int, ...]
+    unbiased_exp: int
+
+    def magnitude_value(self, fmt: FPFormat) -> float:
+        return sum(
+            o * 2.0 ** fp_nibble_weight_exp(fmt, k) for k, o in enumerate(self.operands)
+        )
+
+
+def fp_nibble_weight_exp(fmt: FPFormat, k: int) -> int:
+    """Weight exponent of nibble ``k`` relative to the number's exponent.
+
+    For FP16 (11-bit magnitude, implicit left shift by 1):
+    magnitude = sum_k n_k * 2**(4k - 12) * 2  = sum_k n_k * 2**(4k - 11).
+    Generalized: ``4k - (4*K - 1)`` where K = nibble count... for FP16
+    K=3 -> 4k - 11; for BF16 (8-bit magnitude, no shift) -> 4k - 7.
+    """
+    k_total = fp_nibble_count(fmt)
+    if fmt.magnitude_bits == NIBBLE_BITS * k_total:
+        # magnitude fills nibbles exactly (BF16: 8 bits, 2 nibbles): no shift
+        return NIBBLE_BITS * k - fmt.man_bits
+    # magnitude has a spare low bit -> implicit left shift by 1 (FP16/TF32)
+    return NIBBLE_BITS * k - fmt.man_bits - 1
+
+
+def fp_magnitude_to_nibbles(fmt: FPFormat, magnitude: int) -> tuple[int, ...]:
+    """Split an unsigned magnitude into unsigned nibble digits (LSB first).
+
+    Applies the implicit left shift when the magnitude does not fill its
+    nibbles exactly (FP16: ``n0`` gets a trailing zero).
+    """
+    if magnitude < 0 or magnitude >> fmt.magnitude_bits:
+        raise OverflowError(f"magnitude {magnitude} out of range for {fmt.name}")
+    k_total = fp_nibble_count(fmt)
+    shifted = magnitude
+    if fmt.magnitude_bits != NIBBLE_BITS * k_total:
+        shifted = magnitude << 1
+    return tuple((shifted >> (NIBBLE_BITS * i)) & 0xF for i in range(k_total))
+
+
+def fp_nibbles_to_magnitude(fmt: FPFormat, nibbles: tuple[int, ...]) -> int:
+    value = nibbles_to_int(list(nibbles))
+    k_total = fp_nibble_count(fmt)
+    if fmt.magnitude_bits != NIBBLE_BITS * k_total:
+        if value & 1:
+            raise ValueError("implicit-shift LSB must be zero")
+        value >>= 1
+    return value
+
+
+def fp_magnitude_nibbles_vec(fmt: FPFormat, magnitude: np.ndarray) -> np.ndarray:
+    """Vectorized nibble split: returns array shaped ``(*mag.shape, K)``."""
+    k_total = fp_nibble_count(fmt)
+    mag = np.asarray(magnitude, dtype=np.int64)
+    if fmt.magnitude_bits != NIBBLE_BITS * k_total:
+        mag = mag << 1
+    out = np.empty(mag.shape + (k_total,), dtype=np.int64)
+    for i in range(k_total):
+        out[..., i] = (mag >> (NIBBLE_BITS * i)) & 0xF
+    return out

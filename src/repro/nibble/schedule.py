@@ -1,0 +1,58 @@
+"""Nibble-iteration schedules (paper §2.1–2.2).
+
+A higher-precision multiplication on the 5b×5b IPU runs ``Ka * Kb`` nibble
+iterations, one per (i, j) nibble-index pair. The accumulator shift of the
+(i, j) result in INT mode is ``4*((Ka-i-1) + (Kb-j-1))`` relative to the most
+significant iteration; the schedule captures that bookkeeping once so the
+datapath, cycle model and tests all agree on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nibble.decompose import NIBBLE_BITS, fp_nibble_count, int_nibble_count
+from repro.fp.formats import FPFormat
+
+__all__ = ["NibbleIteration", "int_schedule", "fp_schedule", "iteration_count"]
+
+
+@dataclass(frozen=True)
+class NibbleIteration:
+    """One (i, j) nibble pass.
+
+    ``significance`` is the weight exponent of this iteration's products
+    relative to the (0,0) iteration: ``4*(i + j)``. ``acc_right_shift`` is
+    the paper's accumulator shift ``4*((Ka-i-1) + (Kb-j-1))``.
+    """
+
+    i: int
+    j: int
+    ka: int
+    kb: int
+
+    @property
+    def significance(self) -> int:
+        return NIBBLE_BITS * (self.i + self.j)
+
+    @property
+    def acc_right_shift(self) -> int:
+        return NIBBLE_BITS * ((self.ka - self.i - 1) + (self.kb - self.j - 1))
+
+
+def int_schedule(a_bits: int, b_bits: int) -> list[NibbleIteration]:
+    """Iterations for an INTa x INTb multiplication (e.g. 8x12 -> 6 passes)."""
+    ka, kb = int_nibble_count(a_bits), int_nibble_count(b_bits)
+    return [NibbleIteration(i, j, ka, kb) for i in range(ka) for j in range(kb)]
+
+
+def fp_schedule(fmt_a: FPFormat, fmt_b: FPFormat | None = None) -> list[NibbleIteration]:
+    """Iterations for an FP x FP product (FP16: 9 passes, BF16: 4 passes)."""
+    fb = fmt_b or fmt_a
+    ka, kb = fp_nibble_count(fmt_a), fp_nibble_count(fb)
+    return [NibbleIteration(i, j, ka, kb) for i in range(ka) for j in range(kb)]
+
+
+def iteration_count(a_bits: int, b_bits: int) -> int:
+    """Total nibble iterations = product of per-operand nibble counts."""
+    return int_nibble_count(a_bits) * int_nibble_count(b_bits)

@@ -1,0 +1,246 @@
+"""From-scratch NumPy neural-network ops with forward and backward passes.
+
+The paper's evaluation needs real convolution workloads in both directions:
+forward activations/weights for the inference experiments and backward error
+tensors for the training experiments (Fig. 8's "Backward", Fig. 9's wider
+exponent distributions). Everything here is plain NumPy in NCHW layout,
+implemented via im2col so the inner products the accelerator would execute
+are explicit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "conv2d",
+    "conv2d_backward",
+    "linear",
+    "linear_backward",
+    "relu",
+    "relu_backward",
+    "max_pool2d",
+    "max_pool2d_backward",
+    "avg_pool2d",
+    "avg_pool2d_backward",
+    "batch_norm",
+    "batch_norm_backward",
+    "softmax",
+    "cross_entropy",
+    "cross_entropy_backward",
+    "conv_output_size",
+]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out < 1:
+        raise ValueError(
+            f"convolution output collapses: size={size} k={kernel} s={stride} p={padding}"
+        )
+    return out
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int) -> np.ndarray:
+    """Unfold NCHW input into columns of shape ``(N, C*kh*kw, Ho*Wo)``.
+
+    Each column is one receptive field — exactly the inner-product operand
+    vector an IP-based convolution tile consumes.
+    """
+    n, c, h, w = x.shape
+    ho = conv_output_size(h, kh, stride, padding)
+    wo = conv_output_size(w, kw, stride, padding)
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    # stride tricks view: (N, C, kh, kw, Ho, Wo)
+    s = x.strides
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, kh, kw, ho, wo),
+        strides=(s[0], s[1], s[2], s[3], s[2] * stride, s[3] * stride),
+        writeable=False,
+    )
+    return view.reshape(n, c * kh * kw, ho * wo)
+
+
+def col2im(
+    cols: np.ndarray, x_shape: tuple[int, ...], kh: int, kw: int, stride: int, padding: int
+) -> np.ndarray:
+    """Fold columns back, accumulating overlaps (adjoint of :func:`im2col`)."""
+    n, c, h, w = x_shape
+    ho = conv_output_size(h, kh, stride, padding)
+    wo = conv_output_size(w, kw, stride, padding)
+    hp, wp = h + 2 * padding, w + 2 * padding
+    out = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    cols6 = cols.reshape(n, c, kh, kw, ho, wo)
+    for i in range(kh):
+        for j in range(kw):
+            out[:, :, i : i + stride * ho : stride, j : j + stride * wo : stride] += cols6[
+                :, :, i, j
+            ]
+    if padding:
+        out = out[:, :, padding : padding + h, padding : padding + w]
+    return out
+
+
+def conv2d(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None,
+    stride: int = 1, padding: int = 0,
+) -> tuple[np.ndarray, tuple]:
+    """2-D convolution. ``x``: (N,C,H,W); ``weight``: (K,C,kh,kw).
+
+    Returns ``(output, cache)`` where the cache feeds the backward pass.
+    """
+    k, c, kh, kw = weight.shape
+    if x.shape[1] != c:
+        raise ValueError(f"input channels {x.shape[1]} != weight channels {c}")
+    n = x.shape[0]
+    ho = conv_output_size(x.shape[2], kh, stride, padding)
+    wo = conv_output_size(x.shape[3], kw, stride, padding)
+    cols = im2col(x, kh, kw, stride, padding)                # (N, C*kh*kw, Ho*Wo)
+    wmat = weight.reshape(k, -1)                             # (K, C*kh*kw)
+    out = np.einsum("kd,ndp->nkp", wmat, cols, optimize=True)
+    if bias is not None:
+        out += bias[None, :, None]
+    out = out.reshape(n, k, ho, wo)
+    return out, (x.shape, cols, wmat, weight.shape, stride, padding)
+
+
+def conv2d_backward(dout: np.ndarray, cache: tuple) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gradients (dx, dweight, dbias) of :func:`conv2d`."""
+    x_shape, cols, wmat, w_shape, stride, padding = cache
+    n, k = dout.shape[0], dout.shape[1]
+    dmat = dout.reshape(n, k, -1)                            # (N, K, Ho*Wo)
+    dbias = dmat.sum(axis=(0, 2))
+    dw = np.einsum("nkp,ndp->kd", dmat, cols, optimize=True).reshape(w_shape)
+    dcols = np.einsum("kd,nkp->ndp", wmat, dmat, optimize=True)
+    kh, kw = w_shape[2], w_shape[3]
+    dx = col2im(dcols, x_shape, kh, kw, stride, padding)
+    return dx, dw, dbias
+
+
+def linear(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None):
+    """Fully connected layer. ``x``: (N,D); ``weight``: (K,D)."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out, (x, weight)
+
+
+def linear_backward(dout: np.ndarray, cache: tuple):
+    x, weight = cache
+    dx = dout @ weight
+    dw = dout.T @ x
+    db = dout.sum(axis=0)
+    return dx, dw, db
+
+
+def relu(x: np.ndarray):
+    out = np.maximum(x, 0)
+    return out, (x > 0)
+
+
+def relu_backward(dout: np.ndarray, cache: np.ndarray) -> np.ndarray:
+    return dout * cache
+
+
+def max_pool2d(x: np.ndarray, kernel: int, stride: int | None = None):
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    ho = conv_output_size(h, kernel, stride, 0)
+    wo = conv_output_size(w, kernel, stride, 0)
+    cols = im2col(x.reshape(n * c, 1, h, w), kernel, kernel, stride, 0)
+    cols = cols.reshape(n * c, kernel * kernel, ho * wo)
+    arg = cols.argmax(axis=1)
+    out = np.take_along_axis(cols, arg[:, None, :], axis=1)[:, 0, :]
+    return out.reshape(n, c, ho, wo), (x.shape, arg, kernel, stride)
+
+
+def max_pool2d_backward(dout: np.ndarray, cache: tuple) -> np.ndarray:
+    x_shape, arg, kernel, stride = cache
+    n, c, h, w = x_shape
+    ho, wo = dout.shape[2], dout.shape[3]
+    dcols = np.zeros((n * c, kernel * kernel, ho * wo), dtype=dout.dtype)
+    np.put_along_axis(dcols, arg[:, None, :], dout.reshape(n * c, 1, ho * wo), axis=1)
+    dx = col2im(dcols.reshape(n * c, kernel * kernel, ho * wo), (n * c, 1, h, w), kernel, kernel, stride, 0)
+    return dx.reshape(n, c, h, w)
+
+
+def avg_pool2d(x: np.ndarray, kernel: int, stride: int | None = None):
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    ho = conv_output_size(h, kernel, stride, 0)
+    wo = conv_output_size(w, kernel, stride, 0)
+    cols = im2col(x.reshape(n * c, 1, h, w), kernel, kernel, stride, 0)
+    out = cols.reshape(n * c, kernel * kernel, ho * wo).mean(axis=1)
+    return out.reshape(n, c, ho, wo), (x.shape, kernel, stride)
+
+
+def avg_pool2d_backward(dout: np.ndarray, cache: tuple) -> np.ndarray:
+    x_shape, kernel, stride = cache
+    n, c, h, w = x_shape
+    ho, wo = dout.shape[2], dout.shape[3]
+    scale = 1.0 / (kernel * kernel)
+    dcols = np.broadcast_to(
+        dout.reshape(n * c, 1, ho * wo) * scale, (n * c, kernel * kernel, ho * wo)
+    ).astype(dout.dtype)
+    dx = col2im(dcols, (n * c, 1, h, w), kernel, kernel, stride, 0)
+    return dx.reshape(n, c, h, w)
+
+
+def batch_norm(
+    x: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
+    running_mean: np.ndarray, running_var: np.ndarray,
+    training: bool, momentum: float = 0.9, eps: float = 1e-5,
+):
+    """Per-channel batch norm on NCHW tensors; updates running stats in place."""
+    axes = (0, 2, 3)
+    if training:
+        mean = x.mean(axis=axes)
+        var = x.var(axis=axes)
+        running_mean *= momentum
+        running_mean += (1 - momentum) * mean
+        running_var *= momentum
+        running_var += (1 - momentum) * var
+    else:
+        mean, var = running_mean, running_var
+    inv_std = 1.0 / np.sqrt(var + eps)
+    xhat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+    out = gamma[None, :, None, None] * xhat + beta[None, :, None, None]
+    return out, (xhat, gamma, inv_std)
+
+
+def batch_norm_backward(dout: np.ndarray, cache: tuple):
+    xhat, gamma, inv_std = cache
+    axes = (0, 2, 3)
+    m = dout.shape[0] * dout.shape[2] * dout.shape[3]
+    dgamma = (dout * xhat).sum(axis=axes)
+    dbeta = dout.sum(axis=axes)
+    dxhat = dout * gamma[None, :, None, None]
+    dx = (
+        dxhat
+        - dxhat.mean(axis=axes)[None, :, None, None]
+        - xhat * (dxhat * xhat).sum(axis=axes)[None, :, None, None] / m
+    ) * inv_std[None, :, None, None]
+    return dx, dgamma, dbeta
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    z = logits - logits.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def cross_entropy(logits: np.ndarray, labels: np.ndarray) -> float:
+    p = softmax(logits)
+    n = logits.shape[0]
+    return float(-np.log(np.clip(p[np.arange(n), labels], 1e-12, None)).mean())
+
+
+def cross_entropy_backward(logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    p = softmax(logits)
+    n = logits.shape[0]
+    p[np.arange(n), labels] -= 1.0
+    return p / n

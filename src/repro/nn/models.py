@@ -1,0 +1,117 @@
+"""Trainable model builders for the reproduction's accuracy experiments.
+
+ImageNet-scale ResNets are out of reach offline, so the accuracy-vs-IPU-
+precision experiment (paper §3.1, Top-1 of ResNet-18/50) runs on
+structurally similar but small residual/plain conv nets trained on the
+synthetic datasets. Layer *shape* workloads for the cycle simulator use the
+true architecture tables in :mod:`repro.nn.zoo` instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Residual,
+    Sequential,
+)
+from repro.utils.rng import as_generator
+
+__all__ = ["tiny_convnet", "tiny_resnet", "model_conv_layers"]
+
+
+def tiny_convnet(
+    channels: int = 3, n_classes: int = 4, width: int = 16, rng=None
+) -> Sequential:
+    """A 4-conv plain CNN (conv-bn-relu stacks + pooling + linear head)."""
+    rng = as_generator(rng)
+    return Sequential(
+        Conv2d(channels, width, 3, padding=1, bias=False, rng=rng, name="conv1"),
+        BatchNorm2d(width, name="bn1"),
+        ReLU(),
+        Conv2d(width, width, 3, padding=1, bias=False, rng=rng, name="conv2"),
+        BatchNorm2d(width, name="bn2"),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(width, 2 * width, 3, padding=1, bias=False, rng=rng, name="conv3"),
+        BatchNorm2d(2 * width, name="bn3"),
+        ReLU(),
+        Conv2d(2 * width, 2 * width, 3, padding=1, bias=False, rng=rng, name="conv4"),
+        BatchNorm2d(2 * width, name="bn4"),
+        ReLU(),
+        GlobalAvgPool(),
+        Linear(2 * width, n_classes, rng=rng, name="head"),
+    )
+
+
+def _basic_block(cin: int, cout: int, stride: int, rng, name: str) -> Residual:
+    main = Sequential(
+        Conv2d(cin, cout, 3, stride=stride, padding=1, bias=False, rng=rng, name=f"{name}.conv1"),
+        BatchNorm2d(cout, name=f"{name}.bn1"),
+        ReLU(),
+        Conv2d(cout, cout, 3, padding=1, bias=False, rng=rng, name=f"{name}.conv2"),
+        BatchNorm2d(cout, name=f"{name}.bn2"),
+    )
+    shortcut = None
+    if stride != 1 or cin != cout:
+        shortcut = Sequential(
+            Conv2d(cin, cout, 1, stride=stride, bias=False, rng=rng, name=f"{name}.down"),
+            BatchNorm2d(cout, name=f"{name}.bn_down"),
+        )
+    return Residual(main, shortcut)
+
+
+def tiny_resnet(channels: int = 3, n_classes: int = 4, width: int = 16, rng=None) -> Sequential:
+    """A ResNet-18-style network scaled to 16x16 synthetic images.
+
+    Stem conv + three stages of two basic blocks each (the second and third
+    stages downsample), global average pooling, linear classifier — the same
+    topology family as ResNet-18 with reduced width/depth.
+    """
+    rng = as_generator(rng)
+    return Sequential(
+        Conv2d(channels, width, 3, padding=1, bias=False, rng=rng, name="stem"),
+        BatchNorm2d(width, name="stem.bn"),
+        ReLU(),
+        _basic_block(width, width, 1, rng, "s1b1"),
+        _basic_block(width, width, 1, rng, "s1b2"),
+        _basic_block(width, 2 * width, 2, rng, "s2b1"),
+        _basic_block(2 * width, 2 * width, 1, rng, "s2b2"),
+        _basic_block(2 * width, 4 * width, 2, rng, "s3b1"),
+        _basic_block(4 * width, 4 * width, 1, rng, "s3b2"),
+        GlobalAvgPool(),
+        Linear(4 * width, n_classes, rng=rng, name="head"),
+    )
+
+
+def model_conv_layers(model) -> list:
+    """Recursively collect every Conv2d in a model, in forward order."""
+    found = []
+
+    def visit(layer):
+        from repro.nn.layers import Conv2d as C
+
+        if isinstance(layer, C):
+            found.append(layer)
+        if hasattr(layer, "main"):  # Residual
+            visit(layer.main)
+            if layer.shortcut is not None:
+                visit(layer.shortcut)
+        for child in getattr(layer, "children", []):
+            visit(child)
+
+    visit(model)
+    # Residual registers main/shortcut both via attributes and children; dedup
+    seen: list = []
+    for c in found:
+        if all(c is not s for s in seen):
+            seen.append(c)
+    return seen

@@ -1,0 +1,33 @@
+"""Parameter container for the NumPy DNN substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter"]
+
+
+class Parameter:
+    """A trainable array with its gradient buffer.
+
+    Layers expose their parameters as named :class:`Parameter` objects so
+    the trainer can walk them generically and the experiment code can sample
+    weight tensors by name.
+    """
+
+    __slots__ = ("data", "grad", "name")
+
+    def __init__(self, data: np.ndarray, name: str = ""):
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter({self.name or 'unnamed'}, shape={self.data.shape})"

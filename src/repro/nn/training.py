@@ -1,0 +1,116 @@
+"""SGD training loop for the NumPy substrate.
+
+Training serves two purposes here: producing realistically-distributed
+weight/activation/gradient tensors for the accelerator experiments, and
+providing trained models for the accuracy-vs-IPU-precision evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.datasets import Dataset
+from repro.nn.layers import Sequential
+from repro.utils.rng import as_generator
+
+__all__ = ["SGD", "TrainResult", "train", "evaluate_accuracy", "capture_backward_tensors"]
+
+
+class SGD:
+    """Plain SGD with momentum and optional weight decay."""
+
+    def __init__(self, parameters, lr: float = 0.05, momentum: float = 0.9,
+                 weight_decay: float = 0.0):
+        self.parameters = list(parameters)
+        self.lr, self.momentum, self.weight_decay = lr, momentum, weight_decay
+        self.velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        for p, v in zip(self.parameters, self.velocity):
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            v *= self.momentum
+            v -= self.lr * g
+            p.data += v
+
+
+@dataclass
+class TrainResult:
+    losses: list[float] = field(default_factory=list)
+    train_accuracy: float = 0.0
+    test_accuracy: float = 0.0
+
+
+def train(
+    model: Sequential,
+    dataset: Dataset,
+    epochs: int = 6,
+    batch_size: int = 32,
+    lr: float = 0.05,
+    rng=None,
+    verbose: bool = False,
+) -> TrainResult:
+    """Train with cross-entropy; returns the loss trace and final accuracies."""
+    rng = as_generator(rng)
+    train_set, test_set = dataset.split(0.85)
+    opt = SGD(model.parameters(), lr=lr)
+    result = TrainResult()
+    model.train()
+    for epoch in range(epochs):
+        epoch_losses = []
+        for images, labels in train_set.batches(batch_size, rng):
+            opt.zero_grad()
+            logits = model(images)
+            loss = F.cross_entropy(logits, labels)
+            model.backward(F.cross_entropy_backward(logits, labels))
+            opt.step()
+            epoch_losses.append(loss)
+        result.losses.append(float(np.mean(epoch_losses)))
+        if verbose:  # pragma: no cover - console aid
+            print(f"epoch {epoch}: loss {result.losses[-1]:.4f}")
+    model.eval()
+    result.train_accuracy = evaluate_accuracy(model, train_set)
+    result.test_accuracy = evaluate_accuracy(model, test_set)
+    return result
+
+
+def evaluate_accuracy(model: Sequential, dataset: Dataset, batch_size: int = 64) -> float:
+    model.eval()
+    correct = 0
+    for start in range(0, len(dataset), batch_size):
+        images = dataset.images[start : start + batch_size]
+        labels = dataset.labels[start : start + batch_size]
+        logits = model(images)
+        correct += int((logits.argmax(axis=1) == labels).sum())
+    return correct / len(dataset)
+
+
+def capture_backward_tensors(model: Sequential, images: np.ndarray, labels: np.ndarray):
+    """Run one fwd+bwd pass and return per-conv (input, weight, grad) triples.
+
+    These are the tensors the backward-path experiments (Fig. 8 "Backward",
+    Fig. 9b) feed to the exponent-distribution and cycle simulations.
+    """
+    from repro.nn.models import model_conv_layers
+
+    model.train()
+    logits = model(images)
+    model.backward(F.cross_entropy_backward(logits, labels))
+    out = []
+    for conv in model_conv_layers(model):
+        out.append(
+            {
+                "input": conv.last_input,
+                "weight": conv.weight.data,
+                "grad_output": conv.last_grad_input,
+            }
+        )
+    return out

@@ -1,0 +1,204 @@
+"""Exact convolution-layer shape tables of the paper's workloads.
+
+The cycle-accurate performance experiments (Fig. 8, §4.3) simulate the
+convolution layers of ResNet-18, ResNet-50 and InceptionV3. The *shapes*
+of those layers are public architecture facts reproduced here exactly
+(ImageNet configuration, 224x224 inputs for ResNets, 299x299 for
+InceptionV3); tensor *values* are synthesized elsewhere (see DESIGN.md's
+substitution table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.functional import conv_output_size
+
+__all__ = ["ConvShape", "resnet18_convs", "resnet50_convs", "inception_v3_convs", "WORKLOADS"]
+
+
+@dataclass(frozen=True)
+class ConvShape:
+    """One convolution layer's geometry.
+
+    ``h``/``w`` are the *input* spatial dims; output dims derive from the
+    kernel/stride/padding. ``dot_length`` is the inner-product length per
+    output pixel (C * kh * kw) — the quantity the IPU tiling splits by its
+    ``n_inputs``.
+    """
+
+    name: str
+    c_in: int
+    c_out: int
+    kh: int
+    kw: int
+    stride: int
+    pad_h: int
+    pad_w: int
+    h: int
+    w: int
+
+    @property
+    def h_out(self) -> int:
+        return conv_output_size(self.h, self.kh, self.stride, self.pad_h)
+
+    @property
+    def w_out(self) -> int:
+        return conv_output_size(self.w, self.kw, self.stride, self.pad_w)
+
+    @property
+    def dot_length(self) -> int:
+        return self.c_in * self.kh * self.kw
+
+    @property
+    def output_pixels(self) -> int:
+        return self.h_out * self.w_out
+
+    @property
+    def macs(self) -> int:
+        return self.output_pixels * self.c_out * self.dot_length
+
+
+def _conv(name, c_in, c_out, k, stride, pad, h, w, kw=None, pad_w=None) -> ConvShape:
+    return ConvShape(
+        name=name, c_in=c_in, c_out=c_out,
+        kh=k, kw=k if kw is None else kw,
+        stride=stride, pad_h=pad, pad_w=pad if pad_w is None else pad_w,
+        h=h, w=w,
+    )
+
+
+def resnet18_convs() -> list[ConvShape]:
+    """All 20 convolutions of ResNet-18 (ImageNet, 224x224)."""
+    layers = [_conv("conv1", 3, 64, 7, 2, 3, 224, 224)]
+    spec = [  # (stage, c_in, c_out, spatial_in, downsample_first)
+        ("layer1", 64, 64, 56, False),
+        ("layer2", 64, 128, 56, True),
+        ("layer3", 128, 256, 28, True),
+        ("layer4", 256, 512, 14, True),
+    ]
+    for stage, c_in, c_out, hw, down in spec:
+        for block in range(2):
+            cin = c_in if block == 0 else c_out
+            s = 2 if (down and block == 0) else 1
+            h = hw if block == 0 else hw // (2 if down else 1)
+            layers.append(_conv(f"{stage}.{block}.conv1", cin, c_out, 3, s, 1, h, h))
+            ho = h // s
+            layers.append(_conv(f"{stage}.{block}.conv2", c_out, c_out, 3, 1, 1, ho, ho))
+            if block == 0 and (down or cin != c_out):
+                layers.append(_conv(f"{stage}.{block}.down", cin, c_out, 1, s, 0, h, h))
+    return layers
+
+
+def resnet50_convs() -> list[ConvShape]:
+    """All 53 convolutions of ResNet-50 (ImageNet, 224x224)."""
+    layers = [_conv("conv1", 3, 64, 7, 2, 3, 224, 224)]
+    spec = [  # (stage, in_ch, mid, out_ch, blocks, spatial_in, stride_first)
+        ("layer1", 64, 64, 256, 3, 56, 1),
+        ("layer2", 256, 128, 512, 4, 56, 2),
+        ("layer3", 512, 256, 1024, 6, 28, 2),
+        ("layer4", 1024, 512, 2048, 3, 14, 2),
+    ]
+    for stage, in_ch, mid, out_ch, blocks, hw, s_first in spec:
+        for block in range(blocks):
+            cin = in_ch if block == 0 else out_ch
+            s = s_first if block == 0 else 1
+            h = hw if block == 0 else hw // s_first
+            layers.append(_conv(f"{stage}.{block}.conv1", cin, mid, 1, 1, 0, h, h))
+            layers.append(_conv(f"{stage}.{block}.conv2", mid, mid, 3, s, 1, h, h))
+            ho = h // s
+            layers.append(_conv(f"{stage}.{block}.conv3", mid, out_ch, 1, 1, 0, ho, ho))
+            if block == 0:
+                layers.append(_conv(f"{stage}.{block}.down", cin, out_ch, 1, s, 0, h, h))
+    return layers
+
+
+def _inception_a(prefix: str, c_in: int, pool_features: int, hw: int) -> list[ConvShape]:
+    return [
+        _conv(f"{prefix}.b1x1", c_in, 64, 1, 1, 0, hw, hw),
+        _conv(f"{prefix}.b5x5_1", c_in, 48, 1, 1, 0, hw, hw),
+        _conv(f"{prefix}.b5x5_2", 48, 64, 5, 1, 2, hw, hw),
+        _conv(f"{prefix}.b3x3dbl_1", c_in, 64, 1, 1, 0, hw, hw),
+        _conv(f"{prefix}.b3x3dbl_2", 64, 96, 3, 1, 1, hw, hw),
+        _conv(f"{prefix}.b3x3dbl_3", 96, 96, 3, 1, 1, hw, hw),
+        _conv(f"{prefix}.bpool", c_in, pool_features, 1, 1, 0, hw, hw),
+    ]
+
+
+def _inception_b(prefix: str, c_in: int, hw: int) -> list[ConvShape]:
+    return [
+        _conv(f"{prefix}.b3x3", c_in, 384, 3, 2, 0, hw, hw),
+        _conv(f"{prefix}.b3x3dbl_1", c_in, 64, 1, 1, 0, hw, hw),
+        _conv(f"{prefix}.b3x3dbl_2", 64, 96, 3, 1, 1, hw, hw),
+        _conv(f"{prefix}.b3x3dbl_3", 96, 96, 3, 2, 0, hw, hw),
+    ]
+
+
+def _inception_c(prefix: str, c_in: int, c7: int, hw: int) -> list[ConvShape]:
+    return [
+        _conv(f"{prefix}.b1x1", c_in, 192, 1, 1, 0, hw, hw),
+        _conv(f"{prefix}.b7x7_1", c_in, c7, 1, 1, 0, hw, hw),
+        _conv(f"{prefix}.b7x7_2", c7, c7, 1, 1, 0, hw, hw, kw=7, pad_w=3),
+        _conv(f"{prefix}.b7x7_3", c7, 192, 7, 1, 3, hw, hw, kw=1, pad_w=0),
+        _conv(f"{prefix}.b7x7dbl_1", c_in, c7, 1, 1, 0, hw, hw),
+        _conv(f"{prefix}.b7x7dbl_2", c7, c7, 7, 1, 3, hw, hw, kw=1, pad_w=0),
+        _conv(f"{prefix}.b7x7dbl_3", c7, c7, 1, 1, 0, hw, hw, kw=7, pad_w=3),
+        _conv(f"{prefix}.b7x7dbl_4", c7, c7, 7, 1, 3, hw, hw, kw=1, pad_w=0),
+        _conv(f"{prefix}.b7x7dbl_5", c7, 192, 1, 1, 0, hw, hw, kw=7, pad_w=3),
+        _conv(f"{prefix}.bpool", c_in, 192, 1, 1, 0, hw, hw),
+    ]
+
+
+def _inception_d(prefix: str, c_in: int, hw: int) -> list[ConvShape]:
+    return [
+        _conv(f"{prefix}.b3x3_1", c_in, 192, 1, 1, 0, hw, hw),
+        _conv(f"{prefix}.b3x3_2", 192, 320, 3, 2, 0, hw, hw),
+        _conv(f"{prefix}.b7x7x3_1", c_in, 192, 1, 1, 0, hw, hw),
+        _conv(f"{prefix}.b7x7x3_2", 192, 192, 1, 1, 0, hw, hw, kw=7, pad_w=3),
+        _conv(f"{prefix}.b7x7x3_3", 192, 192, 7, 1, 3, hw, hw, kw=1, pad_w=0),
+        _conv(f"{prefix}.b7x7x3_4", 192, 192, 3, 2, 0, hw, hw),
+    ]
+
+
+def _inception_e(prefix: str, c_in: int, hw: int) -> list[ConvShape]:
+    return [
+        _conv(f"{prefix}.b1x1", c_in, 320, 1, 1, 0, hw, hw),
+        _conv(f"{prefix}.b3x3_1", c_in, 384, 1, 1, 0, hw, hw),
+        _conv(f"{prefix}.b3x3_2a", 384, 384, 1, 1, 0, hw, hw, kw=3, pad_w=1),
+        _conv(f"{prefix}.b3x3_2b", 384, 384, 3, 1, 1, hw, hw, kw=1, pad_w=0),
+        _conv(f"{prefix}.b3x3dbl_1", c_in, 448, 1, 1, 0, hw, hw),
+        _conv(f"{prefix}.b3x3dbl_2", 448, 384, 3, 1, 1, hw, hw),
+        _conv(f"{prefix}.b3x3dbl_3a", 384, 384, 1, 1, 0, hw, hw, kw=3, pad_w=1),
+        _conv(f"{prefix}.b3x3dbl_3b", 384, 384, 3, 1, 1, hw, hw, kw=1, pad_w=0),
+        _conv(f"{prefix}.bpool", c_in, 192, 1, 1, 0, hw, hw),
+    ]
+
+
+def inception_v3_convs() -> list[ConvShape]:
+    """All 94 convolutions of InceptionV3 (ImageNet, 299x299)."""
+    layers = [
+        _conv("Conv2d_1a_3x3", 3, 32, 3, 2, 0, 299, 299),
+        _conv("Conv2d_2a_3x3", 32, 32, 3, 1, 0, 149, 149),
+        _conv("Conv2d_2b_3x3", 32, 64, 3, 1, 1, 147, 147),
+        _conv("Conv2d_3b_1x1", 64, 80, 1, 1, 0, 73, 73),
+        _conv("Conv2d_4a_3x3", 80, 192, 3, 1, 0, 73, 73),
+    ]
+    layers += _inception_a("Mixed_5b", 192, 32, 35)
+    layers += _inception_a("Mixed_5c", 256, 64, 35)
+    layers += _inception_a("Mixed_5d", 288, 64, 35)
+    layers += _inception_b("Mixed_6a", 288, 35)
+    layers += _inception_c("Mixed_6b", 768, 128, 17)
+    layers += _inception_c("Mixed_6c", 768, 160, 17)
+    layers += _inception_c("Mixed_6d", 768, 160, 17)
+    layers += _inception_c("Mixed_6e", 768, 192, 17)
+    layers += _inception_d("Mixed_7a", 768, 17)
+    layers += _inception_e("Mixed_7b", 1280, 8)
+    layers += _inception_e("Mixed_7c", 2048, 8)
+    return layers
+
+
+WORKLOADS = {
+    "resnet18": resnet18_convs,
+    "resnet50": resnet50_convs,
+    "inceptionv3": inception_v3_convs,
+}

@@ -1,0 +1,83 @@
+"""Convolution-tile configurations (paper §4.1).
+
+A tile is unrolled ``(C, K, H, Wo)``: each of the ``K * H * Wo`` IPUs owns
+one output feature map position and consumes the same broadcast ``C``-long
+input vector slice. The paper studies two tiles:
+
+- *small*: (8, 8, 2, 2)  -> 32 IPUs of 8 inputs each,
+- *big*:   (16, 16, 2, 2) -> 64 IPUs of 16 inputs each,
+
+both weight-stationary with 9-deep weight buffers, deployed 4 tiles per
+accelerator. The baselines (Baseline1 = small, Baseline2 = big) use 38-bit
+adder trees, hence never multi-cycle and need no clustering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.ipu.mc_ipu import BASELINE_ADDER_WIDTH
+
+__all__ = ["TileConfig", "SMALL_TILE", "BIG_TILE", "BASELINE1", "BASELINE2", "CLOCK_GHZ"]
+
+# §4.1 throughput cross-check: 4 small tiles = 1024 multipliers; at 2 ops
+# per MAC, 1 TOPS implies ~0.5 GHz. The big configuration (4096 multipliers)
+# then gives 4 TOPS and 4096*2*0.5/9 = 455 GFLOPS, matching the paper.
+CLOCK_GHZ = 0.5
+
+
+@dataclass(frozen=True)
+class TileConfig:
+    """Geometry plus the (MC-)IPU parameters instantiated in the tile."""
+
+    name: str
+    c_unroll: int        # IPU inputs (n)
+    k_unroll: int        # output channels in parallel
+    h_unroll: int = 2
+    w_unroll: int = 2
+    adder_width: int = BASELINE_ADDER_WIDTH
+    cluster_size: int | None = None  # IPUs per cluster; None = whole tile
+    weight_buffer_depth: int = 9     # bytes per multiplier (paper: 9B, WS)
+    n_tiles: int = 4
+
+    @property
+    def ipus_per_tile(self) -> int:
+        return self.k_unroll * self.h_unroll * self.w_unroll
+
+    @property
+    def multipliers_per_tile(self) -> int:
+        return self.ipus_per_tile * self.c_unroll
+
+    @property
+    def effective_cluster_size(self) -> int:
+        if self.cluster_size is None:
+            return self.ipus_per_tile
+        if not 1 <= self.cluster_size <= self.ipus_per_tile:
+            raise ValueError(
+                f"cluster size {self.cluster_size} outside [1, {self.ipus_per_tile}]"
+            )
+        return self.cluster_size
+
+    @property
+    def macs_per_cycle(self) -> int:
+        """INT4 MACs the whole accelerator completes per cycle."""
+        return self.n_tiles * self.multipliers_per_tile
+
+    def with_precision(self, adder_width: int, cluster_size: int | None = None) -> "TileConfig":
+        return replace(
+            self,
+            name=f"{self.name}-w{adder_width}-c{cluster_size or 'tile'}",
+            adder_width=adder_width,
+            cluster_size=cluster_size,
+        )
+
+    def ops_per_second(self, cycles_per_op: float = 1.0) -> float:
+        """Ops/s at the nominal clock; an OP is one 4x4 MAC = 2 ops."""
+        return self.macs_per_cycle * 2 * CLOCK_GHZ * 1e9 / cycles_per_op
+
+
+SMALL_TILE = TileConfig("small", c_unroll=8, k_unroll=8)
+BIG_TILE = TileConfig("big", c_unroll=16, k_unroll=16)
+
+BASELINE1 = SMALL_TILE
+BASELINE2 = BIG_TILE

@@ -1,0 +1,122 @@
+"""Bit-manipulation helpers used throughout the datapath models.
+
+All helpers operate on Python ints (arbitrary precision) or NumPy integer
+arrays and follow hardware conventions: two's complement for signed fields,
+arithmetic right shift truncates toward negative infinity (floor), and field
+widths are explicit everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "mask",
+    "get_field",
+    "set_field",
+    "sign_extend",
+    "to_twos_complement",
+    "from_twos_complement",
+    "bit_length_signed",
+    "clz",
+    "ceil_log2",
+    "floor_div_pow2",
+    "round_to_nearest_even",
+    "popcount",
+]
+
+
+def mask(width: int) -> int:
+    """Return an all-ones mask of ``width`` bits (``width`` may be 0)."""
+    if width < 0:
+        raise ValueError(f"mask width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def get_field(value: int, lo: int, width: int) -> int:
+    """Extract ``width`` bits of ``value`` starting at bit ``lo``."""
+    return (value >> lo) & mask(width)
+
+
+def set_field(value: int, lo: int, width: int, field: int) -> int:
+    """Return ``value`` with bits [lo, lo+width) replaced by ``field``."""
+    m = mask(width)
+    if field & ~m:
+        raise ValueError(f"field 0x{field:x} does not fit in {width} bits")
+    return (value & ~(m << lo)) | (field << lo)
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Interpret the low ``width`` bits of ``value`` as two's complement."""
+    value &= mask(width)
+    if value & (1 << (width - 1)):
+        return value - (1 << width)
+    return value
+
+
+def to_twos_complement(value: int, width: int) -> int:
+    """Encode a signed int into a ``width``-bit two's complement pattern."""
+    lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+    if not lo <= value <= hi:
+        raise OverflowError(f"{value} does not fit in {width}-bit two's complement")
+    return value & mask(width)
+
+
+def from_twos_complement(pattern: int, width: int) -> int:
+    """Decode a ``width``-bit two's complement pattern into a signed int."""
+    return sign_extend(pattern, width)
+
+
+def bit_length_signed(value: int) -> int:
+    """Minimum two's complement width that can hold ``value`` (incl. sign)."""
+    if value >= 0:
+        return value.bit_length() + 1
+    return (-value - 1).bit_length() + 1
+
+
+def clz(value: int, width: int) -> int:
+    """Count leading zeros of ``value`` within a ``width``-bit field."""
+    value &= mask(width)
+    return width - value.bit_length()
+
+
+def ceil_log2(n: int) -> int:
+    """Smallest k with 2**k >= n (n >= 1)."""
+    if n < 1:
+        raise ValueError(f"ceil_log2 requires n >= 1, got {n}")
+    return (n - 1).bit_length()
+
+
+def floor_div_pow2(value, shift):
+    """Arithmetic right shift (floor division by 2**shift).
+
+    Works on Python ints and NumPy arrays alike; NumPy's ``>>`` on signed
+    integers already implements the arithmetic (floor) semantics hardware
+    shifters use.
+    """
+    if isinstance(value, np.ndarray) or isinstance(shift, np.ndarray):
+        return np.right_shift(value, shift)
+    return value >> shift
+
+
+def round_to_nearest_even(value: int, shift: int) -> int:
+    """Round ``value / 2**shift`` to the nearest integer, ties to even.
+
+    This is the RNE rounding used when a wide accumulator result is
+    reformatted to a standard FP type.
+    """
+    if shift <= 0:
+        return value << (-shift)
+    q = value >> shift
+    rem = value & mask(shift)
+    half = 1 << (shift - 1)
+    if rem > half or (rem == half and (q & 1)):
+        q += 1
+    return q
+
+
+def popcount(value: int) -> int:
+    """Number of set bits of a non-negative int."""
+    if value < 0:
+        raise ValueError("popcount requires a non-negative value")
+    return bin(value).count("1")

@@ -1,0 +1,24 @@
+"""Seeded random-generator helpers.
+
+All stochastic code in the library takes either an integer seed or a
+``numpy.random.Generator``; this module centralizes the coercion so results
+are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_generator", "spawn"]
+
+
+def as_generator(seed_or_rng: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce a seed (or None, or an existing Generator) into a Generator."""
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``rng``."""
+    return [np.random.default_rng(s) for s in rng.integers(0, 2**63 - 1, size=n)]

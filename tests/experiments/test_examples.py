@@ -1,0 +1,48 @@
+"""Smoke tests: every example script runs end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 600) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_examples_directory_complete():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {"quickstart.py", "accuracy_sweep.py", "design_space.py",
+            "mixed_precision_inference.py", "custom_formats.py"} <= names
+
+
+def test_quickstart_runs():
+    out = run_example("quickstart.py")
+    assert "INT mode" in out and "MC-IPU" in out
+    assert "exact" in out
+
+
+def test_custom_formats_runs():
+    out = run_example("custom_formats.py")
+    assert "bfloat16" in out and "tf32" in out
+
+
+@pytest.mark.slow
+def test_design_space_runs():
+    out = run_example("design_space.py", "resnet18")
+    assert "Design space" in out and "normalized time" in out
+
+
+@pytest.mark.slow
+def test_mixed_precision_inference_runs():
+    out = run_example("mixed_precision_inference.py", "resnet18")
+    assert "Mixed-precision schedule" in out
+    assert "int4" in out and "fp16" in out

@@ -1,0 +1,157 @@
+"""Integration tests: every experiment driver runs at reduced scale and
+reproduces the paper's qualitative shape."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments import fig7, fig9, fig10, table1
+from repro.experiments.fig8 import run_cluster_sweep, run_precision_sweep
+from repro.ipu.mc_ipu import BASELINE_ADDER_WIDTH
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_covered(self):
+        assert set(EXPERIMENTS) == {
+            "fig3", "fig7", "fig8a", "fig8b", "fig9", "fig10", "table1", "accuracy"
+        }
+
+    def test_runner_cli_list(self):
+        from repro.experiments.runner import main
+
+        assert main(["--list"]) == 0
+
+    def test_runner_rejects_unknown(self):
+        from repro.experiments.runner import main
+
+        assert main(["nonexistent"]) == 2
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig7.run()
+
+    def test_both_tiles_priced(self, result):
+        assert set(result.tiles) == {"small", "big"}
+
+    def test_monotone_in_width(self, result):
+        for costs in result.tiles.values():
+            fp_costs = costs[1:]  # skip INT
+            areas = [c.area_mm2 for c in fp_costs]
+            assert all(a < b for a, b in zip(areas, areas[1:]))
+
+    def test_int_cheapest(self, result):
+        for costs in result.tiles.values():
+            assert costs[0].area_mm2 < min(c.area_mm2 for c in costs[1:])
+
+    def test_renders(self, result):
+        out = fig7.render(result)
+        assert "Figure 7" in out and "MULT" in out
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def precision_sweep(self):
+        return run_precision_sweep(samples=96, rng=1)
+
+    @pytest.fixture(scope="class")
+    def cluster_sweep(self):
+        return run_cluster_sweep(samples=96, rng=2)
+
+    def test_normalized_time_decreases_with_precision(self, precision_sweep):
+        for workloads in precision_sweep.values.values():
+            for label, series in workloads.items():
+                assert series[0] >= series[-1] - 0.05, (label, series)
+
+    def test_backward_slowest_workload(self, precision_sweep):
+        """Fig 8a: backprop suffers most at small adder trees (>4x at 12b)."""
+        for workloads in precision_sweep.values.values():
+            at_12 = {label: series[0] for label, series in workloads.items()}
+            assert at_12["resnet18-bwd"] == max(at_12.values())
+        small_bwd = precision_sweep.values["small"]["resnet18-bwd"][0]
+        assert small_bwd > 4.0
+
+    def test_28bit_is_baseline_speed(self, precision_sweep):
+        for workloads in precision_sweep.values.values():
+            for series in workloads.values():
+                assert series[-1] == pytest.approx(1.0, abs=0.02)
+
+    def test_clustering_monotone(self, cluster_sweep):
+        """Fig 8b: smaller clusters never hurt."""
+        for workloads in cluster_sweep.values.values():
+            for label, series in workloads.items():
+                assert series[0] <= series[-1] + 0.05, (label, series)
+
+    def test_backward_at_least_60_percent_loss_even_clustered(self, cluster_sweep):
+        """Fig 8b: backward keeps >= 60% overhead at cluster size 1."""
+        assert cluster_sweep.values["small"]["resnet18-bwd"][0] >= 1.5
+
+
+class TestFig9:
+    def test_forward_vs_backward_contrast(self):
+        res = fig9.run(samples_per_layer=300, rng=3)
+        assert res.forward.fraction_above(8) < 0.05
+        assert res.backward.fraction_above(8) > 0.08
+        out = fig9.render(res)
+        assert "forward" in out and "backward" in out
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def points(self):
+        from repro.tile.config import SMALL_TILE
+
+        return fig10.run(samples=64, rng=4, tiles=(SMALL_TILE,))
+
+    def test_approximation_boosts_int_efficiency(self, points):
+        """§4.4: approximation boosts INT-mode area efficiency up to ~46%."""
+        base = next(p for p in points if p.precision == BASELINE_ADDER_WIDTH)
+        best = max(p.tops_mm2 for p in points)
+        assert 1.2 <= best / base.tops_mm2 <= 1.7
+
+    def test_fp_efficiency_gains_exist(self, points):
+        base = next(p for p in points if p.precision == BASELINE_ADDER_WIDTH)
+        best = max(p.tflops_mm2 for p in points)
+        assert best / base.tflops_mm2 >= 1.1  # paper: up to 25%
+
+    def test_pareto_front_nonempty(self, points):
+        front = fig10.pareto_front(points)
+        assert front
+        assert all(p in points for p in front)
+
+    def test_renders(self, points):
+        assert "NO-OPT" in fig10.render(points)
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return table1.run(samples=64, rng=5)
+
+    def test_int_designs_have_no_fp_row(self, cells):
+        assert cells[("INT8", 16, 16)] is None
+        assert cells[("INT4", 16, 16)] is None
+
+    def test_every_other_cell_filled(self, cells):
+        filled = [v for v in cells.values() if v is not None]
+        assert len(filled) == 8 * 4 - 2
+
+    def test_within_35_percent_of_paper_int(self, cells):
+        for (name, a, w), point in cells.items():
+            if point is None or (a, w) == (16, 16):
+                continue
+            paper_mm2, _ = table1.PAPER_TABLE1[(name, a, w)]
+            assert point.tops_per_mm2 == pytest.approx(paper_mm2, rel=0.35), (name, a, w)
+
+    def test_fp16_row_within_2x_of_paper(self, cells):
+        for (name, a, w), point in cells.items():
+            if point is None or (a, w) != (16, 16):
+                continue
+            paper_mm2, _ = table1.PAPER_TABLE1[(name, a, w)]
+            ratio = point.tops_per_mm2 / paper_mm2
+            assert 0.5 <= ratio <= 2.5, (name, ratio)
+
+    def test_renders_with_paper_refs(self, cells):
+        out = table1.render(cells)
+        assert "MC-IPU4" in out and "(18.8)" in out

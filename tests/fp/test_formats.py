@@ -1,0 +1,188 @@
+"""Format decode/encode tests, including the Table-2 class taxonomy."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp.formats import BF16, FP16, FP32, FORMATS, TF32, FPClass, FPFormat
+
+
+class TestFormatParameters:
+    def test_fp16_fields(self):
+        assert (FP16.exp_bits, FP16.man_bits, FP16.bias) == (5, 10, 15)
+
+    def test_fp32_fields(self):
+        assert (FP32.exp_bits, FP32.man_bits, FP32.bias) == (8, 23, 127)
+
+    def test_bf16_fields(self):
+        assert (BF16.exp_bits, BF16.man_bits, BF16.bias) == (8, 7, 127)
+
+    def test_tf32_fields(self):
+        assert (TF32.exp_bits, TF32.man_bits, TF32.bias) == (8, 10, 127)
+
+    def test_total_bits(self):
+        assert FP16.total_bits == 16
+        assert FP32.total_bits == 32
+        assert BF16.total_bits == 16
+        assert TF32.total_bits == 19
+
+    def test_fp16_exponent_range(self):
+        # paper §2.2: FP16 exponents in [-14, 15]
+        assert FP16.min_exp == -14
+        assert FP16.max_exp == 15
+
+    def test_fp16_product_exponent_range(self):
+        # paper: product exponents span [-28, 30]
+        assert 2 * FP16.min_exp == -28
+        assert 2 * FP16.max_exp == 30
+
+    def test_magnitude_bits(self):
+        assert FP16.magnitude_bits == 11
+        assert BF16.magnitude_bits == 8
+
+    def test_registry(self):
+        assert set(FORMATS) == {"fp16", "fp32", "bfloat16", "tf32"}
+
+
+class TestDecodeClasses:
+    """Table 2 of the paper: the five FP decode classes."""
+
+    def test_zero(self):
+        for sign in (0, 1):
+            d = FP16.decode(FP16.encode_parts(sign, 0, 0))
+            assert d.fpclass is FPClass.ZERO
+            assert d.magnitude == 0
+            assert d.sign == sign
+
+    def test_inf(self):
+        d = FP16.decode(FP16.inf_bits(0))
+        assert d.fpclass is FPClass.INF
+        assert FP16.decode(FP16.inf_bits(1)).sign == 1
+
+    def test_nan(self):
+        assert FP16.decode(FP16.nan_bits()).fpclass is FPClass.NAN
+
+    def test_any_nonzero_mantissa_with_max_exp_is_nan(self):
+        for man in (1, 0x3FF):
+            bits = FP16.encode_parts(0, 0x1F, man)
+            assert FP16.decode(bits).fpclass is FPClass.NAN
+
+    def test_normal(self):
+        d = FP16.decode(FP16.encode_value(1.5))
+        assert d.fpclass is FPClass.NORMAL
+        assert d.unbiased_exp == 0
+        assert d.magnitude == 0b110_0000_0000 | (1 << 10)
+
+    def test_subnormal(self):
+        smallest = 2.0**-24
+        d = FP16.decode(FP16.encode_value(smallest))
+        assert d.fpclass is FPClass.SUBNORMAL
+        assert d.magnitude == 1
+        assert d.unbiased_exp == FP16.min_exp  # paper: exp = 1 - bias
+
+    def test_signed_magnitude(self):
+        d = FP16.decode(FP16.encode_value(-1.0))
+        assert d.signed_magnitude == -(1 << 10)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("fmt", [FP16, FP32, BF16, TF32])
+    def test_decode_encode_all_finite_patterns(self, fmt: FPFormat):
+        # exhaustive for fp16/bf16; sampled for wider formats
+        if fmt.total_bits <= 16:
+            patterns = range(1 << fmt.total_bits)
+        else:
+            rng = np.random.default_rng(0)
+            patterns = rng.integers(0, 1 << fmt.total_bits, size=20000).tolist()
+        checked = 0
+        for bits in patterns:
+            bits = int(bits)
+            d = fmt.decode(bits)
+            if d.fpclass in (FPClass.INF, FPClass.NAN):
+                continue
+            value = fmt.decode_value(bits)
+            back = fmt.encode_value(value)
+            # -0.0 and +0.0 both decode to 0.0; preserve sign via copysign
+            if d.fpclass is FPClass.ZERO:
+                assert back & ~(1 << (fmt.total_bits - 1)) == 0
+            else:
+                assert back == bits, f"{fmt.name} 0x{bits:x} -> {value} -> 0x{back:x}"
+            checked += 1
+        assert checked > 1000
+
+    def test_decode_matches_numpy_fp16(self):
+        for bits in range(1 << 16):
+            v_np = np.uint16(bits).view(np.float16)
+            if not np.isfinite(v_np):
+                continue
+            assert FP16.decode_value(bits) == float(v_np)
+
+    def test_encode_matches_numpy_fp16_rounding(self):
+        rng = np.random.default_rng(1)
+        vals = np.concatenate([
+            rng.normal(0, 1, 3000), rng.normal(0, 1e-6, 1000),
+            rng.normal(0, 1e4, 1000), rng.uniform(6e-8, 6.2e-5, 1000),
+        ])
+        for v in vals:
+            assert FP16.encode_value(float(v)) == int(np.float16(v).view(np.uint16))
+
+
+class TestEncodeEdges:
+    def test_overflow_to_inf(self):
+        assert FP16.encode_value(1e6) == FP16.inf_bits(0)
+        assert FP16.encode_value(-1e6) == FP16.inf_bits(1)
+
+    def test_max_finite(self):
+        assert FP16.decode_value(FP16.max_finite_bits()) == 65504.0
+
+    def test_underflow_to_zero(self):
+        assert FP16.encode_value(1e-12) == 0
+
+    def test_negative_zero(self):
+        assert FP16.encode_value(-0.0) == 1 << 15
+
+    def test_nan_encode(self):
+        assert FP16.decode(FP16.encode_value(float("nan"))).fpclass is FPClass.NAN
+
+    def test_rounding_carry_into_next_exponent(self):
+        # 2047.9999 rounds up: mantissa 1.111..1 -> 10.00..0
+        v = float(np.nextafter(np.float16(2048), np.float16(0)))
+        bits = FP16.encode_value((v + 2048.0) / 2)
+        assert FP16.decode_value(bits) in (v, 2048.0)
+
+    def test_subnormal_boundary_round_up_to_normal(self):
+        # largest subnormal + half-ulp rounds into the smallest normal
+        largest_sub = (2**10 - 1) * 2.0**-24
+        smallest_norm = 2.0**-14
+        mid = (largest_sub + smallest_norm) / 2
+        got = FP16.decode_value(FP16.encode_value(mid))
+        assert got == smallest_norm  # ties-to-even: even candidate is 2^-14
+
+    def test_round_fixed_matches_encode_value(self):
+        for sig, scale in [(3, -1), (-3, -1), (1025, -10), (65504, 0), (1, -24), (-7, -26)]:
+            assert FP16.round_fixed(sig, scale) == FP16.encode_value(sig * 2.0**scale)
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.floats(min_value=-70000, max_value=70000, allow_nan=False))
+def test_encode_value_idempotent_fp16(v):
+    bits = FP16.encode_value(v)
+    again = FP16.encode_value(FP16.decode_value(bits))
+    assert again == bits or (
+        FP16.decode(bits).fpclass is FPClass.ZERO
+        and FP16.decode(again).fpclass is FPClass.ZERO
+    )
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+def test_fp32_decode_matches_numpy(bits):
+    v = np.uint32(bits).view(np.float32)
+    d = FP32.decode(bits)
+    if not np.isfinite(v):
+        assert d.fpclass in (FPClass.INF, FPClass.NAN)
+    else:
+        assert FP32.decode_value(bits) == float(v)

@@ -1,0 +1,125 @@
+"""Bit-exactness of the scalar softfloat against NumPy's IEEE arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp.formats import FP16, FP32, FPClass
+from repro.fp.softfloat import decode_exact, fp_add, fp_fma, fp_mul
+
+fp16_bits = st.integers(min_value=0, max_value=(1 << 16) - 1)
+
+
+def _f16(bits: int) -> np.float16:
+    return np.uint16(bits).view(np.float16)
+
+
+def _finite(bits: int) -> bool:
+    return bool(np.isfinite(_f16(bits)))
+
+
+def _same_fp16(got: int, want: np.float16) -> bool:
+    w = int(want.view(np.uint16))
+    if np.isnan(want):
+        return FP16.decode(got).fpclass is FPClass.NAN
+    return got == w
+
+
+@settings(max_examples=2000, deadline=None)
+@given(fp16_bits, fp16_bits)
+def test_mul_matches_numpy(a, b):
+    with np.errstate(all="ignore"):
+        want = _f16(a) * _f16(b)
+    got = fp_mul(FP16, a, b)
+    if np.isnan(_f16(a)) or np.isnan(_f16(b)):
+        assert FP16.decode(got).fpclass is FPClass.NAN
+    else:
+        assert _same_fp16(got, want)
+
+
+@settings(max_examples=2000, deadline=None)
+@given(fp16_bits, fp16_bits)
+def test_add_matches_numpy(a, b):
+    with np.errstate(all="ignore"):
+        want = _f16(a) + _f16(b)
+    got = fp_add(FP16, a, b)
+    if np.isnan(_f16(a)) or np.isnan(_f16(b)):
+        assert FP16.decode(got).fpclass is FPClass.NAN
+    else:
+        assert _same_fp16(got, want)
+
+
+@settings(max_examples=500, deadline=None)
+@given(fp16_bits, fp16_bits)
+def test_widening_mul_fp16_to_fp32_is_exact(a, b):
+    """An FP16 product always fits FP32 exactly (22-bit mantissa, small exps)."""
+    if not (_finite(a) and _finite(b)):
+        return
+    got = fp_mul(FP16, a, b, out_fmt=FP32)
+    want = np.float32(_f16(a)) * np.float32(_f16(b))
+    assert FP32.decode_value(got) == float(want)
+
+
+class TestSpecials:
+    def test_inf_times_zero_is_nan(self):
+        got = fp_mul(FP16, FP16.inf_bits(0), 0)
+        assert FP16.decode(got).fpclass is FPClass.NAN
+
+    def test_inf_plus_neg_inf_is_nan(self):
+        got = fp_add(FP16, FP16.inf_bits(0), FP16.inf_bits(1))
+        assert FP16.decode(got).fpclass is FPClass.NAN
+
+    def test_inf_propagates_sign_through_mul(self):
+        got = fp_mul(FP16, FP16.inf_bits(0), FP16.encode_value(-2.0))
+        assert got == FP16.inf_bits(1)
+
+    def test_overflowing_add_goes_to_inf(self):
+        m = FP16.max_finite_bits()
+        assert fp_add(FP16, m, m) == FP16.inf_bits(0)
+
+    def test_neg_zero_plus_neg_zero(self):
+        nz = FP16.encode_value(-0.0)
+        assert fp_add(FP16, nz, nz) == nz
+
+    def test_exact_cancellation_gives_pos_zero(self):
+        a = FP16.encode_value(1.5)
+        b = FP16.encode_value(-1.5)
+        assert fp_add(FP16, a, b) == 0
+
+
+class TestDecodeExact:
+    def test_value_reconstruction(self):
+        for v in (1.0, -1.5, 0.099976, 65504.0, 6e-8):
+            bits = FP16.encode_value(v)
+            sig, scale = decode_exact(FP16, bits)
+            assert sig * 2.0**scale == FP16.decode_value(bits)
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            decode_exact(FP16, FP16.inf_bits(0))
+
+
+class TestFMA:
+    def test_fma_single_rounding_differs_from_two_step(self):
+        """Find at least one case where fused beats mul-then-add."""
+        rng = np.random.default_rng(3)
+        found = False
+        for _ in range(4000):
+            a, b, c = (FP16.encode_value(float(x)) for x in rng.normal(0, 1, 3).astype(np.float16))
+            fused = fp_fma(FP16, a, b, c)
+            two = fp_add(FP16, fp_mul(FP16, a, b), c)
+            if fused != two:
+                found = True
+                break
+        assert found, "fused rounding never differed — fma is not fused"
+
+    @settings(max_examples=500, deadline=None)
+    @given(fp16_bits, fp16_bits, fp16_bits)
+    def test_fma_exact_in_wide_output(self, a, b, c):
+        if not (_finite(a) and _finite(b) and _finite(c)):
+            return
+        got = fp_fma(FP16, a, b, c, out_fmt=FP32)
+        exact = float(_f16(a)) * float(_f16(b)) + float(_f16(c))
+        # the exact result has <= 35 significant bits: fp32 RNE of it
+        assert FP32.decode_value(got) == float(np.float32(exact))

@@ -1,0 +1,85 @@
+"""Hardware cost model: structural scaling laws and paper calibration."""
+
+import pytest
+
+from repro.hw.components import COMPONENT_NAMES, IPUGeometry, component_areas_ge
+from repro.hw.gates import (
+    adder_ge,
+    adder_tree_ge,
+    barrel_shifter_ge,
+    multiplier_ge,
+    placement_shifter_ge,
+)
+
+
+class TestGatePrimitives:
+    def test_adder_linear(self):
+        assert adder_ge(32) == 2 * adder_ge(16)
+
+    def test_multiplier_bilinear(self):
+        assert multiplier_ge(8, 8) == 4 * multiplier_ge(4, 4)
+        assert multiplier_ge(8, 4) == 2 * multiplier_ge(4, 4)
+
+    def test_barrel_shifter_log_stages(self):
+        assert barrel_shifter_ge(16, 15) == barrel_shifter_ge(16, 8)  # both 4 stages
+        assert barrel_shifter_ge(16, 16) > barrel_shifter_ge(16, 15)
+
+    def test_placement_cheaper_than_full_barrel(self):
+        assert placement_shifter_ge(10, 28, 28) < barrel_shifter_ge(28, 28)
+
+    def test_placement_monotone_in_window(self):
+        widths = [placement_shifter_ge(10, w, w) for w in (12, 16, 20, 28, 38)]
+        assert all(a < b for a, b in zip(widths, widths[1:]))
+
+    def test_zero_shift_is_free(self):
+        assert barrel_shifter_ge(16, 0) == 0.0
+        assert placement_shifter_ge(10, 16, 0) == 0.0
+
+    def test_adder_tree_scales_with_inputs(self):
+        assert adder_tree_ge(16, 12) > adder_tree_ge(8, 12)
+        assert adder_tree_ge(1, 12) == 0.0
+
+
+class TestComponentAreas:
+    def test_all_components_present(self):
+        areas = component_areas_ge(IPUGeometry())
+        assert set(areas) == set(COMPONENT_NAMES)
+
+    def test_int_only_drops_fp_logic(self):
+        fp = component_areas_ge(IPUGeometry(fp_mode="temporal"))
+        int_only = component_areas_ge(IPUGeometry(fp_mode=None))
+        assert int_only["Shft"] == 0.0
+        assert int_only["ShCNT"] == 0.0
+        assert int_only["AT"] < fp["AT"]
+        assert int_only["FAcc"] < fp["FAcc"]
+        assert int_only["MULT"] == fp["MULT"]
+        assert int_only["WBuf"] == fp["WBuf"]
+
+    def test_area_monotone_in_adder_width(self):
+        totals = [
+            sum(component_areas_ge(IPUGeometry(adder_width=w)).values())
+            for w in (12, 16, 20, 24, 28, 38)
+        ]
+        assert all(a < b for a, b in zip(totals, totals[1:]))
+
+    def test_ehu_amortized_by_sharing(self):
+        shared1 = component_areas_ge(IPUGeometry(ehu_share=1))["ShCNT"]
+        shared8 = component_areas_ge(IPUGeometry(ehu_share=8))["ShCNT"]
+        assert shared8 == pytest.approx(shared1 / 8)
+
+    def test_multi_cycle_adds_serve_logic(self):
+        mc = component_areas_ge(IPUGeometry(adder_width=12, multi_cycle=True, ehu_share=1))
+        sc = component_areas_ge(IPUGeometry(adder_width=12, multi_cycle=False, ehu_share=1))
+        assert mc["ShCNT"] > sc["ShCNT"]
+        assert mc["Shft"] > sc["Shft"]  # masking AND gates
+
+    def test_wbuf_scales_with_depth(self):
+        deep = component_areas_ge(IPUGeometry(weight_buffer_bytes=18))["WBuf"]
+        base = component_areas_ge(IPUGeometry(weight_buffer_bytes=9))["WBuf"]
+        assert deep == pytest.approx(2 * base)
+
+    def test_mult_and_at_dominate_fp_tiles(self):
+        """Figure 7: MULT + AT + Shft carry most of the FP tile area."""
+        areas = component_areas_ge(IPUGeometry(adder_width=28))
+        datapath = areas["MULT"] + areas["AT"] + areas["Shft"]
+        assert datapath > 0.5 * sum(areas.values())

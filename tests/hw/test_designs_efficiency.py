@@ -1,0 +1,105 @@
+"""Table-1 design points and efficiency metrics vs the published numbers."""
+
+import pytest
+
+from repro.experiments.table1 import PAPER_TABLE1
+from repro.hw.designs import DESIGNS, TABLE1_PRECISIONS, int_iterations
+from repro.hw.efficiency import design_area_mm2, design_efficiency, design_power_w
+
+
+class TestIterationCounts:
+    @pytest.mark.parametrize(
+        "a,w,ma,mb,iters",
+        [
+            (4, 4, 4, 4, 1), (8, 4, 4, 4, 2), (8, 8, 4, 4, 4),
+            (4, 4, 8, 8, 1), (8, 8, 8, 8, 1), (8, 4, 8, 4, 1),
+            (4, 4, 12, 1, 4), (8, 8, 12, 1, 8),
+        ],
+    )
+    def test_values(self, a, w, ma, mb, iters):
+        assert int_iterations(a, w, ma, mb) == iters
+
+    def test_mc_ser_fp16_needs_12_passes(self):
+        # paper §4.5: "FP16 requires at least 12 cycles ... 12x1 multiplier"
+        assert DESIGNS["MC-SER"].iterations(16, 16) == 12
+
+    def test_mc_ipu4_fp16_needs_9_passes(self):
+        assert DESIGNS["MC-IPU4"].iterations(16, 16) == 9
+
+    def test_int_designs_reject_fp16(self):
+        for name in ("INT8", "INT4"):
+            assert not DESIGNS[name].supports(16, 16)
+            with pytest.raises(ValueError):
+                DESIGNS[name].iterations(16, 16)
+
+
+class TestDesignTable:
+    def test_all_eight_designs(self):
+        assert set(DESIGNS) == {
+            "MC-SER", "MC-IPU4", "MC-IPU84", "MC-IPU8", "NVDLA", "FP16", "INT8", "INT4"
+        }
+
+    def test_adder_widths_match_table(self):
+        widths = {n: d.adder_width for n, d in DESIGNS.items()}
+        assert widths == {
+            "MC-SER": 16, "MC-IPU4": 16, "MC-IPU84": 20, "MC-IPU8": 23,
+            "NVDLA": 36, "FP16": 36, "INT8": 16, "INT4": 9,
+        }
+
+    def test_area_positive_for_all(self):
+        for d in DESIGNS.values():
+            assert design_area_mm2(d) > 0
+            assert design_power_w(d, "fp") > 0
+
+
+class TestAgainstPaperNumbers:
+    """Every INT cell of Table 1 must land within 35% of the paper's value;
+    the calibration design MC-IPU4 must land within 5%."""
+
+    @pytest.mark.parametrize("a,w", [(4, 4), (8, 4), (8, 8)])
+    def test_int_columns_close_to_paper(self, a, w):
+        for name, design in DESIGNS.items():
+            point = design_efficiency(design, a, w)
+            paper_mm2, _ = PAPER_TABLE1[(name, a, w)]
+            assert point.tops_per_mm2 == pytest.approx(paper_mm2, rel=0.35), (name, a, w)
+
+    def test_calibration_anchor_mc_ipu4(self):
+        point = design_efficiency(DESIGNS["MC-IPU4"], 4, 4)
+        assert point.tops_per_mm2 == pytest.approx(18.8, rel=0.05)
+        assert point.tops_per_w == pytest.approx(3.3, rel=0.08)
+
+    def test_int4_column_ordering(self):
+        """INT4-native wins 4x4 density; larger multipliers lose it."""
+        vals = {n: design_efficiency(d, 4, 4).tops_per_mm2 for n, d in DESIGNS.items()}
+        assert vals["INT4"] > vals["MC-IPU4"] > vals["MC-IPU84"] > vals["MC-IPU8"]
+        assert vals["INT4"] > vals["INT8"]
+        assert vals["FP16"] < vals["NVDLA"]
+
+    def test_fp16_support_cost_on_int4_design(self):
+        """The headline: MC-IPU4 pays ~40% density vs INT4-only for FP16."""
+        mc = design_efficiency(DESIGNS["MC-IPU4"], 4, 4).tops_per_mm2
+        int4 = design_efficiency(DESIGNS["INT4"], 4, 4).tops_per_mm2
+        assert 1.4 <= int4 / mc <= 1.9  # paper: 30.6/18.8 = 1.63
+
+    def test_int8_design_flat_across_small_ops(self):
+        """An 8x8 multiplier runs 4x4, 8x4 and 8x8 ops all in one pass."""
+        d = DESIGNS["INT8"]
+        v = [design_efficiency(d, a, w).tops_per_mm2 for a, w in ((4, 4), (8, 4), (8, 8))]
+        assert v[0] == v[1] == v[2]
+
+    def test_fp16_effective_rate_with_alignment_factor(self):
+        base = design_efficiency(DESIGNS["MC-IPU4"], 16, 16, alignment_factor=1.0)
+        slowed = design_efficiency(DESIGNS["MC-IPU4"], 16, 16, alignment_factor=1.5)
+        assert slowed.tops_per_mm2 == pytest.approx(base.tops_per_mm2 / 1.5)
+
+    def test_nvdla_spatial_fusion_halves_fp_rate(self):
+        d = DESIGNS["NVDLA"]
+        int_rate = design_efficiency(d, 8, 8).tops_per_mm2
+        fp_rate = design_efficiency(d, 16, 16).tops_per_mm2
+        assert fp_rate == pytest.approx(int_rate / 2)
+
+    def test_native_fp16_design_uniform(self):
+        d = DESIGNS["FP16"]
+        assert design_efficiency(d, 4, 4).tops_per_mm2 == pytest.approx(
+            design_efficiency(d, 16, 16).tops_per_mm2
+        )

@@ -1,0 +1,75 @@
+"""Tile-level cost rollups vs the paper's §4.2 calibration anchors."""
+
+import pytest
+
+from repro.hw.tile_cost import ACTIVITY, tile_cost
+from repro.tile.config import BIG_TILE, SMALL_TILE
+
+
+class TestPaperAnchors:
+    """Loose bands around the paper's reported deltas keep the model honest."""
+
+    @pytest.mark.parametrize("tile", [SMALL_TILE, BIG_TILE])
+    def test_38_to_28_bit_saves_about_17_percent_area(self, tile):
+        base = tile_cost(tile.with_precision(38), mode="fp").area_mm2
+        w28 = tile_cost(tile.with_precision(28), mode="fp").area_mm2
+        saving = 1 - w28 / base
+        assert 0.10 <= saving <= 0.24  # paper: ~17% (area), ~15% (power)
+
+    @pytest.mark.parametrize("tile", [SMALL_TILE, BIG_TILE])
+    def test_38_to_12_bit_saves_up_to_39_percent(self, tile):
+        base = tile_cost(tile.with_precision(38), mode="fp").area_mm2
+        w12 = tile_cost(tile.with_precision(12), mode="fp").area_mm2
+        saving = 1 - w12 / base
+        assert 0.25 <= saving <= 0.45  # paper: up to 39%
+
+    @pytest.mark.parametrize("tile", [SMALL_TILE, BIG_TILE])
+    def test_mc_ipu12_costs_about_43_percent_over_int(self, tile):
+        int_only = tile_cost(tile, fp_mode=None).area_mm2
+        mc12 = tile_cost(tile.with_precision(12), mode="fp").area_mm2
+        overhead = mc12 / int_only - 1
+        assert 0.30 <= overhead <= 0.55  # paper: 43%
+
+    def test_power_38_to_28_about_15_percent(self):
+        base = tile_cost(SMALL_TILE.with_precision(38), mode="fp").power_w
+        w28 = tile_cost(SMALL_TILE.with_precision(28), mode="fp").power_w
+        assert 0.10 <= 1 - w28 / base <= 0.22
+
+
+class TestRollupProperties:
+    def test_area_positive_and_componentwise(self):
+        cost = tile_cost(BIG_TILE.with_precision(16))
+        assert cost.area_mm2 > 0
+        assert cost.area_mm2 == pytest.approx(sum(cost.area_by_component.values()))
+        for frac in (cost.area_fraction(c) for c in cost.area_by_component):
+            assert 0 <= frac <= 1
+
+    def test_big_tile_about_4x_small(self):
+        small = tile_cost(SMALL_TILE.with_precision(16)).area_mm2
+        big = tile_cost(BIG_TILE.with_precision(16)).area_mm2
+        assert 3.0 <= big / small <= 5.0
+
+    def test_int_mode_power_below_fp_mode(self):
+        fp = tile_cost(BIG_TILE.with_precision(28), mode="fp").power_w
+        intm = tile_cost(BIG_TILE.with_precision(28), mode="int").power_w
+        assert intm < fp
+
+    def test_int_only_tile_forces_int_activity(self):
+        cost = tile_cost(SMALL_TILE, fp_mode=None, mode="fp")
+        assert cost.power_by_component["Shft"] == 0.0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            tile_cost(SMALL_TILE, mode="turbo")
+
+    def test_activity_tables_cover_components(self):
+        from repro.hw.components import COMPONENT_NAMES
+
+        for mode in ACTIVITY.values():
+            assert set(mode) == set(COMPONENT_NAMES)
+
+    def test_smaller_clusters_cost_more_ehu(self):
+        c1 = tile_cost(BIG_TILE.with_precision(16, 1))
+        c8 = tile_cost(BIG_TILE.with_precision(16, 8))
+        assert c1.area_by_component["ShCNT"] > c8.area_by_component["ShCNT"]
+        assert c1.area_mm2 > c8.area_mm2

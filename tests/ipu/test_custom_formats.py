@@ -1,0 +1,74 @@
+"""BFloat16 / TF32 support on the nibble IPU (paper Appendix B)."""
+
+import numpy as np
+import pytest
+
+from repro.fp.formats import BF16, FP16, FP32, TF32
+from repro.fp.kulisch import exact_inner_product_bits
+from repro.ipu.ipu import InnerProductUnit, IPUConfig
+
+
+def encode_vec(fmt, values):
+    return [fmt.encode_value(float(v)) for v in values]
+
+
+def wide_ipu(n=8, w=80):
+    return InnerProductUnit(IPUConfig(n_inputs=n, adder_width=w, software_precision=w))
+
+
+@pytest.mark.parametrize("fmt", [BF16, TF32])
+class TestCustomFormats:
+    def test_wide_ipu_matches_exact(self, fmt):
+        rng = np.random.default_rng(5)
+        a = rng.laplace(0, 1, 8)
+        b = rng.laplace(0, 1, 8)
+        ab, bb = encode_vec(fmt, a), encode_vec(fmt, b)
+        res = wide_ipu().fp_dot(ab, bb, in_fmt=fmt, out_fmt=FP32)
+        exact_bits = exact_inner_product_bits(fmt, ab, bb, FP32)
+        exact = FP32.decode_value(exact_bits)
+        assert res.value == pytest.approx(exact, rel=1e-6, abs=1e-30)
+
+    def test_large_exponent_range(self, fmt):
+        """8-bit exponents: values far outside FP16's range must work."""
+        a = encode_vec(fmt, [1e30, 1e-30, 1.0, 0, 0, 0, 0, 0])
+        b = encode_vec(fmt, [1.0] * 8)
+        res = wide_ipu().fp_dot(a, b, in_fmt=fmt, out_fmt=FP32)
+        assert res.value == pytest.approx(1e30, rel=2e-2)
+
+    def test_subnormals(self, fmt):
+        tiny = 2.0 ** (fmt.min_exp - fmt.man_bits)  # smallest subnormal
+        a = encode_vec(fmt, [tiny] * 8)
+        b = encode_vec(fmt, [1.0] * 8)
+        res = wide_ipu().fp_dot(a, b, in_fmt=fmt, out_fmt=FP32)
+        # result may underflow FP32's subnormal range for bf16/tf32 minima
+        expected = 8 * tiny
+        assert res.value == pytest.approx(
+            float(np.float32(expected)), rel=1e-6, abs=2.0**-149
+        )
+
+
+class TestIterationCosts:
+    def test_bf16_cheaper_than_fp16(self):
+        """Appendix B: BF16 needs 4 nibble iterations, FP16 needs 9."""
+        a16 = encode_vec(FP16, [1.0] * 8)
+        a_bf = encode_vec(BF16, [1.0] * 8)
+        r16 = wide_ipu().fp_dot(a16, a16, in_fmt=FP16, out_fmt=FP32)
+        rbf = wide_ipu().fp_dot(a_bf, a_bf, in_fmt=BF16, out_fmt=FP32)
+        assert r16.cycles == 9
+        assert rbf.cycles == 4
+
+    def test_tf32_same_iterations_as_fp16(self):
+        a = encode_vec(TF32, [1.0] * 8)
+        assert wide_ipu().fp_dot(a, a, in_fmt=TF32, out_fmt=FP32).cycles == 9
+
+    def test_bf16_precision_vs_fp16(self):
+        """BF16's 8-bit mantissa is coarser: same inputs, larger error."""
+        rng = np.random.default_rng(6)
+        vals_a = rng.laplace(0, 1, 8)
+        vals_b = rng.laplace(0, 1, 8)
+        exact = float(np.sum(vals_a * vals_b))
+        r16 = wide_ipu().fp_dot(encode_vec(FP16, vals_a), encode_vec(FP16, vals_b),
+                                in_fmt=FP16, out_fmt=FP32)
+        rbf = wide_ipu().fp_dot(encode_vec(BF16, vals_a), encode_vec(BF16, vals_b),
+                                in_fmt=BF16, out_fmt=FP32)
+        assert abs(rbf.value - exact) >= abs(r16.value - exact) * 0.5

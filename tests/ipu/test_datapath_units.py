@@ -1,0 +1,140 @@
+"""Field-width enforcement of the combinational datapath pieces."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ipu.accumulator import ACC_FRACTION_BITS, Accumulator
+from repro.ipu.datapath import AdderTree, LocalShifter, SignedMultiplier5x5
+
+
+class TestMultiplier:
+    def test_full_range(self):
+        m = SignedMultiplier5x5()
+        assert m.multiply(15, 15) == 225
+        assert m.multiply(-16, -16) == 256
+        assert m.multiply(-16, 15) == -240
+
+    def test_rejects_out_of_range(self):
+        m = SignedMultiplier5x5()
+        with pytest.raises(OverflowError):
+            m.multiply(16, 0)
+        with pytest.raises(OverflowError):
+            m.multiply(0, -17)
+
+
+class TestLocalShifter:
+    def test_exact_within_safe_precision(self):
+        sh = LocalShifter(14)  # sp = 5
+        for s in range(6):
+            assert sh.shift(225, s) == 225 << (5 - s)
+
+    def test_truncates_beyond_safe_precision(self):
+        sh = LocalShifter(14)
+        assert sh.shift(225, 6) == (225 << 5) >> 6  # floor
+
+    def test_negative_products_floor_toward_minus_inf(self):
+        sh = LocalShifter(14)
+        assert sh.shift(-3, 7) == (-3 << 5) >> 7 == -1
+
+    def test_rejects_shift_beyond_reach(self):
+        sh = LocalShifter(14)
+        with pytest.raises(OverflowError):
+            sh.shift(1, 15)
+
+    def test_rejects_left_shift(self):
+        with pytest.raises(ValueError):
+            LocalShifter(14).shift(1, -1)
+
+    def test_sub_product_window(self):
+        sh = LocalShifter(8)  # sp = -1: products truncated even at shift 0
+        assert sh.shift(225, 0) == 112
+
+    @settings(max_examples=300, deadline=None)
+    @given(st.integers(-256, 255), st.integers(0, 14), st.integers(10, 38))
+    def test_matches_fixed_point_floor(self, p, s, w):
+        sh = LocalShifter(w)
+        if s > w:
+            return
+        got = sh.shift(p, s)
+        import math
+
+        assert got == math.floor(p * 2.0 ** (sh.sp - s))
+
+
+class TestAdderTree:
+    def test_exact_sum(self):
+        at = AdderTree(4, 14)
+        assert at.sum([1, -2, 3, -4]) == -2
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(ValueError):
+            AdderTree(4, 14).sum([1, 2, 3])
+
+    def test_rejects_oversized_inputs(self):
+        at = AdderTree(2, 8)
+        with pytest.raises(OverflowError):
+            at.sum([1 << 9, 0])
+
+
+class TestAccumulator:
+    def test_width_is_33_plus_t_plus_l(self):
+        acc = Accumulator(n_inputs=16, max_accumulations=512)
+        assert acc.t == 4 and acc.l == 9
+        assert acc.width == 33 + 4 + 9
+
+    def test_int_mode_exact(self):
+        acc = Accumulator(8)
+        acc.add_integer(100, 0)
+        acc.add_integer(-3, 4)
+        assert acc.to_int() == 100 - 3 * 16
+
+    def test_int_mode_rejects_negative_significance(self):
+        acc = Accumulator(8)
+        with pytest.raises(ValueError):
+            acc.add_integer(1, -4)
+
+    def test_fp_swap_raises_exponent_and_truncates_register(self):
+        acc = Accumulator(8)
+        acc.add(1, -ACC_FRACTION_BITS, 0)   # value 2^-30 at exponent 0
+        acc.add(1, -ACC_FRACTION_BITS, 10)  # forces a 10-bit register shift
+        assert acc.exponent == 10
+        # the old 2^-30-weight bit was shifted out entirely
+        assert acc.register == 1
+
+    def test_fp_alignment_right_shifts_incoming(self):
+        acc = Accumulator(8)
+        acc.add(1 << 10, -ACC_FRACTION_BITS, 10)
+        acc.add(1 << 10, -ACC_FRACTION_BITS, 0)  # incoming shifted right 10
+        assert acc.register == (1 << 10) + 1
+        assert acc.exponent == 10
+
+    def test_overflow_detection(self):
+        acc = Accumulator(2, max_accumulations=2)
+        with pytest.raises(OverflowError):
+            for _ in range(64):
+                acc.add(3 << 30, 0, 0)
+
+    def test_value_and_format_round_trip(self):
+        from repro.fp.formats import FP32
+
+        acc = Accumulator(8)
+        acc.add(3, -1, 4)  # 3 * 2^-1 * 2^4 = 24
+        assert acc.value() == 24.0
+        assert FP32.decode_value(acc.to_format(FP32)) == 24.0
+
+    def test_reset(self):
+        acc = Accumulator(8)
+        acc.add(5, 0, 3)
+        acc.reset()
+        assert acc.register == 0 and acc.exponent == 0
+        acc.add_integer(7, 0)
+        assert acc.to_int() == 7
+
+    def test_mode_confusion_rejected(self):
+        acc = Accumulator(8)
+        acc.add(1, 0, 5)
+        with pytest.raises(RuntimeError):
+            acc.add_integer(1, 0)
+        with pytest.raises(RuntimeError):
+            acc.to_int()

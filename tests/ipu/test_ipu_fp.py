@@ -1,0 +1,139 @@
+"""FP-mode correctness of the golden scalar IPU."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp.formats import FP16, FP32
+from repro.ipu.ipu import SOFTWARE_PRECISION, FPIPResult, InnerProductUnit, IPUConfig
+from repro.ipu.reference import exact_fp_ip, masked_exact_fp_ip
+from repro.ipu.theory import MAX_FP16_PRODUCT_SHIFT
+
+
+def bits_of(values) -> list[int]:
+    return [int(v) for v in np.asarray(values, np.float16).view(np.uint16)]
+
+
+def wide_ipu(n=8):
+    # 68-bit adder tree: covers every FP16 alignment (58) plus product bits,
+    # with matching software precision -> exact within the accumulator.
+    return InnerProductUnit(IPUConfig(n_inputs=n, adder_width=68, software_precision=68))
+
+
+class TestAgainstExactReference:
+    def test_software_precision_constants(self):
+        assert SOFTWARE_PRECISION == {"fp16": 16, "fp32": 28}
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_wide_ipu_matches_kulisch(self, seed):
+        """A full-alignment IPU must produce the exactly-rounded result
+        whenever the exact value fits the accumulator's 30 fraction bits."""
+        rng = np.random.default_rng(seed)
+        a = rng.normal(0, 4, 8)
+        b = rng.normal(0, 4, 8)
+        ab, bb = bits_of(a), bits_of(b)
+        res = wide_ipu().fp_dot(ab, bb, FP16, FP32)
+        exact_bits = exact_fp_ip(ab, bb, FP16, FP32)
+        exact = FP32.decode_value(exact_bits)
+        # identical unless bits fell below max_exp - 30 (accumulator LSB)
+        if res.bits != exact_bits:
+            assert abs(res.value - exact) <= 9 * 2.0 ** (res.max_exp - 30)
+
+    def test_simple_dot(self):
+        a = [1.0, 2.0, 3.0, -4.0, 0.5, 0.25, 8.0, -1.0]
+        b = [2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0]
+        res = wide_ipu().fp_dot(bits_of(a), bits_of(b), FP16, FP32)
+        assert res.value == sum(x * 2.0 for x in a)
+
+    def test_zeros(self):
+        res = wide_ipu().fp_dot(bits_of([0.0] * 8), bits_of([1.0] * 8), FP16, FP32)
+        assert res.value == 0.0
+
+    def test_subnormal_operands(self):
+        tiny = 2.0**-24
+        a = [tiny] * 8
+        b = [1.0] * 8
+        res = wide_ipu().fp_dot(bits_of(a), bits_of(b), FP16, FP32)
+        assert res.value == 8 * tiny
+
+    def test_mixed_huge_and_tiny(self):
+        a = [65504.0, 2.0**-24, 0, 0, 0, 0, 0, 0]
+        b = [1.0, 1.0, 0, 0, 0, 0, 0, 0]
+        res = wide_ipu().fp_dot(bits_of(a), bits_of(b), FP16, FP32)
+        # the tiny product is ~2^-82 below the max product: inevitably lost
+        assert res.value == 65504.0
+
+    def test_rejects_inf(self):
+        a = bits_of([1.0] * 8)
+        a[3] = FP16.inf_bits(0)
+        with pytest.raises(ValueError):
+            wide_ipu().fp_dot(a, bits_of([1.0] * 8))
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            wide_ipu().fp_dot(bits_of([1.0] * 4), bits_of([1.0] * 4))
+
+    def test_cycle_count_single_cycle_ipu(self):
+        res = wide_ipu().fp_dot(bits_of([1.0] * 8), bits_of([1.0] * 8))
+        assert res.cycles == 9  # nine nibble iterations, one cycle each
+        assert res.alignment_cycles == 1
+
+    def test_fp16_output_rounding(self):
+        a = [1.0 + 2.0**-10] * 8  # smallest fp16 increment above 1
+        b = [1.0] * 8
+        res = wide_ipu().fp_dot(bits_of(a), bits_of(b), FP16, FP16)
+        assert res.fmt is FP16
+        assert res.value == np.float16(8 * (1.0 + 2.0**-10))
+
+
+class TestMasking:
+    def test_products_beyond_software_precision_vanish(self):
+        ipu = InnerProductUnit(IPUConfig(n_inputs=2, adder_width=16, software_precision=16))
+        a = [1024.0, 2.0**-10]   # product exponents differ by 20 > 16
+        b = [1.0, 1.0]
+        res = ipu.fp_dot(bits_of(a), bits_of(b), FP16, FP32)
+        assert res.value == 1024.0
+
+    def test_products_within_software_precision_survive(self):
+        ipu = InnerProductUnit(IPUConfig(n_inputs=2, adder_width=28, software_precision=28))
+        a = [1024.0, 2.0**-10]
+        b = [1.0, 1.0]
+        res = ipu.fp_dot(bits_of(a), bits_of(b), FP16, FP32)
+        assert res.value == np.float32(1024.0 + 2.0**-10)
+
+
+class TestProposition1:
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_no_truncation_when_shifts_within_safe_precision(self, seed):
+        """Inputs engineered so all alignments <= sp: IPU(w) == wide IPU."""
+        rng = np.random.default_rng(seed)
+        # exponents within [0, 2]: product shifts <= 4 < sp(16) = 7
+        a = np.ldexp(rng.uniform(1, 2, 8), rng.integers(0, 3, 8))
+        b = np.ldexp(rng.uniform(1, 2, 8), 0)
+        signs = rng.choice([-1, 1], 8)
+        a = a * signs
+        ab, bb = bits_of(a), bits_of(b)
+        narrow = InnerProductUnit(IPUConfig(n_inputs=8, adder_width=16, software_precision=16))
+        res_n = narrow.fp_dot(ab, bb, FP16, FP32)
+        res_w = wide_ipu().fp_dot(ab, bb, FP16, FP32)
+        assert res_n.bits == res_w.bits
+
+
+class TestAccumulateChaining:
+    def test_partial_sums_across_fp_dot_calls(self):
+        ipu = wide_ipu()
+        a1, b1 = bits_of([1.0] * 8), bits_of([1.0] * 8)
+        a2, b2 = bits_of([2.0] * 8), bits_of([0.5] * 8)
+        ipu.fp_dot(a1, b1, FP16, FP32)
+        res = ipu.fp_dot(a2, b2, FP16, FP32, accumulate=True)
+        assert res.value == 8.0 + 8.0
+
+    def test_accumulate_handles_exponent_swap(self):
+        ipu = wide_ipu()
+        ipu.fp_dot(bits_of([2.0**-8] * 8), bits_of([2.0**-6] * 8), FP16, FP32)
+        res = ipu.fp_dot(bits_of([512.0] * 8), bits_of([64.0] * 8), FP16, FP32, accumulate=True)
+        expected = 8 * 2.0**-14 + 8 * 512.0 * 64.0
+        assert res.value == np.float32(expected)

@@ -1,0 +1,88 @@
+"""INT-mode correctness: nibble-iterated integer dot products are exact."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ipu.ipu import InnerProductUnit, IPUConfig
+from repro.nibble.schedule import iteration_count
+
+
+def make_ipu(n=8, w=28):
+    return InnerProductUnit(IPUConfig(n_inputs=n, adder_width=w, software_precision=w))
+
+
+WIDTH_PAIRS = [(4, 4), (8, 4), (4, 8), (8, 8), (8, 12), (12, 12), (16, 8), (16, 16)]
+
+
+class TestIntExactness:
+    @pytest.mark.parametrize("a_bits,b_bits", WIDTH_PAIRS)
+    def test_random_vectors_exact(self, a_bits, b_bits):
+        rng = np.random.default_rng(a_bits * 100 + b_bits)
+        ipu = make_ipu()
+        for _ in range(20):
+            a = rng.integers(-(1 << (a_bits - 1)), 1 << (a_bits - 1), 8).tolist()
+            b = rng.integers(-(1 << (b_bits - 1)), 1 << (b_bits - 1), 8).tolist()
+            result, cycles = ipu.int_dot(a, b, a_bits, b_bits)
+            assert result == sum(x * y for x, y in zip(a, b))
+            assert cycles == iteration_count(a_bits, b_bits)
+
+    @pytest.mark.parametrize("a_bits,b_bits", WIDTH_PAIRS)
+    def test_extreme_values_exact(self, a_bits, b_bits):
+        ipu = make_ipu()
+        lo_a, hi_a = -(1 << (a_bits - 1)), (1 << (a_bits - 1)) - 1
+        lo_b, hi_b = -(1 << (b_bits - 1)), (1 << (b_bits - 1)) - 1
+        for a_val, b_val in [(lo_a, lo_b), (lo_a, hi_b), (hi_a, lo_b), (hi_a, hi_b)]:
+            a, b = [a_val] * 8, [b_val] * 8
+            result, _ = ipu.int_dot(a, b, a_bits, b_bits)
+            assert result == 8 * a_val * b_val
+
+    def test_unsigned_mode(self):
+        ipu = make_ipu()
+        a = [255, 1, 0, 200, 17, 33, 128, 5]
+        b = [255, 255, 9, 3, 250, 2, 128, 0]
+        result, _ = ipu.int_dot(a, b, 8, 8, signed=False)
+        assert result == sum(x * y for x, y in zip(a, b))
+
+    def test_int4_single_cycle(self):
+        ipu = make_ipu()
+        _, cycles = ipu.int_dot([1] * 8, [1] * 8, 4, 4)
+        assert cycles == 1  # the paper's intrinsic single-cycle case
+
+    def test_accumulate_across_calls(self):
+        ipu = make_ipu()
+        r1, _ = ipu.int_dot([1] * 8, [2] * 8, 4, 4)
+        r2, _ = ipu.int_dot([1] * 8, [3] * 8, 4, 4, accumulate=True)
+        assert r2 == 8 * 2 + 8 * 3
+
+    def test_narrow_adder_still_exact_for_int(self):
+        """INT mode must be exact on any IPU width (no alignment involved)."""
+        for w in (12, 16, 20):
+            ipu = make_ipu(w=w)
+            a = [-128, 127, 5, -9, 33, -77, 100, -1]
+            b = [127, -128, 99, -2, 14, 6, -100, 1]
+            result, _ = ipu.int_dot(a, b, 8, 8)
+            assert result == sum(x * y for x, y in zip(a, b))
+
+    def test_wrong_vector_length_rejected(self):
+        with pytest.raises(ValueError):
+            make_ipu().int_dot([1] * 4, [1] * 4, 4, 4)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.integers(4, 16),
+    st.integers(4, 16),
+    st.lists(st.integers(-32768, 32767), min_size=8, max_size=8),
+    st.lists(st.integers(-32768, 32767), min_size=8, max_size=8),
+)
+def test_int_dot_property(a_bits, b_bits, a_raw, b_raw):
+    ipu = make_ipu()
+    clip_a = lambda v: max(-(1 << (a_bits - 1)), min((1 << (a_bits - 1)) - 1, v))
+    clip_b = lambda v: max(-(1 << (b_bits - 1)), min((1 << (b_bits - 1)) - 1, v))
+    a = [clip_a(v) for v in a_raw]
+    b = [clip_b(v) for v in b_raw]
+    result, cycles = ipu.int_dot(a, b, a_bits, b_bits)
+    assert result == sum(x * y for x, y in zip(a, b))
+    assert cycles == iteration_count(a_bits, b_bits)

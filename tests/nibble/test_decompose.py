@@ -1,0 +1,121 @@
+"""Nibble decomposition identities (paper §2.1-2.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp.formats import BF16, FP16, TF32
+from repro.nibble.decompose import (
+    OPERAND_MAX,
+    OPERAND_MIN,
+    fp_magnitude_nibbles_vec,
+    fp_magnitude_to_nibbles,
+    fp_nibble_count,
+    fp_nibble_weight_exp,
+    fp_nibbles_to_magnitude,
+    int_nibble_count,
+    int_to_nibbles,
+    nibbles_to_int,
+)
+
+
+class TestIntDecomposition:
+    @pytest.mark.parametrize("bits,expected", [(4, 1), (8, 2), (12, 3), (16, 4), (5, 2)])
+    def test_nibble_count(self, bits, expected):
+        assert int_nibble_count(bits) == expected
+
+    @settings(max_examples=400, deadline=None)
+    @given(st.integers(min_value=4, max_value=16), st.data())
+    def test_signed_round_trip(self, bits, data):
+        value = data.draw(st.integers(-(1 << (bits - 1)), (1 << (bits - 1)) - 1))
+        nibbles = int_to_nibbles(value, bits, signed=True)
+        assert nibbles_to_int(nibbles) == value
+        assert len(nibbles) == int_nibble_count(bits)
+
+    @settings(max_examples=400, deadline=None)
+    @given(st.integers(min_value=4, max_value=16), st.data())
+    def test_unsigned_round_trip(self, bits, data):
+        value = data.draw(st.integers(0, (1 << bits) - 1))
+        assert nibbles_to_int(int_to_nibbles(value, bits, signed=False)) == value
+
+    @settings(max_examples=400, deadline=None)
+    @given(st.integers(min_value=-2048, max_value=2047))
+    def test_operands_fit_5bit_multiplier(self, value):
+        for nib in int_to_nibbles(value, 12, signed=True):
+            assert OPERAND_MIN <= nib <= OPERAND_MAX
+
+    def test_only_top_nibble_is_signed(self):
+        nibbles = int_to_nibbles(-1, 12, signed=True)
+        assert nibbles == [15, 15, -1]
+
+    def test_overflow_rejected(self):
+        with pytest.raises(OverflowError):
+            int_to_nibbles(128, 8, signed=True)
+        with pytest.raises(OverflowError):
+            int_to_nibbles(-1, 8, signed=False)
+
+
+class TestFPDecomposition:
+    def test_fp16_nibble_count_is_3(self):
+        assert fp_nibble_count(FP16) == 3  # 9 nibble iterations per product
+
+    def test_bf16_nibble_count_is_2(self):
+        assert fp_nibble_count(BF16) == 2  # Appendix B: 4 nibble iterations
+
+    def test_tf32_nibble_count_is_3(self):
+        assert fp_nibble_count(TF32) == 3
+
+    def test_paper_example_bit_slicing(self):
+        """N2 = M[10:7], N1 = M[6:3], N0 = {M[2:0], 0} for an 11-bit m."""
+        m = 0b101_1011_0110
+        n0, n1, n2 = fp_magnitude_to_nibbles(FP16, m)
+        assert n2 == 0b1011
+        assert n1 == 0b0110
+        assert n0 == 0b1100  # three LSBs with the injected trailing zero
+
+    def test_n0_always_even_for_fp16(self):
+        for m in range(0, 2048, 17):
+            n0 = fp_magnitude_to_nibbles(FP16, m)[0]
+            assert n0 % 2 == 0
+
+    @settings(max_examples=300, deadline=None)
+    @given(st.integers(min_value=0, max_value=2047))
+    def test_fp16_round_trip(self, m):
+        nibbles = fp_magnitude_to_nibbles(FP16, m)
+        assert fp_nibbles_to_magnitude(FP16, nibbles) == m
+
+    @settings(max_examples=300, deadline=None)
+    @given(st.integers(min_value=0, max_value=255))
+    def test_bf16_round_trip(self, m):
+        nibbles = fp_magnitude_to_nibbles(BF16, m)
+        assert fp_nibbles_to_magnitude(BF16, nibbles) == m
+
+    @settings(max_examples=300, deadline=None)
+    @given(st.integers(min_value=0, max_value=2047))
+    def test_weighted_sum_reconstructs_magnitude(self, m):
+        """sum_k n_k * 2**weight_exp(k) == m * 2**-man_bits (the magnitude)."""
+        nibbles = fp_magnitude_to_nibbles(FP16, m)
+        total = sum(n * 2.0 ** fp_nibble_weight_exp(FP16, k) for k, n in enumerate(nibbles))
+        assert total == m * 2.0**-FP16.man_bits
+
+    def test_fp16_weight_exponents(self):
+        # magnitude = sum n_k 2^{4k-11}: paper's 2^{-22} product fraction
+        assert [fp_nibble_weight_exp(FP16, k) for k in range(3)] == [-11, -7, -3]
+
+    def test_bf16_weight_exponents(self):
+        assert [fp_nibble_weight_exp(BF16, k) for k in range(2)] == [-7, -3]
+
+    def test_product_fraction_bits_is_22(self):
+        assert -2 * fp_nibble_weight_exp(FP16, 0) == 22
+
+    def test_magnitude_overflow_rejected(self):
+        with pytest.raises(OverflowError):
+            fp_magnitude_to_nibbles(FP16, 2048)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(0, 2047), min_size=1, max_size=64))
+    def test_vectorized_matches_scalar(self, mags):
+        vec = fp_magnitude_nibbles_vec(FP16, np.array(mags))
+        for i, m in enumerate(mags):
+            assert tuple(vec[i]) == fp_magnitude_to_nibbles(FP16, m)

@@ -1,0 +1,54 @@
+"""Nibble iteration schedules."""
+
+import pytest
+
+from repro.fp.formats import BF16, FP16
+from repro.nibble.schedule import fp_schedule, int_schedule, iteration_count
+
+
+class TestIntSchedule:
+    @pytest.mark.parametrize(
+        "a,b,count", [(4, 4, 1), (8, 4, 2), (8, 8, 4), (8, 12, 6), (12, 12, 9), (16, 16, 16)]
+    )
+    def test_iteration_counts(self, a, b, count):
+        assert iteration_count(a, b) == count
+        assert len(int_schedule(a, b)) == count
+
+    def test_paper_example_int8_by_int12_is_6_iterations(self):
+        # paper §2.1: "if the operands are INT8 and INT12, six nibble iterations"
+        assert iteration_count(8, 12) == 6
+
+    def test_significance_and_acc_shift_are_complementary(self):
+        for it in int_schedule(12, 12):
+            # 4*(i+j) + 4*((Ka-i-1)+(Kb-j-1)) is constant = 4*(Ka+Kb-2)
+            assert it.significance + it.acc_right_shift == 4 * (3 + 3 - 2)
+
+    def test_most_significant_iteration_has_zero_acc_shift(self):
+        sched = int_schedule(8, 8)
+        top = max(sched, key=lambda it: it.significance)
+        assert (top.i, top.j) == (1, 1)
+        assert top.acc_right_shift == 0
+
+    def test_int4_single_pass_significance_zero(self):
+        (only,) = int_schedule(4, 4)
+        assert only.significance == 0 and only.acc_right_shift == 0
+
+
+class TestFPSchedule:
+    def test_fp16_has_9_iterations(self):
+        assert len(fp_schedule(FP16)) == 9  # paper: nine nibble iterations
+
+    def test_bf16_has_4_iterations(self):
+        assert len(fp_schedule(BF16)) == 4  # Appendix B
+
+    def test_mixed_fp16_bf16(self):
+        assert len(fp_schedule(FP16, BF16)) == 6
+
+    def test_all_index_pairs_present(self):
+        pairs = {(it.i, it.j) for it in fp_schedule(FP16)}
+        assert pairs == {(i, j) for i in range(3) for j in range(3)}
+
+    def test_fp16_acc_shift_formula(self):
+        # paper: shift = 4*((3-i-1) + (3-j-1))
+        for it in fp_schedule(FP16):
+            assert it.acc_right_shift == 4 * ((3 - it.i - 1) + (3 - it.j - 1))

@@ -1,0 +1,199 @@
+"""NumPy DNN ops: forward correctness vs scipy, backward vs numerical grads."""
+
+import numpy as np
+import pytest
+from scipy import signal
+
+import repro.nn.functional as F
+
+
+def numgrad(f, x, eps=1e-3):
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    for _ in it:
+        i = it.multi_index
+        old = x[i]
+        x[i] = old + eps
+        fp = f()
+        x[i] = old - eps
+        fm = f()
+        x[i] = old
+        g[i] = (fp - fm) / (2 * eps)
+    return g
+
+
+class TestConvForward:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_matches_scipy_correlate(self, stride, padding):
+        rng = np.random.default_rng(stride * 10 + padding)
+        x = rng.normal(size=(2, 3, 8, 8))
+        w = rng.normal(size=(4, 3, 3, 3))
+        out, _ = F.conv2d(x, w, stride=stride, padding=padding)
+        for n in range(2):
+            for k in range(4):
+                full = sum(
+                    signal.correlate2d(
+                        np.pad(x[n, c], padding), w[k, c], mode="valid"
+                    )
+                    for c in range(3)
+                )
+                assert np.allclose(out[n, k], full[::stride, ::stride], atol=1e-10)
+
+    def test_bias(self):
+        x = np.zeros((1, 1, 3, 3))
+        w = np.zeros((2, 1, 1, 1))
+        out, _ = F.conv2d(x, w, bias=np.array([1.5, -2.0]))
+        assert np.all(out[0, 0] == 1.5) and np.all(out[0, 1] == -2.0)
+
+    def test_channel_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            F.conv2d(np.zeros((1, 3, 4, 4)), np.zeros((2, 4, 3, 3)))
+
+    def test_collapsing_output_rejected(self):
+        with pytest.raises(ValueError):
+            F.conv2d(np.zeros((1, 1, 2, 2)), np.zeros((1, 1, 5, 5)))
+
+    def test_output_shape(self):
+        out, _ = F.conv2d(np.zeros((2, 3, 11, 7)), np.zeros((5, 3, 3, 3)), stride=2, padding=1)
+        assert out.shape == (2, 5, 6, 4)
+
+
+class TestConvBackward:
+    def test_gradients_match_numerical(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 2, 6, 6))
+        w = rng.normal(size=(3, 2, 3, 3))
+        dout = rng.normal(size=(2, 3, 3, 3))
+
+        def loss():
+            o, _ = F.conv2d(x, w, stride=2, padding=1)
+            return float((o * dout).sum())
+
+        _, cache = F.conv2d(x, w, stride=2, padding=1)
+        dx, dw, db = F.conv2d_backward(dout, cache)
+        assert np.allclose(dx, numgrad(loss, x), atol=1e-5)
+        assert np.allclose(dw, numgrad(loss, w), atol=1e-5)
+        assert np.allclose(db, dout.sum(axis=(0, 2, 3)))
+
+
+class TestIm2col:
+    def test_round_trip_counts_overlaps(self):
+        x = np.ones((1, 1, 4, 4))
+        cols = F.im2col(x, 3, 3, 1, 1)
+        back = F.col2im(cols, x.shape, 3, 3, 1, 1)
+        # each pixel regenerated once per window covering it
+        assert back[0, 0, 1, 1] == 9.0
+        assert back[0, 0, 0, 0] == 4.0
+
+    def test_column_content_is_receptive_field(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        cols = F.im2col(x, 2, 2, 1, 0)
+        assert cols.shape == (1, 4, 9)
+        np.testing.assert_array_equal(cols[0, :, 0], [0, 1, 4, 5])
+
+
+class TestPooling:
+    def test_max_pool_forward(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out, _ = F.max_pool2d(x, 2)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_max_pool_backward_routes_to_argmax(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out, cache = F.max_pool2d(x, 2)
+        dx = F.max_pool2d_backward(np.ones_like(out), cache)
+        assert dx.sum() == 4
+        assert dx[0, 0, 1, 1] == 1 and dx[0, 0, 0, 0] == 0
+
+    def test_avg_pool_gradcheck(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 2, 4, 4))
+        dout = rng.normal(size=(1, 2, 2, 2))
+
+        def loss():
+            o, _ = F.avg_pool2d(x, 2)
+            return float((o * dout).sum())
+
+        _, cache = F.avg_pool2d(x, 2)
+        dx = F.avg_pool2d_backward(dout, cache)
+        assert np.allclose(dx, numgrad(loss, x), atol=1e-6)
+
+
+class TestBatchNorm:
+    def test_normalizes_in_training(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(3, 2, size=(8, 4, 5, 5))
+        gamma, beta = np.ones(4), np.zeros(4)
+        rm, rv = np.zeros(4, np.float32), np.ones(4, np.float32)
+        out, _ = F.batch_norm(x, gamma, beta, rm, rv, training=True)
+        assert np.allclose(out.mean(axis=(0, 2, 3)), 0, atol=1e-7)
+        assert np.allclose(out.var(axis=(0, 2, 3)), 1, atol=1e-3)
+
+    def test_running_stats_updated(self):
+        x = np.full((4, 1, 2, 2), 10.0)
+        rm, rv = np.zeros(1, np.float32), np.ones(1, np.float32)
+        F.batch_norm(x, np.ones(1), np.zeros(1), rm, rv, training=True)
+        assert rm[0] == pytest.approx(1.0)  # 0.9*0 + 0.1*10
+
+    def test_eval_uses_running_stats(self):
+        x = np.full((2, 1, 2, 2), 4.0)
+        rm = np.array([4.0], np.float32)
+        rv = np.array([1.0], np.float32)
+        out, _ = F.batch_norm(x, np.ones(1), np.zeros(1), rm, rv, training=False)
+        assert np.allclose(out, 0, atol=1e-3)
+
+    def test_backward_gradcheck(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(4, 2, 3, 3))
+        dout = rng.normal(size=(4, 2, 3, 3))
+        gamma, beta = np.array([1.3, 0.7]), np.array([0.1, -0.2])
+
+        def loss():
+            rm, rv = np.zeros(2, np.float32), np.ones(2, np.float32)
+            o, _ = F.batch_norm(x, gamma, beta, rm, rv, training=True)
+            return float((o * dout).sum())
+
+        rm, rv = np.zeros(2, np.float32), np.ones(2, np.float32)
+        _, cache = F.batch_norm(x, gamma, beta, rm, rv, training=True)
+        dx, dgamma, dbeta = F.batch_norm_backward(dout, cache)
+        assert np.allclose(dx, numgrad(loss, x), atol=1e-4)
+        assert np.allclose(dgamma, numgrad(loss, gamma), atol=1e-4)
+        assert np.allclose(dbeta, numgrad(loss, beta), atol=1e-4)
+
+
+class TestLossAndLinear:
+    def test_softmax_rows_sum_to_one(self):
+        rng = np.random.default_rng(4)
+        p = F.softmax(rng.normal(size=(10, 5)) * 50)
+        assert np.allclose(p.sum(axis=1), 1)
+        assert np.all(p >= 0)
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        assert F.cross_entropy(logits, np.array([0, 1])) < 1e-6
+
+    def test_cross_entropy_gradient(self):
+        rng = np.random.default_rng(5)
+        logits = rng.normal(size=(6, 4))
+        labels = rng.integers(0, 4, 6)
+
+        def loss():
+            return F.cross_entropy(logits, labels)
+
+        g = F.cross_entropy_backward(logits.copy(), labels)
+        assert np.allclose(g, numgrad(loss, logits), atol=1e-6)
+
+    def test_linear_gradcheck(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(4, 5))
+        w = rng.normal(size=(3, 5))
+        dout = rng.normal(size=(4, 3))
+
+        def loss():
+            o, _ = F.linear(x, w)
+            return float((o * dout).sum())
+
+        _, cache = F.linear(x, w)
+        dx, dw, db = F.linear_backward(dout, cache)
+        assert np.allclose(dx, numgrad(loss, x), atol=1e-6)
+        assert np.allclose(dw, numgrad(loss, w), atol=1e-6)

@@ -1,0 +1,147 @@
+"""Architecture shape tables and tensor value models."""
+
+import numpy as np
+import pytest
+
+from repro.nn.sampling import (
+    BACKWARD_ERROR,
+    FORWARD_ACTIVATION,
+    FORWARD_WEIGHT,
+    TensorModel,
+    sample_distribution,
+    sample_model_tensors,
+    sample_operand_batch,
+)
+from repro.nn.zoo import ConvShape, inception_v3_convs, resnet18_convs, resnet50_convs
+
+
+class TestResNet18:
+    def test_conv_count(self):
+        assert len(resnet18_convs()) == 20  # 17 main + 3 downsample
+
+    def test_total_macs_about_1_8g(self):
+        gmacs = sum(l.macs for l in resnet18_convs()) / 1e9
+        assert gmacs == pytest.approx(1.81, rel=0.02)
+
+    def test_stem(self):
+        stem = resnet18_convs()[0]
+        assert (stem.c_in, stem.c_out, stem.kh, stem.stride) == (3, 64, 7, 2)
+        assert stem.h_out == 112
+
+    def test_final_stage_channels(self):
+        assert resnet18_convs()[-1].c_out == 512
+
+    def test_downsample_convs_are_1x1_stride2(self):
+        downs = [l for l in resnet18_convs() if "down" in l.name]
+        assert len(downs) == 3
+        assert all(l.kh == 1 and l.stride == 2 for l in downs)
+
+
+class TestResNet50:
+    def test_conv_count(self):
+        assert len(resnet50_convs()) == 53
+
+    def test_total_macs_about_4_1g(self):
+        gmacs = sum(l.macs for l in resnet50_convs()) / 1e9
+        assert gmacs == pytest.approx(4.09, rel=0.02)
+
+    def test_bottleneck_structure(self):
+        layers = resnet50_convs()
+        block = [l for l in layers if l.name.startswith("layer2.0.")]
+        kernels = [l.kh for l in block]
+        assert kernels == [1, 3, 1, 1]  # 1x1, 3x3, 1x1, downsample
+
+    def test_expansion_factor_4(self):
+        last = [l for l in resnet50_convs() if l.name == "layer4.2.conv3"][0]
+        assert last.c_out == 2048 and last.c_in == 512
+
+
+class TestInceptionV3:
+    def test_conv_count(self):
+        assert len(inception_v3_convs()) == 94
+
+    def test_total_macs_about_5_7g(self):
+        gmacs = sum(l.macs for l in inception_v3_convs()) / 1e9
+        assert gmacs == pytest.approx(5.71, rel=0.03)
+
+    def test_factorized_7x7_kernels_present(self):
+        layers = inception_v3_convs()
+        one_by_seven = [l for l in layers if (l.kh, l.kw) == (1, 7)]
+        seven_by_one = [l for l in layers if (l.kh, l.kw) == (7, 1)]
+        assert len(one_by_seven) >= 8 and len(seven_by_one) >= 8
+
+    def test_spatial_dims_cascade(self):
+        layers = {l.name: l for l in inception_v3_convs()}
+        assert layers["Conv2d_1a_3x3"].h_out == 149
+        assert layers["Mixed_5b.b1x1"].h == 35
+        assert layers["Mixed_6b.b1x1"].h == 17
+        assert layers["Mixed_7b.b1x1"].h == 8
+
+
+class TestConvShape:
+    def test_dot_length(self):
+        l = ConvShape("x", 64, 128, 3, 3, 1, 1, 1, 14, 14)
+        assert l.dot_length == 64 * 9
+        assert l.output_pixels == 196
+        assert l.macs == 196 * 128 * 576
+
+    def test_non_square(self):
+        l = ConvShape("x", 8, 8, 1, 7, 1, 0, 3, 17, 17)
+        assert l.h_out == 17 and l.w_out == 17
+        assert l.dot_length == 56
+
+
+class TestSamplers:
+    @pytest.mark.parametrize("name", ["laplace", "normal", "uniform"])
+    def test_distribution_shapes(self, name):
+        x = sample_distribution(name, (100, 8), rng=0)
+        assert x.shape == (100, 8)
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            sample_distribution("cauchy", (4,), rng=0)
+
+    def test_operand_batch(self):
+        a, b = sample_operand_batch("laplace", 50, 16, rng=1)
+        assert a.shape == b.shape == (50, 16)
+
+    def test_uniform_bounded(self):
+        x = sample_distribution("uniform", (1000,), rng=2, scale=2.0)
+        assert np.all(np.abs(x) <= 2.0)
+
+    def test_zero_fraction(self):
+        m = TensorModel("normal", zero_fraction=0.5)
+        x = m.sample((10000,), rng=3)
+        assert 0.4 < (x == 0).mean() < 0.6
+
+    def test_nonnegative(self):
+        assert np.all(FORWARD_ACTIVATION.sample((1000,), rng=4) >= 0)
+
+    def test_lognormal_exponent_sigma(self):
+        m = TensorModel("lognormal", scale=1.0, log2_scale_sigma=2.0)
+        x = m.sample((20000,), rng=5)
+        spread = np.std(np.log2(np.abs(x[x != 0])))
+        assert spread == pytest.approx(2.0, rel=0.05)
+
+    def test_outliers_injected(self):
+        m = TensorModel("lognormal", scale=1.0, log2_scale_sigma=0.1,
+                        outlier_fraction=0.1, outlier_log2_shift=-20)
+        x = np.abs(m.sample((20000,), rng=6))
+        tiny = (x < 2.0**-15).mean()
+        assert 0.05 < tiny < 0.15
+
+    def test_backward_wider_than_forward(self):
+        """The calibrated models must preserve the Fig-9 fwd/bwd contrast."""
+        rng = np.random.default_rng(7)
+        fa, fw = sample_model_tensors("forward", 5000, 8, rng)
+        ba, bw = sample_model_tensors("backward", 5000, 8, rng)
+
+        def spread(x):
+            nz = np.abs(x[x != 0])
+            return float(np.std(np.log2(nz)))
+
+        assert spread(ba) > 2 * spread(fa[fa != 0])
+
+    def test_direction_validated(self):
+        with pytest.raises(ValueError):
+            sample_model_tensors("sideways", 4, 4, rng=0)

@@ -1,0 +1,63 @@
+"""Tile configuration arithmetic (paper §4.1)."""
+
+import pytest
+
+from repro.tile.config import BASELINE1, BASELINE2, BIG_TILE, CLOCK_GHZ, SMALL_TILE
+
+
+class TestGeometry:
+    def test_small_tile_unroll(self):
+        assert (SMALL_TILE.c_unroll, SMALL_TILE.k_unroll) == (8, 8)
+        assert SMALL_TILE.ipus_per_tile == 8 * 2 * 2 == 32
+        assert SMALL_TILE.multipliers_per_tile == 256
+
+    def test_big_tile_unroll(self):
+        assert (BIG_TILE.c_unroll, BIG_TILE.k_unroll) == (16, 16)
+        assert BIG_TILE.ipus_per_tile == 64
+        assert BIG_TILE.multipliers_per_tile == 1024
+
+    def test_weight_buffer_depth_9(self):
+        assert SMALL_TILE.weight_buffer_depth == 9  # paper: 9B WS buffers
+
+    def test_four_tiles(self):
+        assert SMALL_TILE.n_tiles == BIG_TILE.n_tiles == 4
+
+
+class TestPaperThroughputCrossCheck:
+    """§4.1: Baseline1 = (1 TOPS, 113 GFLOPS), Baseline2 = (4 TOPS, 455 GFLOPS)."""
+
+    def test_baseline1_int4_tops(self):
+        tops = BASELINE1.ops_per_second() / 1e12
+        assert tops == pytest.approx(1.024, rel=0.03)
+
+    def test_baseline2_int4_tops(self):
+        tops = BASELINE2.ops_per_second() / 1e12
+        assert tops == pytest.approx(4.096, rel=0.03)
+
+    def test_baseline1_fp16_gflops(self):
+        gflops = BASELINE1.ops_per_second(cycles_per_op=9) / 1e9
+        assert gflops == pytest.approx(113.8, rel=0.03)
+
+    def test_baseline2_fp16_gflops(self):
+        gflops = BASELINE2.ops_per_second(cycles_per_op=9) / 1e9
+        assert gflops == pytest.approx(455.1, rel=0.03)
+
+    def test_clock_half_ghz(self):
+        assert CLOCK_GHZ == 0.5
+
+
+class TestClustering:
+    def test_default_cluster_is_whole_tile(self):
+        assert SMALL_TILE.effective_cluster_size == 32
+        assert BIG_TILE.effective_cluster_size == 64
+
+    def test_with_precision_sets_cluster(self):
+        t = BIG_TILE.with_precision(16, 4)
+        assert t.adder_width == 16
+        assert t.effective_cluster_size == 4
+
+    def test_cluster_bounds_validated(self):
+        with pytest.raises(ValueError):
+            _ = SMALL_TILE.with_precision(16, 33).effective_cluster_size
+        with pytest.raises(ValueError):
+            _ = SMALL_TILE.with_precision(16, 0).effective_cluster_size

@@ -1,0 +1,127 @@
+"""Statistical cycle simulator: accounting laws and paper-shape checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.zoo import ConvShape, resnet18_convs
+from repro.tile.config import BIG_TILE, SMALL_TILE
+from repro.tile.simulator import (
+    FP16_ITERATIONS,
+    int_mode_cycles,
+    simulate_layer,
+    simulate_network,
+    step_cycle_samples,
+)
+from repro.tile.workload import chunks_per_output, layer_ip_ops
+
+LAYER = ConvShape("test", c_in=64, c_out=64, kh=3, kw=3, stride=1,
+                  pad_h=1, pad_w=1, h=28, w=28)
+
+
+class TestWorkAccounting:
+    def test_chunks_per_output(self):
+        assert chunks_per_output(LAYER, 16) == -(-64 * 9 // 16) == 36
+        assert chunks_per_output(LAYER, 8) == 72
+
+    def test_layer_ip_ops(self):
+        assert layer_ip_ops(LAYER, 16) == 28 * 28 * 64 * 36
+
+    def test_macs_consistency_with_zoo(self):
+        # ip_ops * n >= MACs (padding of the last chunk only adds)
+        for layer in resnet18_convs():
+            assert layer_ip_ops(layer, 16) * 16 >= layer.macs
+            assert layer_ip_ops(layer, 16) * 16 < layer.macs * 1.4 + 16 * layer.output_pixels * layer.c_out
+
+
+class TestStepCycles:
+    def test_uniform_exponents_one_cycle(self):
+        exps = np.zeros((100, 4, 8), dtype=np.int64)
+        cycles = step_cycle_samples(exps, adder_width=12, software_precision=28)
+        assert np.all(cycles == 1)
+
+    def test_group_max_semantics(self):
+        # one IPU in the group needs 2 cycles -> the step costs 2
+        exps = np.zeros((1, 2, 4), dtype=np.int64)
+        exps[0, 1, 0] = 5  # shift 5 > sp(12)=3 for the others in that IPU
+        cycles = step_cycle_samples(exps, adder_width=12, software_precision=28)
+        assert cycles[0] == 2
+
+    def test_wide_adder_always_one_cycle(self):
+        rng = np.random.default_rng(0)
+        exps = rng.integers(-28, 31, size=(50, 4, 8))
+        cycles = step_cycle_samples(exps, adder_width=28, software_precision=28)
+        assert np.all(cycles == 1)
+
+
+class TestLayerSimulation:
+    def test_baseline_cycles_formula(self):
+        perf = simulate_layer(LAYER, BIG_TILE.with_precision(38), 28, samples=64, rng=0)
+        expected_steps = -(-layer_ip_ops(LAYER, 16) // (4 * 64))
+        assert perf.steps == expected_steps
+        assert perf.cycles == expected_steps * FP16_ITERATIONS
+
+    def test_narrow_adder_never_faster_than_baseline(self):
+        base = simulate_layer(LAYER, BIG_TILE.with_precision(38), 28, samples=128, rng=1)
+        narrow = simulate_layer(LAYER, BIG_TILE.with_precision(12), 28, samples=128, rng=1)
+        assert narrow.cycles >= base.cycles
+
+    def test_precision_monotonicity(self):
+        cycles = []
+        for w in (12, 16, 20, 28):
+            perf = simulate_layer(LAYER, SMALL_TILE.with_precision(w), 28,
+                                  samples=256, rng=2)
+            cycles.append(perf.cycles)
+        assert all(a >= b * 0.98 for a, b in zip(cycles, cycles[1:])), cycles
+
+    def test_clustering_reduces_cycles(self):
+        uncl = simulate_layer(LAYER, SMALL_TILE.with_precision(12), 28, samples=512, rng=3)
+        c1 = simulate_layer(LAYER, SMALL_TILE.with_precision(12, 1), 28, samples=512, rng=3)
+        assert c1.cycles < uncl.cycles
+
+    def test_backward_slower_than_forward(self):
+        fwd = simulate_layer(LAYER, SMALL_TILE.with_precision(16), 28, "forward",
+                             samples=512, rng=4)
+        bwd = simulate_layer(LAYER, SMALL_TILE.with_precision(16), 28, "backward",
+                             samples=512, rng=4)
+        assert bwd.cycles > fwd.cycles
+
+
+class TestNetworkSimulation:
+    def test_network_totals(self):
+        layers = resnet18_convs()[:5]
+        perf = simulate_network(layers, BIG_TILE.with_precision(38), 28,
+                                samples=32, rng=5, name="r18-head")
+        assert perf.total_cycles == sum(l.cycles for l in perf.layers)
+        assert len(perf.layers) == 5
+
+    def test_normalization_identity(self):
+        layers = resnet18_convs()[:4]
+        perf = simulate_network(layers, BIG_TILE.with_precision(38), 28, samples=32, rng=6)
+        assert perf.normalized_to(perf) == 1.0
+
+    def test_paper_shape_small_beats_big_on_mc12(self):
+        """§4.3: 8-input MC-IPUs outperform 16-input (fewer products ->
+        fewer multi-cycle events), in normalized terms."""
+        layers = resnet18_convs()[4:10]
+        small = simulate_network(layers, SMALL_TILE.with_precision(12, 1), 16,
+                                 samples=384, rng=7)
+        small_base = simulate_network(layers, SMALL_TILE.with_precision(38), 16,
+                                      samples=96, rng=7)
+        big = simulate_network(layers, BIG_TILE.with_precision(12, 1), 16,
+                               samples=384, rng=7)
+        big_base = simulate_network(layers, BIG_TILE.with_precision(38), 16,
+                                    samples=96, rng=7)
+        assert small.normalized_to(small_base) < big.normalized_to(big_base)
+
+
+class TestIntMode:
+    def test_int4_vs_int8_cycle_ratio(self):
+        layers = resnet18_convs()[:6]
+        c44 = int_mode_cycles(layers, BIG_TILE, 4, 4)
+        c88 = int_mode_cycles(layers, BIG_TILE, 8, 8)
+        assert c88 == 4 * c44
+
+    def test_int_mode_ignores_adder_width(self):
+        layers = resnet18_convs()[:3]
+        assert int_mode_cycles(layers, BIG_TILE.with_precision(12), 8, 4) == \
+            int_mode_cycles(layers, BIG_TILE.with_precision(38), 8, 4)
