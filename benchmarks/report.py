@@ -1,0 +1,221 @@
+"""Perf-tracking benchmark report: engine vs frozen seed implementation.
+
+Times the hot emulation paths twice — once through the frozen seed kernels
+(:mod:`repro.ipu.seedref`) and once through the prepacked engine — at
+identical sample counts, cross-checks that both produce identical results,
+and writes the numbers to ``BENCH_*.json`` so the perf trajectory is
+tracked across PRs. Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/report.py [--out-dir .] [--repeats 3]
+
+Outputs:
+
+- ``BENCH_kernels.json``  — fp_ip_batch microbenchmarks (single + MC)
+- ``BENCH_fig3.json``     — the quick Figure-3 sweep (same config as
+  ``benchmarks/test_bench_fig3.py``)
+- ``BENCH_accuracy.json`` — the quick §3.1 accuracy run (same config as
+  ``benchmarks/test_bench_accuracy.py``)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.accuracy import accuracy_vs_precision, emulated_conv2d
+from repro.analysis.error import error_stats
+from repro.analysis.sweeps import _operands_for, run_fig3_sweep
+from repro.fp.formats import FP16, FP32, np_float_dtype
+from repro.ipu.reference import cpu_fp32_dot_batch
+from repro.ipu.seedref import fp_ip_batch_seed
+from repro.ipu.vectorized import fp_ip_batch
+from repro.nn.functional import im2col
+
+FIG3_CONFIG = dict(
+    batch=4000, chunks=2,
+    precisions=(8, 12, 16, 20, 24, 26, 28, 38),
+    sources=("laplace", "normal", "uniform"),
+)
+ACCURACY_CONFIG = dict(precisions=(8, 12), n_eval=32, style="plain", batch_size=32)
+KERNEL_BATCH = 20000
+
+
+def _best_of(fn, repeats):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _seed_fig3_sweep(batch, chunks, precisions, sources, rng):
+    """The seed run_fig3_sweep loop: one decode per (acc_fmt, precision)."""
+    from repro.utils.rng import as_generator
+
+    rng = as_generator(rng)
+    points = []
+    for source in sources:
+        a, b = _operands_for(source, batch * chunks, 16, rng)
+        a16 = np.asarray(a, np.float16).astype(np.float64)
+        b16 = np.asarray(b, np.float16).astype(np.float64)
+        ref = cpu_fp32_dot_batch(a16, b16).astype(np.float64)
+        if chunks > 1:
+            ref = ref.reshape(batch, chunks).sum(axis=1)
+        for acc_fmt in (FP16, FP32):
+            for w in precisions:
+                res = fp_ip_batch_seed(a16, b16, adder_width=w, acc_fmt=acc_fmt)
+                approx = res.values
+                if chunks > 1:
+                    approx = approx.reshape(batch, chunks).sum(axis=1)
+                approx = approx.astype(np_float_dtype(acc_fmt)).astype(np.float64)
+                ref_cast = (ref.astype(np.float16).astype(np.float64)
+                            if acc_fmt.name == "fp16" else ref)
+                points.append((source, acc_fmt.name, w, error_stats(approx, ref_cast, acc_fmt)))
+    return points
+
+
+def _emulated_conv2d_seed(x, weight, bias, stride, padding, adder_width, acc_fmt=FP32):
+    """The seed emulated_conv2d: K-fold operand broadcast, one kernel call."""
+    n_ipu = 16
+    k = weight.shape[0]
+    kh, kw = weight.shape[2], weight.shape[3]
+    nimg = x.shape[0]
+    cols = im2col(x, kh, kw, stride, padding)
+    d, p = cols.shape[1], cols.shape[2]
+    chunks = -(-d // n_ipu)
+    pad = chunks * n_ipu - d
+    if pad:
+        cols = np.pad(cols, ((0, 0), (0, pad), (0, 0)))
+    wmat = weight.reshape(k, d)
+    if pad:
+        wmat = np.pad(wmat, ((0, 0), (0, pad)))
+    acts = np.moveaxis(cols, 1, 2).reshape(nimg * p, chunks, n_ipu)
+    wchunks = wmat.reshape(k, chunks, n_ipu)
+    a_flat = np.broadcast_to(acts[None], (k, nimg * p, chunks, n_ipu)).reshape(-1, n_ipu)
+    b_flat = np.broadcast_to(wchunks[:, None], (k, nimg * p, chunks, n_ipu)).reshape(-1, n_ipu)
+    res = fp_ip_batch_seed(a_flat, b_flat, adder_width=adder_width, acc_fmt=acc_fmt)
+    out = res.values.reshape(k, nimg * p, chunks).sum(axis=2)
+    out_t = out.T.reshape(nimg, p, k).transpose(0, 2, 1)
+    if acc_fmt.name == "fp32":
+        out_t = out_t.astype(np.float32)
+    else:
+        out_t = out_t.astype(np.float16).astype(np.float32)
+    ho = (x.shape[2] + 2 * padding - kh) // stride + 1
+    wo = (x.shape[3] + 2 * padding - kw) // stride + 1
+    result = out_t.reshape(nimg, k, ho, wo)
+    if bias is not None:
+        result = result + bias[None, :, None, None]
+    return result
+
+
+def bench_kernels(repeats):
+    rng = np.random.default_rng(0)
+    a = rng.laplace(0, 1, (KERNEL_BATCH, 16))
+    b = rng.laplace(0, 1, (KERNEL_BATCH, 16))
+    cases = {
+        "single_cycle_w16": dict(adder_width=16),
+        "single_cycle_w28": dict(adder_width=28),
+        "multi_cycle_w12_sw28": dict(adder_width=12, software_precision=28, multi_cycle=True),
+    }
+    out = {}
+    for name, kw in cases.items():
+        seed_s, seed_res = _best_of(lambda: fp_ip_batch_seed(a, b, **kw), repeats)
+        eng_s, eng_res = _best_of(lambda: fp_ip_batch(a, b, **kw), repeats)
+        identical = bool(
+            np.array_equal(seed_res.values, eng_res.values)
+            and np.array_equal(seed_res.total_cycles, eng_res.total_cycles)
+        )
+        out[name] = {
+            "batch": KERNEL_BATCH, "n": 16, **kw,
+            "seed_seconds": round(seed_s, 4),
+            "engine_seconds": round(eng_s, 4),
+            "speedup": round(seed_s / eng_s, 2),
+            "identical": identical,
+        }
+    return out
+
+
+def bench_fig3(repeats):
+    seed_s, seed_points = _best_of(lambda: _seed_fig3_sweep(rng=0, **FIG3_CONFIG), repeats)
+    eng_s, sweep = _best_of(lambda: run_fig3_sweep(rng=0, **FIG3_CONFIG), repeats)
+    got = {(p.source, p.acc_fmt, p.precision): p.stats for p in sweep.points}
+    identical = len(got) == len(seed_points) and all(
+        got[(src, acc, w)] == stats for src, acc, w, stats in seed_points
+    )
+    return {
+        "config": {k: list(v) if isinstance(v, tuple) else v for k, v in FIG3_CONFIG.items()},
+        "points": len(seed_points),
+        "seed_seconds": round(seed_s, 3),
+        "engine_seconds": round(eng_s, 3),
+        "speedup": round(seed_s / eng_s, 2),
+        "identical": identical,
+    }
+
+
+def bench_accuracy(repeats):
+    from repro.analysis._model_cache import trained_model
+
+    cfg = ACCURACY_CONFIG
+    model, dataset = trained_model(cfg["style"])  # cached: training excluded
+    images = dataset.images[-cfg["n_eval"]:]
+    labels = dataset.labels[-cfg["n_eval"]:]
+    run = lambda conv_fn: accuracy_vs_precision(
+        model, images, labels, cfg["precisions"], batch_size=cfg["batch_size"],
+        conv_fn=conv_fn,
+    )
+    seed_s, seed_points = _best_of(lambda: run(_emulated_conv2d_seed), repeats)
+    eng_s, eng_points = _best_of(lambda: run(None), repeats)
+    identical = seed_points == eng_points
+    return {
+        "config": {k: list(v) if isinstance(v, tuple) else v for k, v in cfg.items()},
+        "seed_seconds": round(seed_s, 3),
+        "engine_seconds": round(eng_s, 3),
+        "speedup": round(seed_s / eng_s, 2),
+        "identical": identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out-dir", default=".", help="where to write BENCH_*.json")
+    parser.add_argument("--repeats", type=int, default=3, help="take the best of N runs")
+    args = parser.parse_args(argv)
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    env = {"python": platform.python_version(), "numpy": np.__version__}
+    reports = {
+        "BENCH_kernels.json": ("fp_ip_batch microbenchmarks", bench_kernels),
+        "BENCH_fig3.json": ("quick Figure-3 sweep", bench_fig3),
+        "BENCH_accuracy.json": ("quick §3.1 accuracy run", bench_accuracy),
+    }
+    failed = False
+    for filename, (title, fn) in reports.items():
+        print(f"[{filename}] {title} ...", flush=True)
+        payload = {"benchmark": title, "env": env, "results": fn(args.repeats)}
+        results = payload["results"]
+        flat = results.values() if "seed_seconds" not in results else [results]
+        for r in flat:
+            mark = "ok" if r.get("identical") else "MISMATCH"
+            print(f"  seed {r['seed_seconds']}s -> engine {r['engine_seconds']}s "
+                  f"({r['speedup']}x, results {mark})")
+            failed |= not r.get("identical")
+        path = out_dir / filename
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"  wrote {path}")
+    if failed:
+        print("ERROR: engine results diverged from the seed implementation")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

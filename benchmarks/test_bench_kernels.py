@@ -2,8 +2,11 @@
 
 import numpy as np
 
+from repro.ipu.engine import KernelPoint, fp_ip_points, pack_operands
 from repro.ipu.vectorized import fp_ip_batch
 from repro.tile.simulator import step_cycle_samples
+
+SWEEP_PRECISIONS = (8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30, 34, 38)
 
 
 def test_bench_fp_ip_batch_single_cycle(benchmark):
@@ -18,6 +21,22 @@ def test_bench_fp_ip_batch_multi_cycle(benchmark):
     a = rng.laplace(0, 1, (20000, 16))
     b = rng.laplace(0, 1, (20000, 16))
     benchmark(fp_ip_batch, a, b, 12, 28, multi_cycle=True)
+
+
+def test_bench_pack_operands(benchmark):
+    """Cost of the decode + nibble split the plans amortize away."""
+    rng = np.random.default_rng(3)
+    a = rng.laplace(0, 1, (20000, 16))
+    benchmark(pack_operands, a)
+
+
+def test_bench_engine_precision_sweep(benchmark):
+    """One packed pair evaluated at all 14 Figure-3 precisions."""
+    rng = np.random.default_rng(4)
+    pa = pack_operands(rng.laplace(0, 1, (20000, 16)))
+    pb = pack_operands(rng.laplace(0, 1, (20000, 16)))
+    points = [KernelPoint(w) for w in SWEEP_PRECISIONS]
+    benchmark(fp_ip_points, pa, pb, points)
 
 
 def test_bench_step_cycles(benchmark):

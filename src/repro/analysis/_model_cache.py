@@ -53,9 +53,9 @@ def trained_conv_chunks(batch: int, n: int, rng, style: str = "resnet"):
         for conv in model_conv_layers(model):
             x = conv.last_input
             k, c, kh, kw = conv.weight.data.shape
-            cols = im2col(x, kh, kw, conv.stride, conv.padding)  # (N, D, P)
-            d = cols.shape[1]
-            acts = np.moveaxis(cols, 1, 2).reshape(-1, d)        # (N*P, D)
+            cols = im2col(x, kh, kw, conv.stride, conv.padding, layout="npd")  # (N, P, D)
+            d = cols.shape[2]
+            acts = cols.reshape(-1, d)                           # (N*P, D)
             wmat = conv.weight.data.reshape(k, d)
             pools.append((acts, wmat))
         _CACHE[key] = pools

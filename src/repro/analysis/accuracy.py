@@ -14,13 +14,42 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.fp.formats import FP32, FPFormat
-from repro.ipu.vectorized import fp_ip_batch
-from repro.nn.functional import im2col
+from repro.fp.formats import FP16, FP32, FPFormat
+from repro.ipu.engine import PackedOperands, fp_ip_packed, pack_operands
+from repro.nn.functional import conv_output_size, im2col
 from repro.nn.layers import BatchNorm2d, Conv2d, GlobalAvgPool, Linear, MaxPool2d, ReLU, Residual, Sequential
 from repro.utils.rng import as_generator
 
-__all__ = ["emulated_conv2d", "emulated_forward", "AccuracyPoint", "accuracy_vs_precision"]
+__all__ = ["emulated_conv2d", "emulated_forward", "AccuracyPoint", "accuracy_vs_precision",
+           "weight_plan"]
+
+_N_IPU = 16
+
+
+def weight_plan(
+    weight: np.ndarray, n_ipu: int = _N_IPU, plan_cache: dict | None = None
+) -> PackedOperands:
+    """Packed plan of a conv weight, reshaped to ``(K, chunks, n_ipu)``.
+
+    ``plan_cache`` memoizes by array identity so one decomposition serves
+    every batch and every IPU precision of an inference run (the cache keeps
+    a reference to the array, pinning the id). Only valid while the weights
+    are not mutated — evaluation-time use.
+    """
+    key = (id(weight), n_ipu)
+    if plan_cache is not None and key in plan_cache:
+        return plan_cache[key][0]
+    k = weight.shape[0]
+    wmat = weight.reshape(k, -1)
+    d = wmat.shape[1]
+    chunks = -(-d // n_ipu)
+    pad = chunks * n_ipu - d
+    if pad:
+        wmat = np.pad(wmat, ((0, 0), (0, pad)))
+    plan = pack_operands(wmat.reshape(k, chunks, n_ipu), FP16)
+    if plan_cache is not None:
+        plan_cache[key] = (plan, weight)
+    return plan
 
 
 def emulated_conv2d(
@@ -31,6 +60,7 @@ def emulated_conv2d(
     padding: int,
     adder_width: int,
     acc_fmt: FPFormat = FP32,
+    plan_cache: dict | None = None,
 ) -> np.ndarray:
     """Convolution computed through the emulated approximate FP-IP.
 
@@ -38,38 +68,34 @@ def emulated_conv2d(
     product (single-cycle IPU(w) semantics, the Figure-2/Figure-3
     convention); chunk partials accumulate exactly and round once into the
     accumulator format, modelling the non-normalized wide accumulator.
+
+    The activation tensor is packed once and iterated against one weight
+    channel's plan at a time, so peak temporary memory is O(B*n) — the seed
+    materialized a K-fold broadcast of both operands before emulating.
     """
-    n_ipu = 16
+    n_ipu = _N_IPU
     k, c, kh, kw = weight.shape
     nimg = x.shape[0]
-    cols = im2col(x, kh, kw, stride, padding)          # (N, D, P)
-    d, p = cols.shape[1], cols.shape[2]
+    ho = conv_output_size(x.shape[2], kh, stride, padding)
+    wo = conv_output_size(x.shape[3], kw, stride, padding)
+    cols = im2col(x, kh, kw, stride, padding, layout="npd")   # (N, P, D)
+    p, d = cols.shape[1], cols.shape[2]
     chunks = -(-d // n_ipu)
     pad = chunks * n_ipu - d
     if pad:
-        cols = np.pad(cols, ((0, 0), (0, pad), (0, 0)))
-    wmat = weight.reshape(k, d)
-    if pad:
-        wmat = np.pad(wmat, ((0, 0), (0, pad)))
-    acts = np.moveaxis(cols, 1, 2).reshape(nimg * p, chunks, n_ipu)
-    wchunks = wmat.reshape(k, chunks, n_ipu)
+        cols = np.pad(cols, ((0, 0), (0, 0), (0, pad)))
+    acts = pack_operands(cols.reshape(nimg * p, chunks, n_ipu), FP16)
+    wplan = weight_plan(weight, n_ipu, plan_cache)            # (K, chunks, n_ipu)
 
-    # fold output channels into the batch axis: one emulation call per layer
-    a_flat = np.broadcast_to(
-        acts[None], (k, nimg * p, chunks, n_ipu)
-    ).reshape(-1, n_ipu)
-    b_flat = np.broadcast_to(
-        wchunks[:, None], (k, nimg * p, chunks, n_ipu)
-    ).reshape(-1, n_ipu)
-    res = fp_ip_batch(a_flat, b_flat, adder_width=adder_width, acc_fmt=acc_fmt)
-    out = res.values.reshape(k, nimg * p, chunks).sum(axis=2)
+    out = np.empty((k, nimg * p))
+    for ch in range(k):
+        res = fp_ip_packed(acts, wplan[ch], adder_width, acc_fmt=acc_fmt)
+        out[ch] = res.values.sum(axis=1)                      # exact chunk partials
     out_t = out.T.reshape(nimg, p, k).transpose(0, 2, 1)
     if acc_fmt.name == "fp32":
         out_t = out_t.astype(np.float32)
     else:
         out_t = out_t.astype(np.float16).astype(np.float32)
-    ho = (x.shape[2] + 2 * padding - kh) // stride + 1
-    wo = (x.shape[3] + 2 * padding - kw) // stride + 1
     result = out_t.reshape(nimg, k, ho, wo)
     if bias is not None:
         result = result + bias[None, :, None, None]
@@ -77,21 +103,30 @@ def emulated_conv2d(
 
 
 def emulated_forward(
-    model: Sequential, x: np.ndarray, adder_width: int | None, acc_fmt: FPFormat = FP32
+    model: Sequential, x: np.ndarray, adder_width: int | None, acc_fmt: FPFormat = FP32,
+    plan_cache: dict | None = None, conv_fn=None,
 ) -> np.ndarray:
     """Forward pass with every Conv2d routed through the emulation.
 
     ``adder_width=None`` runs the plain float32 path (the reference).
+    ``plan_cache`` (a plain dict) carries packed weight plans across calls —
+    pass the same dict for every batch and precision of an evaluation so
+    each layer's weights are decomposed exactly once. ``conv_fn`` swaps the
+    emulated convolution implementation (benchmark/regression hook).
     """
 
     def run(layer, h):
         if isinstance(layer, Conv2d):
             if adder_width is None:
                 return layer(h)
+            bias = None if layer.bias is None else layer.bias.data
+            if conv_fn is not None:
+                return conv_fn(h, layer.weight.data, bias, layer.stride,
+                               layer.padding, adder_width, acc_fmt)
             return emulated_conv2d(
-                h, layer.weight.data,
-                None if layer.bias is None else layer.bias.data,
+                h, layer.weight.data, bias,
                 layer.stride, layer.padding, adder_width, acc_fmt,
+                plan_cache=plan_cache,
             )
         if isinstance(layer, Residual):
             main = h
@@ -130,9 +165,17 @@ def accuracy_vs_precision(
     precisions: tuple[int, ...] = (8, 10, 12, 16, 28),
     acc_fmt: FPFormat = FP32,
     batch_size: int = 32,
+    plan_cache: dict | None = None,
+    conv_fn=None,
 ) -> list[AccuracyPoint]:
     """Top-1 accuracy at each IPU precision plus the float32 reference,
-    with per-batch accuracies (the paper's fluctuation analysis)."""
+    with per-batch accuracies (the paper's fluctuation analysis).
+
+    One weight-plan cache spans every precision and batch of the run, so
+    each conv layer's weights are decoded and nibble-split exactly once.
+    """
+    if plan_cache is None:
+        plan_cache = {}
     points = []
     for w in (None, *precisions):
         per_batch = []
@@ -140,7 +183,7 @@ def accuracy_vs_precision(
         for start in range(0, len(labels), batch_size):
             xb = images[start : start + batch_size]
             yb = labels[start : start + batch_size]
-            logits = emulated_forward(model, xb, w, acc_fmt)
+            logits = emulated_forward(model, xb, w, acc_fmt, plan_cache, conv_fn)
             hits = (logits.argmax(axis=1) == yb)
             per_batch.append(float(hits.mean()))
             correct += int(hits.sum())

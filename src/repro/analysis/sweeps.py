@@ -17,9 +17,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.analysis.error import ErrorStats, error_stats
-from repro.fp.formats import FP16, FP32, FPFormat
+from repro.fp.formats import FP16, FP32, FPFormat, np_float_dtype
+from repro.ipu.engine import KernelPoint, fp_ip_points, pack_operands
 from repro.ipu.reference import cpu_fp32_dot_batch
-from repro.ipu.vectorized import fp_ip_batch
 from repro.nn.sampling import sample_operand_batch
 from repro.utils.rng import as_generator
 
@@ -105,22 +105,22 @@ def run_fig3_sweep(
         ref = cpu_fp32_dot_batch(a16, b16).astype(np.float64)
         if chunks > 1:
             ref = ref.reshape(batch, chunks).sum(axis=1)
-        for acc_fmt in acc_fmts:
-            for w in precisions:
-                res = fp_ip_batch(a16, b16, adder_width=w, acc_fmt=acc_fmt)
-                approx = res.values
-                if chunks > 1:
-                    approx = approx.reshape(batch, chunks).sum(axis=1)
-                approx = approx.astype(_np_cast(acc_fmt)).astype(np.float64)
+        # decode + nibble-split once per source; every precision runs off the
+        # same plans, and the raw accumulator values are shared between the
+        # accumulator formats (only the final rounding differs)
+        pa, pb = pack_operands(a16, FP16), pack_operands(b16, FP16)
+        results = fp_ip_points(pa, pb, [KernelPoint(w) for w in precisions])
+        for w, res in zip(precisions, results):
+            approx_raw = res.values
+            if chunks > 1:
+                approx_raw = approx_raw.reshape(batch, chunks).sum(axis=1)
+            for acc_fmt in acc_fmts:
+                approx = approx_raw.astype(np_float_dtype(acc_fmt)).astype(np.float64)
                 ref_cast = ref.astype(np.float16).astype(np.float64) if acc_fmt.name == "fp16" else ref
                 sweep.points.append(
                     SweepPoint(source, acc_fmt.name, w, error_stats(approx, ref_cast, acc_fmt))
                 )
     return sweep
-
-
-def _np_cast(fmt: FPFormat):
-    return np.float16 if fmt.name == "fp16" else np.float32
 
 
 def recommended_min_precision(sweep: PrecisionSweep, acc_fmt: str, tol_bits: float = 0.5) -> int:

@@ -28,11 +28,13 @@ def run(
     from repro.analysis._model_cache import trained_model
 
     results = []
+    plan_cache: dict = {}  # weight plans shared across precisions and batches
     for style in styles:
         model, dataset = trained_model(style)
         images = dataset.images[-n_eval:]
         labels = dataset.labels[-n_eval:]
-        points = accuracy_vs_precision(model, images, labels, precisions)
+        points = accuracy_vs_precision(model, images, labels, precisions,
+                                       plan_cache=plan_cache)
         results.append(AccuracyResult(style, points))
     return results
 

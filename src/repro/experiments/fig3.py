@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.analysis.sweeps import PrecisionSweep, recommended_min_precision, run_fig3_sweep
+from repro.fp.formats import FP16, FP32
 from repro.utils.table import render_table
 
 __all__ = ["run", "render"]
@@ -19,10 +20,12 @@ def run(
     chunks: int = 4,
     precisions=(8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 27, 28, 30, 38),
     sources=("laplace", "normal", "uniform", "resnet-tensors", "convnet-tensors"),
+    acc_fmts=(FP16, FP32),
     rng=0,
 ) -> PrecisionSweep:
     return run_fig3_sweep(
-        sources=sources, precisions=precisions, batch=batch, chunks=chunks, rng=rng
+        sources=sources, precisions=precisions, acc_fmts=acc_fmts,
+        batch=batch, chunks=chunks, rng=rng,
     )
 
 

@@ -38,8 +38,15 @@ class SweepResult:
     values: dict[str, dict[str, list[float]]] = field(default_factory=dict)
 
 
+_LAYER_CACHE: dict = {}
+
+
 def _layers(zoo_name: str):
-    return WORKLOADS[zoo_name]()
+    # instantiate each workload's layer list once per process: the sweep
+    # loops re-visit every workload per tile and per axis point
+    if zoo_name not in _LAYER_CACHE:
+        _LAYER_CACHE[zoo_name] = WORKLOADS[zoo_name]()
+    return _LAYER_CACHE[zoo_name]
 
 
 def _normalized(tile: TileConfig, base: TileConfig, layers, direction, samples, rng):

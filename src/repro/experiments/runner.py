@@ -5,11 +5,13 @@ Usage::
     python -m repro.experiments.runner --list
     python -m repro.experiments.runner fig3 fig9
     python -m repro.experiments.runner --all [--quick]
+    python -m repro.experiments.runner --all --quick --json timings.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -91,6 +93,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--all", action="store_true", help="run every experiment")
     parser.add_argument("--quick", action="store_true", help="reduced sample counts")
     parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write per-experiment wall-clock seconds to PATH")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -101,6 +105,7 @@ def main(argv: list[str] | None = None) -> int:
     if not names:
         parser.print_help()
         return 2
+    timings: dict[str, float] = {}
     for name in names:
         if name not in EXPERIMENTS:
             print(f"unknown experiment {name!r}; use --list", file=sys.stderr)
@@ -109,7 +114,13 @@ def main(argv: list[str] | None = None) -> int:
         print(f"\n{'=' * 72}\n{name}: {desc}\n{'=' * 72}")
         start = time.time()
         print(fn(args.quick))
-        print(f"[{name} done in {time.time() - start:.1f}s]")
+        timings[name] = round(time.time() - start, 3)
+        print(f"[{name} done in {timings[name]:.1f}s]")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"quick": args.quick, "seconds": timings}, fh, indent=2)
+            fh.write("\n")
+        print(f"[timings written to {args.json}]")
     return 0
 
 

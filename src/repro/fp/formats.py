@@ -27,7 +27,8 @@ from enum import Enum
 
 from repro.utils.bits import get_field, mask
 
-__all__ = ["FPClass", "FPFormat", "Decoded", "FP16", "FP32", "BF16", "TF32", "FORMATS"]
+__all__ = ["FPClass", "FPFormat", "Decoded", "FP16", "FP32", "BF16", "TF32", "FORMATS",
+           "np_float_dtype"]
 
 
 class FPClass(Enum):
@@ -209,6 +210,21 @@ def _rne_shift(m: int, shift: int) -> int:
     if rem > half or (rem == half and (q & 1)):
         q += 1
     return q
+
+
+def np_float_dtype(fmt: "FPFormat"):
+    """NumPy dtype whose storage/rounding matches ``fmt`` (fp16/fp32 only).
+
+    The vectorized emulation relies on NumPy's casts performing the same RNE
+    rounding as the write-back path; only fp16 and fp32 have native dtypes.
+    """
+    import numpy as np
+
+    if fmt.name == "fp16":
+        return np.float16
+    if fmt.name == "fp32":
+        return np.float32
+    raise NotImplementedError(f"no NumPy dtype for {fmt.name}")
 
 
 FP16 = FPFormat("fp16", 5, 10)

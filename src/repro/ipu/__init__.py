@@ -3,6 +3,13 @@
 from repro.ipu.accumulator import ACC_FRACTION_BITS, Accumulator
 from repro.ipu.datapath import AdderTree, LocalShifter, SignedMultiplier5x5
 from repro.ipu.ehu import AlignmentPlan, ExponentHandlingUnit, mc_cycle_counts, serve_cycles
+from repro.ipu.engine import (
+    KernelPoint,
+    PackedOperands,
+    fp_ip_packed,
+    fp_ip_points,
+    pack_operands,
+)
 from repro.ipu.ipu import SOFTWARE_PRECISION, FPIPResult, InnerProductUnit, IPUConfig
 from repro.ipu.mc_ipu import (
     BASELINE_ADDER_WIDTH,
@@ -30,4 +37,5 @@ __all__ = [
     "MAX_FP16_PRODUCT_SHIFT", "PRODUCT_MAGNITUDE_BITS",
     "min_adder_width_for_exact", "safe_precision", "theorem1_bound",
     "FPIPBatchResult", "fp_ip_batch",
+    "KernelPoint", "PackedOperands", "fp_ip_packed", "fp_ip_points", "pack_operands",
 ]

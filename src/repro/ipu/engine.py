@@ -1,0 +1,404 @@
+"""Prepacked IPU emulation engine: decode-once plans + diagonal nibble kernels.
+
+The seed emulation (:func:`repro.ipu.vectorized.fp_ip_batch`) re-decodes and
+re-nibbles its operands on every call, which makes large sweeps pay the FP
+decode (~half the runtime) once per *sweep point* instead of once per
+*tensor*. This module separates operand preparation from kernel execution:
+
+``PackedOperands``
+    caches the FP decode (:func:`repro.fp.vecfloat.decode_array`) and the
+    nibble split (:func:`repro.nibble.decompose.fp_magnitude_nibbles_vec`)
+    of one tensor in compact dtypes (uint8 nibbles, int16 exponents). A plan
+    is immutable and precision-agnostic, so it is reused across every IPU
+    precision, accumulator format, serve mode, and batch slice that touches
+    the tensor.
+
+``fp_ip_points``
+    executes any number of :class:`KernelPoint` configurations against a
+    packed operand pair in one pass. The batch is processed in cache-sized
+    row chunks; per chunk the pair preparation (product signs, exponent
+    sums, alignment shifts) is computed once and shared by all points, and
+    each point then runs the nibble kernel while the chunk is hot in cache.
+
+The kernel itself is restructured around the identity that the accumulator
+register shift of nibble pass ``(i, j)`` depends only on the diagonal
+``d = i + j``: passes are iterated in 2K-1 diagonal groups and, whenever the
+register shift is a left shift (exact), the group's adder-tree results are
+summed before a single register update. When the register shift is a right
+shift the golden model floors *per pass*, so the kernel does too — grouping
+is applied exactly where it is bit-neutral, keeping the engine bit-identical
+to the scalar golden model in :mod:`repro.ipu.ipu`.
+
+Two further mechanical wins: the nibble operands are pre-shifted by the safe
+precision once per point instead of shifting every product, and the whole
+chunk pipeline runs in int32 whenever the adder-tree words provably fit
+(``n * 225 * 2**sp < 2**31``), halving memory traffic for the common
+precisions. Both paths produce identical bits; the int32 gate only selects
+the storage width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fp.formats import FP16, FP32, FPFormat, np_float_dtype
+from repro.fp.vecfloat import decode_array
+from repro.ipu.accumulator import ACC_FRACTION_BITS
+from repro.ipu.ehu import serve_cycles
+from repro.ipu.theory import MAX_FP16_PRODUCT_SHIFT, safe_precision
+from repro.nibble.decompose import fp_magnitude_nibbles_vec, fp_nibble_weight_exp
+
+__all__ = [
+    "FPIPBatchResult",
+    "KernelPoint",
+    "PackedOperands",
+    "pack_operands",
+    "fp_ip_packed",
+    "fp_ip_points",
+    "DEFAULT_CHUNK_ELEMENTS",
+]
+
+# Per-chunk work buffers are (rows, n) in int32/int64; 64Ki elements keeps
+# the handful of live buffers comfortably inside a shared L2 slice.
+DEFAULT_CHUNK_ELEMENTS = 1 << 16
+
+
+@dataclass
+class FPIPBatchResult:
+    """Batch emulation output.
+
+    ``values`` are the exact accumulator contents as float64 (the register
+    fits in 45 bits, so float64 holds it exactly); ``rounded`` is the value
+    rounded once into the accumulator format (FP16 or FP32) — NumPy's cast
+    performs the same RNE rounding the write-back unit does. All fields
+    share the leading (batch) shape of the broadcast operand pair.
+    """
+
+    values: np.ndarray          # float64 (...,)
+    rounded: np.ndarray         # acc_fmt dtype (...,)
+    max_exp: np.ndarray         # int64 (...,)
+    alignment_cycles: np.ndarray  # int64 (...,) cycles per nibble iteration
+    total_cycles: np.ndarray    # int64 (...,) alignment_cycles * iterations
+
+
+@dataclass(frozen=True)
+class KernelPoint:
+    """One kernel configuration: IPU precision, serve mode, output rounding.
+
+    Semantics match :func:`repro.ipu.vectorized.fp_ip_batch`:
+    ``software_precision`` defaults to ``adder_width`` (the Figure-3
+    single-cycle convention) and ``multi_cycle`` engages the MC serve loop
+    when the adder is narrower than the software precision.
+    """
+
+    adder_width: int
+    software_precision: int | None = None
+    multi_cycle: bool = False
+    acc_fmt: FPFormat = FP32
+
+    def resolve(self) -> "_ResolvedPoint":
+        w = self.adder_width
+        sw = w if self.software_precision is None else self.software_precision
+        sp = safe_precision(w, strict=self.multi_cycle and self.software_precision is not None
+                            and w < sw)
+        if not self.multi_cycle and sw > w:
+            raise ValueError(
+                f"single-cycle IPU({w}) cannot reach software precision {sw}; "
+                "set multi_cycle=True"
+            )
+        return _ResolvedPoint(self, sw, sp, self.multi_cycle and w < sw)
+
+
+@dataclass(frozen=True)
+class _ResolvedPoint:
+    point: KernelPoint
+    software_precision: int
+    sp: int
+    multi_cycle: bool
+
+    @property
+    def up(self) -> int:
+        return max(self.sp, 0)
+
+    @property
+    def down(self) -> int:
+        return max(-self.sp, 0)
+
+    def work_dtype(self, n: int):
+        """int32 when every adder-tree word and its n-lane sum provably fit.
+
+        ``|word| <= 225 << up`` and the int32 path clamps dead shifts at 31,
+        which is only floor-equivalent while ``9 + up <= 31``.
+        """
+        if self.up <= 22 and (n * 225) << self.up < 2**31:
+            return np.int32
+        return np.int64
+
+
+class PackedOperands:
+    """Decode-once operand plan: sign / exponent / nibble digits per lane.
+
+    ``nibbles`` holds the *unsigned* 4-bit digits (LSB-first) of each FP
+    magnitude; product signs are applied per pair at kernel time. Storage is
+    deliberately narrow (bool / int16 / uint8) so plans for million-sample
+    sweeps stay small and chunk slices upcast quickly.
+    """
+
+    __slots__ = ("fmt", "sign", "exp", "nibbles")
+
+    def __init__(self, fmt: FPFormat, sign: np.ndarray, exp: np.ndarray, nibbles: np.ndarray):
+        self.fmt = fmt
+        self.sign = sign          # bool (..., n)
+        self.exp = exp            # int16 (..., n) unbiased exponents
+        self.nibbles = nibbles    # uint8 (..., n, K) unsigned digits
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.sign.shape
+
+    @property
+    def n(self) -> int:
+        return self.sign.shape[-1]
+
+    @property
+    def k_total(self) -> int:
+        return self.nibbles.shape[-1]
+
+    def __len__(self) -> int:
+        return len(self.sign)
+
+    def __getitem__(self, idx) -> "PackedOperands":
+        """Slice/index the leading (batch) axes; the plan data is shared."""
+        return PackedOperands(self.fmt, self.sign[idx], self.exp[idx], self.nibbles[idx])
+
+    def reshape(self, *lead: int) -> "PackedOperands":
+        """Reshape the leading axes, keeping the lane (and nibble) axes."""
+        shape = tuple(lead) + (self.n,)
+        return PackedOperands(
+            self.fmt,
+            self.sign.reshape(shape),
+            self.exp.reshape(shape),
+            self.nibbles.reshape(shape + (self.k_total,)),
+        )
+
+
+def pack_operands(values: np.ndarray, fmt: FPFormat = FP16) -> PackedOperands:
+    """Cast ``values`` into ``fmt`` and build its :class:`PackedOperands`."""
+    da = decode_array(fmt, np.asarray(values))
+    nib = fp_magnitude_nibbles_vec(fmt, da.magnitude)
+    return PackedOperands(
+        fmt,
+        da.sign.astype(bool),
+        da.unbiased_exp.astype(np.int16),
+        nib.astype(np.uint8),
+    )
+
+
+def fp_ip_packed(
+    pa: PackedOperands,
+    pb: PackedOperands,
+    adder_width: int,
+    software_precision: int | None = None,
+    acc_fmt: FPFormat = FP32,
+    multi_cycle: bool = False,
+    chunk_rows: int | None = None,
+) -> FPIPBatchResult:
+    """Emulate one kernel configuration over a packed operand pair."""
+    point = KernelPoint(adder_width, software_precision, multi_cycle, acc_fmt)
+    return fp_ip_points(pa, pb, [point], chunk_rows=chunk_rows)[0]
+
+
+def fp_ip_points(
+    pa: PackedOperands,
+    pb: PackedOperands,
+    points: list[KernelPoint],
+    chunk_rows: int | None = None,
+    work_dtype=None,
+) -> list[FPIPBatchResult]:
+    """Run every kernel point against one operand pair, chunk by chunk.
+
+    ``pa``/``pb`` broadcast against each other over their leading axes (a
+    single weight plan row against a batch of activation plans, say); the
+    results carry the broadcast leading shape. ``work_dtype`` overrides the
+    int32/int64 selection (testing hook).
+    """
+    if pa.fmt.name != pb.fmt.name:
+        raise ValueError(f"operand formats differ: {pa.fmt.name} vs {pb.fmt.name}")
+    fmt = pa.fmt
+    k_total = pa.k_total
+    frac = -2 * fp_nibble_weight_exp(fmt, 0)
+    resolved = [p.resolve() for p in points]
+
+    shape = np.broadcast_shapes(pa.shape, pb.shape)
+    if len(shape) < 2:
+        shape = (1,) * (2 - len(shape)) + shape
+    n = shape[-1]
+    lead = shape[:-1]
+    rows = int(np.prod(lead, dtype=np.int64))
+
+    a_sign, a_exp, a_nib = _broadcast_plan(pa, shape)
+    b_sign, b_exp, b_nib = _broadcast_plan(pb, shape)
+
+    values = [np.empty(rows) for _ in resolved]
+    rounded = [np.empty(rows, np_float_dtype(r.point.acc_fmt)) for r in resolved]
+    max_exps = [np.empty(rows, np.int64) for _ in resolved]
+    aligns = [np.empty(rows, np.int64) for _ in resolved]
+
+    dim0 = shape[0]
+    inner = rows // dim0 if dim0 else 0
+    if chunk_rows is None:
+        chunk_rows = max(1, DEFAULT_CHUNK_ELEMENTS // max(n, 1))
+    block = max(1, chunk_rows // max(inner, 1))
+
+    for start in range(0, dim0, block):
+        stop = min(start + block, dim0)
+        r0, r1 = start * inner, stop * inner
+        sa = np.ascontiguousarray(a_sign[start:stop]).reshape(-1, n)
+        sb = np.ascontiguousarray(b_sign[start:stop]).reshape(-1, n)
+        na = np.ascontiguousarray(a_nib[start:stop]).reshape(-1, n, k_total).astype(np.int32)
+        nb = np.ascontiguousarray(b_nib[start:stop]).reshape(-1, n, k_total).astype(np.int32)
+        exps = (
+            np.ascontiguousarray(a_exp[start:stop]).reshape(-1, n).astype(np.int64)
+            + np.ascontiguousarray(b_exp[start:stop]).reshape(-1, n)
+        )
+        neg = sa ^ sb                                  # product signs
+        np.negative(na, out=na, where=neg[:, :, None])
+        max_exp = exps.max(axis=1)                     # (cb,)
+        shifts = max_exp[:, None] - exps               # (cb, n) >= 0
+        # FP16 alignment shifts are <= 58; clamp defensively below int64's
+        # shift limit (masked lanes are zeroed regardless of the shift).
+        safe_shift = np.minimum(shifts, MAX_FP16_PRODUCT_SHIFT)
+
+        for idx, r in enumerate(resolved):
+            dtype = work_dtype or r.work_dtype(n)
+            if r.multi_cycle:
+                register, n_align = _mc_chunk(
+                    na, nb, shifts, safe_shift, r, frac, k_total, dtype
+                )
+            else:
+                register = _single_cycle_chunk(
+                    na, nb, shifts, safe_shift, r, frac, k_total, dtype
+                )
+                n_align = np.ones(register.shape[0], dtype=np.int64)
+            vals = register.astype(np.float64) * np.exp2(
+                (max_exp - ACC_FRACTION_BITS).astype(np.float64)
+            )
+            values[idx][r0:r1] = vals
+            rounded[idx][r0:r1] = vals.astype(rounded[idx].dtype)
+            max_exps[idx][r0:r1] = max_exp
+            aligns[idx][r0:r1] = n_align
+
+    iterations = k_total * k_total
+    return [
+        FPIPBatchResult(
+            values=values[i].reshape(lead),
+            rounded=rounded[i].reshape(lead),
+            max_exp=max_exps[i].reshape(lead),
+            alignment_cycles=aligns[i].reshape(lead),
+            total_cycles=(aligns[i] * iterations).reshape(lead),
+        )
+        for i in range(len(resolved))
+    ]
+
+
+def _broadcast_plan(plan: PackedOperands, shape: tuple[int, ...]):
+    """Zero-copy views of the plan arrays broadcast to the pair shape."""
+    nd = len(shape)
+    sign, exp, nib = plan.sign, plan.exp, plan.nibbles
+    pad = nd - sign.ndim
+    if pad:
+        sign = sign.reshape((1,) * pad + sign.shape)
+        exp = exp.reshape((1,) * pad + exp.shape)
+        nib = nib.reshape((1,) * pad + nib.shape)
+    return (
+        np.broadcast_to(sign, shape),
+        np.broadcast_to(exp, shape),
+        np.broadcast_to(nib, shape + (plan.k_total,)),
+    )
+
+
+def _diagonal_pairs(d: int, k_total: int):
+    return [(i, d - i) for i in range(max(0, d - k_total + 1), min(d, k_total - 1) + 1)]
+
+
+def _single_cycle_chunk(na, nb, shifts, safe_shift, r, frac, k_total, dtype):
+    """Truncating single-cycle kernel over one chunk; returns the registers.
+
+    Masked lanes are zeroed in the nibble operand once, the safe-precision
+    pre-shift is folded into the operand (one pass instead of nine), and the
+    nine nibble passes run grouped by diagonal.
+    """
+    sw, sp, up, down = r.software_precision, r.sp, r.up, r.down
+    masked = shifts >= sw
+    na_pt = np.where(masked[:, :, None], 0, na)
+    if dtype is np.int64:
+        na_pt = na_pt.astype(np.int64)
+    if up:
+        na_pt <<= up
+    t = safe_shift + down if down else safe_shift
+    if dtype is np.int32:
+        # dead shifts (>= 9 + up) all floor to 0/-1; clamping at 31 keeps
+        # the int32 shift count defined without changing any result bit
+        t = np.minimum(t, 31).astype(np.int32)
+    buf = np.empty(na_pt.shape[:2], dtype=na_pt.dtype)
+    register = np.zeros(na_pt.shape[0], dtype=np.int64)
+    for d in range(2 * k_total - 1):
+        shift_left = 4 * d - frac - sp + ACC_FRACTION_BITS
+        tree_d = None
+        for i, j in _diagonal_pairs(d, k_total):
+            np.multiply(na_pt[:, :, i], nb[:, :, j], out=buf)
+            np.right_shift(buf, t, out=buf)
+            tree = buf.sum(axis=1, dtype=np.int64)
+            if shift_left >= 0:
+                tree_d = tree if tree_d is None else tree_d + tree
+            else:
+                # the golden accumulator floors every pass separately;
+                # grouping here would change bits, so don't
+                register += tree >> (-shift_left)
+        if tree_d is not None:
+            register += tree_d << shift_left
+    return register
+
+
+def _mc_chunk(na, nb, shifts, safe_shift, r, frac, k_total, dtype):
+    """MC serve-loop kernel over one chunk; returns (registers, n_align).
+
+    The serve schedule, serving masks, and local shifts are computed once
+    per cycle (the seed recomputed them for each of the nine nibble passes)
+    and the passes within a cycle run grouped by diagonal.
+    """
+    sw, sp, up, down = r.software_precision, r.sp, r.up, r.down
+    masked = shifts >= sw
+    cyc = np.where(masked, -1, serve_cycles(shifts, sp))
+    n_align = np.maximum(cyc.max(axis=1, initial=-1), 0) + 1
+    max_cycles = int(n_align.max(initial=1))
+    na_w = na.astype(np.int64) if dtype is np.int64 else na
+    if up:
+        na_w = na_w << up
+    buf = np.empty(na_w.shape[:2], dtype=na_w.dtype)
+    register = np.zeros(na_w.shape[0], dtype=np.int64)
+    for c in range(max_cycles):
+        serving = cyc == c
+        if not serving.any():
+            continue
+        coarse = c * sp
+        na_c = np.where(serving[:, :, None], na_w, 0)
+        t_c = np.where(serving, safe_shift - coarse + down, 0)
+        if dtype is np.int32:
+            t_c = t_c.astype(np.int32)
+        for d in range(2 * k_total - 1):
+            shift_left = 4 * d - frac - sp - coarse + ACC_FRACTION_BITS
+            tree_d = None
+            for i, j in _diagonal_pairs(d, k_total):
+                np.multiply(na_c[:, :, i], nb[:, :, j], out=buf)
+                np.right_shift(buf, t_c, out=buf)
+                tree = buf.sum(axis=1, dtype=np.int64)
+                if shift_left >= 0:
+                    tree_d = tree if tree_d is None else tree_d + tree
+                else:
+                    register += tree >> (-shift_left)
+            if tree_d is not None:
+                register += tree_d << shift_left
+    return register, n_align

@@ -4,43 +4,29 @@ Bit-for-bit equivalent to the golden scalar model in :mod:`repro.ipu.ipu`
 (cross-checked by the test suite) but operating on whole batches, which makes
 the paper's million-sample error analysis (Figure 3) tractable in Python.
 
-All integer math stays inside int64: nibble products are <= 225, adder words
-carry at most ``w - 9 <= 29`` fraction bits, and the 30-fraction-bit
-accumulator register of a single FP-IP op is bounded by ``4 * n * 2**30``.
+Since the prepacked engine landed, :func:`fp_ip_batch` is a thin convenience
+wrapper: it packs both operands (:func:`repro.ipu.engine.pack_operands`) and
+runs one :class:`repro.ipu.engine.KernelPoint` through the chunked diagonal
+kernel. Sweeps that evaluate many precisions or accumulator formats against
+the same tensors should pack once and call
+:func:`repro.ipu.engine.fp_ip_points` directly so the decode and nibble
+split are not repeated per point.
+
+All integer math stays inside int64 (or int32 when the engine proves the
+adder words fit): nibble products are <= 225, adder words carry at most
+``w - 9 <= 29`` fraction bits, and the 30-fraction-bit accumulator register
+of a single FP-IP op is bounded by ``4 * n * 2**30``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.fp.formats import FP16, FP32, FPFormat
-from repro.fp.vecfloat import decode_array
-from repro.ipu.ehu import mc_cycle_counts, serve_cycles
-from repro.ipu.theory import safe_precision
-from repro.nibble.decompose import fp_magnitude_nibbles_vec, fp_nibble_count, fp_nibble_weight_exp
+from repro.ipu.accumulator import ACC_FRACTION_BITS
+from repro.ipu.engine import FPIPBatchResult, KernelPoint, fp_ip_points, pack_operands
 
 __all__ = ["FPIPBatchResult", "fp_ip_batch", "int_dot_batch", "ACC_FRACTION_BITS"]
-
-ACC_FRACTION_BITS = 30
-
-
-@dataclass
-class FPIPBatchResult:
-    """Batch emulation output.
-
-    ``values`` are the exact accumulator contents as float64 (the register
-    fits in 45 bits, so float64 holds it exactly); ``rounded`` is the value
-    rounded once into the accumulator format (FP16 or FP32) — NumPy's cast
-    performs the same RNE rounding the write-back unit does.
-    """
-
-    values: np.ndarray          # float64 (B,)
-    rounded: np.ndarray         # acc_fmt dtype (B,)
-    max_exp: np.ndarray         # int64 (B,)
-    alignment_cycles: np.ndarray  # int64 (B,) cycles per nibble iteration
-    total_cycles: np.ndarray    # int64 (B,) alignment_cycles * iterations
 
 
 def fp_ip_batch(
@@ -68,94 +54,11 @@ def fp_ip_batch(
     multi_cycle:
         Engage the MC serve loop when ``w < software_precision``.
     """
-    sw = adder_width if software_precision is None else software_precision
-    sp = safe_precision(adder_width, strict=multi_cycle and software_precision is not None
-                        and adder_width < software_precision)
-    if not multi_cycle and sw > adder_width:
-        raise ValueError(
-            f"single-cycle IPU({adder_width}) cannot reach software precision {sw}; "
-            "set multi_cycle=True"
-        )
-
-    da, db = decode_array(in_fmt, a), decode_array(in_fmt, b)
-    k_total = fp_nibble_count(in_fmt)
-    nib_a = fp_magnitude_nibbles_vec(in_fmt, da.magnitude)  # (B, n, K)
-    nib_b = fp_magnitude_nibbles_vec(in_fmt, db.magnitude)
-    neg = (da.sign.astype(bool)) ^ (db.sign.astype(bool))   # product signs
-    nib_a = np.where(neg[..., None], -nib_a, nib_a)
-
-    exps = da.unbiased_exp + db.unbiased_exp                # (B, n)
-    max_exp = exps.max(axis=1)                              # (B,)
-    shifts = max_exp[:, None] - exps                        # (B, n) >= 0
-    masked = shifts >= sw
-
-    frac = -2 * fp_nibble_weight_exp(in_fmt, 0)             # 22 for FP16
-    register = np.zeros(a.shape[0], dtype=np.int64)
-
-    if multi_cycle and adder_width < sw:
-        cyc_index = np.where(masked, -1, serve_cycles(shifts, sp))
-        n_align = np.maximum(cyc_index.max(axis=1), 0) + 1
-        max_cycles = int(n_align.max())
-    else:
-        cyc_index = np.where(masked, -1, 0)
-        n_align = np.ones(a.shape[0], dtype=np.int64)
-        max_cycles = 1
-
-    # FP16 alignment shifts are <= 58; clamp defensively below int64's shift
-    # limit (masked lanes are zeroed regardless of the shift applied).
-    safe_shift = np.minimum(shifts, 58)
-    up, down = max(sp, 0), max(-sp, 0)
-    if max_cycles == 1:
-        # Fast single-cycle path (the bulk of the Fig-3 / accuracy work):
-        # zero masked lanes in the nibble operands once, so the per-iteration
-        # kernel is three passes (multiply, shift, sum) with no selects.
-        nib_a = np.where(masked[..., None], 0, nib_a)
-        for i in range(k_total):
-            for j in range(k_total):
-                products = nib_a[:, :, i] * nib_b[:, :, j]  # (B, n), |p| <= 225
-                tree = ((products << up) >> (safe_shift + down)).sum(axis=1, dtype=np.int64)
-                shift_left = 4 * (i + j) - frac - sp + ACC_FRACTION_BITS
-                if shift_left >= 0:
-                    register += tree << shift_left
-                else:
-                    register += tree >> (-shift_left)
-    else:
-        for i in range(k_total):
-            for j in range(k_total):
-                products = nib_a[:, :, i] * nib_b[:, :, j]
-                for c in range(max_cycles):
-                    serving = cyc_index == c
-                    if not serving.any():
-                        continue
-                    coarse = c * sp
-                    local = np.where(serving, safe_shift - coarse, 0)
-                    word = np.where(serving, (products << up) >> (local + down), 0)
-                    tree = word.sum(axis=1, dtype=np.int64)  # (B,)
-                    lsb = 4 * (i + j) - frac - sp - coarse
-                    shift_left = lsb + ACC_FRACTION_BITS
-                    if shift_left >= 0:
-                        register += tree << shift_left
-                    else:
-                        register += tree >> (-shift_left)
-
-    values = register.astype(np.float64) * np.exp2((max_exp - ACC_FRACTION_BITS).astype(np.float64))
-    rounded = values.astype(_np_dtype(acc_fmt))
-    iterations = k_total * k_total
-    return FPIPBatchResult(
-        values=values,
-        rounded=rounded,
-        max_exp=max_exp,
-        alignment_cycles=n_align,
-        total_cycles=n_align * iterations,
-    )
-
-
-def _np_dtype(fmt: FPFormat):
-    if fmt.name == "fp16":
-        return np.float16
-    if fmt.name == "fp32":
-        return np.float32
-    raise NotImplementedError(f"no NumPy dtype for {fmt.name}")
+    point = KernelPoint(adder_width, software_precision, multi_cycle, acc_fmt)
+    point.resolve()  # validate the configuration before decoding anything
+    pa = pack_operands(a, in_fmt)
+    pb = pack_operands(b, in_fmt)
+    return fp_ip_points(pa, pb, [point])[0]
 
 
 def int_dot_batch(

@@ -43,11 +43,17 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
     return out
 
 
-def im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int) -> np.ndarray:
-    """Unfold NCHW input into columns of shape ``(N, C*kh*kw, Ho*Wo)``.
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, padding: int, layout: str = "ndp"
+) -> np.ndarray:
+    """Unfold NCHW input into columns.
 
-    Each column is one receptive field — exactly the inner-product operand
-    vector an IP-based convolution tile consumes.
+    ``layout="ndp"`` (default) returns ``(N, C*kh*kw, Ho*Wo)``; each column
+    is one receptive field — exactly the inner-product operand vector an
+    IP-based convolution tile consumes. ``layout="npd"`` returns the
+    transposed ``(N, Ho*Wo, C*kh*kw)`` arrangement directly, which the
+    emulated-IPU paths consume row-wise; producing it here costs one copy
+    instead of the copy-plus-transpose-copy a later ``moveaxis`` would.
     """
     n, c, h, w = x.shape
     ho = conv_output_size(h, kh, stride, padding)
@@ -62,6 +68,10 @@ def im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int) -> np.nda
         strides=(s[0], s[1], s[2], s[3], s[2] * stride, s[3] * stride),
         writeable=False,
     )
+    if layout == "npd":
+        return view.transpose(0, 4, 5, 1, 2, 3).reshape(n, ho * wo, c * kh * kw)
+    if layout != "ndp":
+        raise ValueError(f"unknown im2col layout {layout!r}")
     return view.reshape(n, c * kh * kw, ho * wo)
 
 

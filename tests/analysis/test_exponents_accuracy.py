@@ -88,6 +88,56 @@ class TestEmulatedConv:
         # fp16 accumulation quantizes the result
         assert np.abs(got16 - ref).max() > 0
 
+    def test_bit_identical_to_seed_broadcast_path(self):
+        """The per-channel plan iteration reproduces the seed conv exactly
+        (which folded output channels into one K-fold broadcast batch)."""
+        from repro.ipu.seedref import fp_ip_batch_seed
+
+        rng = np.random.default_rng(9)
+        x = rng.normal(size=(2, 3, 7, 7)).astype(np.float32)
+        w = (rng.normal(size=(5, 3, 3, 3)) * 0.2).astype(np.float32)
+        bias = rng.normal(size=5).astype(np.float32)
+        stride, padding, n_ipu = 1, 1, 16
+        k = w.shape[0]
+        cols = F.im2col(x, 3, 3, stride, padding)          # (N, D, P)
+        d, p = cols.shape[1], cols.shape[2]
+        chunks = -(-d // n_ipu)
+        pad = chunks * n_ipu - d
+        cols = np.pad(cols, ((0, 0), (0, pad), (0, 0)))
+        wmat = np.pad(w.reshape(k, d), ((0, 0), (0, pad)))
+        acts = np.moveaxis(cols, 1, 2).reshape(-1, chunks, n_ipu)
+        wchunks = wmat.reshape(k, chunks, n_ipu)
+        for adder_width, acc_fmt in ((8, FP32), (16, FP16), (28, FP32), (38, FP32)):
+            a_flat = np.broadcast_to(acts[None], (k,) + acts.shape).reshape(-1, n_ipu)
+            b_flat = np.broadcast_to(wchunks[:, None], (k,) + acts.shape).reshape(-1, n_ipu)
+            res = fp_ip_batch_seed(a_flat, b_flat, adder_width, acc_fmt=acc_fmt)
+            out = res.values.reshape(k, -1, chunks).sum(axis=2)
+            out_t = out.T.reshape(2, p, k).transpose(0, 2, 1)
+            if acc_fmt.name == "fp32":
+                out_t = out_t.astype(np.float32)
+            else:
+                out_t = out_t.astype(np.float16).astype(np.float32)
+            want = out_t.reshape(2, k, 7, 7) + bias[None, :, None, None]
+            got = emulated_conv2d(x, w, bias, stride, padding, adder_width, acc_fmt)
+            assert np.array_equal(got, want), (adder_width, acc_fmt.name)
+
+    def test_collapsed_output_rejected(self):
+        x = np.zeros((1, 1, 2, 2), np.float32)
+        w = np.zeros((1, 1, 3, 3), np.float32)
+        with pytest.raises(ValueError):
+            emulated_conv2d(x, w, None, 1, 0, 16)
+
+    def test_plan_cache_reused_across_precisions(self):
+        rng = np.random.default_rng(10)
+        x = rng.normal(size=(1, 2, 5, 5)).astype(np.float32)
+        w = (rng.normal(size=(3, 2, 3, 3)) * 0.2).astype(np.float32)
+        cache = {}
+        for width in (8, 16, 28):
+            fresh = emulated_conv2d(x, w, None, 1, 1, width)
+            cached = emulated_conv2d(x, w, None, 1, 1, width, plan_cache=cache)
+            assert np.array_equal(fresh, cached)
+        assert len(cache) == 1  # one plan serves every precision
+
 
 class TestEmulatedForward:
     def test_reference_path_equals_model(self):
