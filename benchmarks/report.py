@@ -10,7 +10,8 @@ tracked across PRs. Run from the repo root::
 
 Outputs:
 
-- ``BENCH_kernels.json``  — fp_ip_batch microbenchmarks (single + MC)
+- ``BENCH_kernels.json``  — kernel microbenchmarks (single + MC) plus the
+  session-vs-direct-engine overhead/worker-pool rows
 - ``BENCH_fig3.json``     — the quick Figure-3 sweep (same config as
   ``benchmarks/test_bench_fig3.py``)
 - ``BENCH_accuracy.json`` — the quick §3.1 accuracy run (same config as
@@ -21,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -29,11 +31,12 @@ import numpy as np
 
 from repro.analysis.accuracy import accuracy_vs_precision, emulated_conv2d
 from repro.analysis.error import error_stats
-from repro.analysis.sweeps import _operands_for, run_fig3_sweep
+from repro.analysis.sweeps import _operands_for
+from repro.api import EmulationSession, PrecisionPoint, RunSpec
 from repro.fp.formats import FP16, FP32, np_float_dtype
+from repro.ipu.engine import KernelPoint, fp_ip_points, pack_operands
 from repro.ipu.reference import cpu_fp32_dot_batch
 from repro.ipu.seedref import fp_ip_batch_seed
-from repro.ipu.vectorized import fp_ip_batch
 from repro.nn.functional import im2col
 
 FIG3_CONFIG = dict(
@@ -114,6 +117,19 @@ def _emulated_conv2d_seed(x, weight, bias, stride, padding, adder_width, acc_fmt
     return result
 
 
+def _engine_once(a, b, adder_width, software_precision=None, multi_cycle=False):
+    """The direct engine path: pack both operands, run one kernel point."""
+    point = KernelPoint(adder_width, software_precision, multi_cycle)
+    return fp_ip_points(pack_operands(a, FP16), pack_operands(b, FP16), [point])[0]
+
+
+def _session_once(a, b, adder_width, software_precision=None, multi_cycle=False):
+    """The session path, cold: fingerprint + pack + run (no cache reuse)."""
+    with EmulationSession() as session:
+        return session.inner_product(
+            a, b, PrecisionPoint(adder_width, software_precision, multi_cycle))
+
+
 def bench_kernels(repeats):
     rng = np.random.default_rng(0)
     a = rng.laplace(0, 1, (KERNEL_BATCH, 16))
@@ -126,7 +142,7 @@ def bench_kernels(repeats):
     out = {}
     for name, kw in cases.items():
         seed_s, seed_res = _best_of(lambda: fp_ip_batch_seed(a, b, **kw), repeats)
-        eng_s, eng_res = _best_of(lambda: fp_ip_batch(a, b, **kw), repeats)
+        eng_s, eng_res = _best_of(lambda: _engine_once(a, b, **kw), repeats)
         identical = bool(
             np.array_equal(seed_res.values, eng_res.values)
             and np.array_equal(seed_res.total_cycles, eng_res.total_cycles)
@@ -141,9 +157,69 @@ def bench_kernels(repeats):
     return out
 
 
+def bench_session(repeats):
+    """Session-vs-direct-engine: cold overhead and worker-pool scaling.
+
+    The overhead row compares one cold single-threaded session call against
+    the direct engine path on the standard microbenchmark batch (the session
+    adds a content fingerprint + registry resolution). The worker rows run a
+    large multi-point sweep serially and with a thread pool; all paths must
+    be bit-identical.
+    """
+    rng = np.random.default_rng(1)
+    a = rng.laplace(0, 1, (KERNEL_BATCH, 16))
+    b = rng.laplace(0, 1, (KERNEL_BATCH, 16))
+    eng_s, eng_res = _best_of(lambda: _engine_once(a, b, 16), repeats)
+    ses_s, ses_res = _best_of(lambda: _session_once(a, b, 16), repeats)
+    out = {
+        "single_thread_overhead": {
+            "batch": KERNEL_BATCH, "n": 16, "adder_width": 16,
+            "engine_seconds": round(eng_s, 4),
+            "session_seconds": round(ses_s, 4),
+            "overhead_pct": round(100 * (ses_s / eng_s - 1), 2),
+            "identical": bool(np.array_equal(eng_res.values, ses_res.values)),
+        }
+    }
+
+    big_a = rng.laplace(0, 1, (120000, 16))
+    big_b = rng.laplace(0, 1, (120000, 16))
+    points = [PrecisionPoint(w) for w in (12, 16, 28)]
+
+    def run_with(workers):
+        with EmulationSession(workers=workers) as session:
+            return session.inner_products(big_a, big_b, points)
+
+    serial_s, serial_res = _best_of(lambda: run_with(1), repeats)
+    cpus = os.cpu_count() or 1
+    workers = max(2, min(4, cpus))  # exercise the pool even on 1-core hosts
+    par_s, par_res = _best_of(lambda: run_with(workers), repeats)
+    identical = all(
+        np.array_equal(s.values, p.values) and np.array_equal(s.rounded, p.rounded)
+        for s, p in zip(serial_res, par_res)
+    )
+    out["worker_pool_sweep"] = {
+        "batch": 120000, "n": 16, "points": [p.adder_width for p in points],
+        "workers": workers, "cpus": cpus,
+        "serial_seconds": round(serial_s, 4),
+        "parallel_seconds": round(par_s, 4),
+        "speedup": round(serial_s / par_s, 2),
+        "identical": bool(identical),
+    }
+    return out
+
+
+def bench_kernels_and_session(repeats):
+    return {**bench_kernels(repeats), **bench_session(repeats)}
+
+
 def bench_fig3(repeats):
+    spec = RunSpec.grid(
+        precisions=FIG3_CONFIG["precisions"], accumulators=("fp16", "fp32"),
+        sources=FIG3_CONFIG["sources"], batch=FIG3_CONFIG["batch"],
+        chunks=FIG3_CONFIG["chunks"], seed=0,
+    )
     seed_s, seed_points = _best_of(lambda: _seed_fig3_sweep(rng=0, **FIG3_CONFIG), repeats)
-    eng_s, sweep = _best_of(lambda: run_fig3_sweep(rng=0, **FIG3_CONFIG), repeats)
+    eng_s, sweep = _best_of(lambda: EmulationSession().sweep(spec), repeats)
     got = {(p.source, p.acc_fmt, p.precision): p.stats for p in sweep.points}
     identical = len(got) == len(seed_points) and all(
         got[(src, acc, w)] == stats for src, acc, w, stats in seed_points
@@ -165,12 +241,12 @@ def bench_accuracy(repeats):
     model, dataset = trained_model(cfg["style"])  # cached: training excluded
     images = dataset.images[-cfg["n_eval"]:]
     labels = dataset.labels[-cfg["n_eval"]:]
-    run = lambda conv_fn: accuracy_vs_precision(
+    run = lambda conv_fn, session=None: accuracy_vs_precision(
         model, images, labels, cfg["precisions"], batch_size=cfg["batch_size"],
-        conv_fn=conv_fn,
+        conv_fn=conv_fn, session=session,
     )
     seed_s, seed_points = _best_of(lambda: run(_emulated_conv2d_seed), repeats)
-    eng_s, eng_points = _best_of(lambda: run(None), repeats)
+    eng_s, eng_points = _best_of(lambda: run(None, EmulationSession()), repeats)
     identical = seed_points == eng_points
     return {
         "config": {k: list(v) if isinstance(v, tuple) else v for k, v in cfg.items()},
@@ -191,7 +267,7 @@ def main(argv=None) -> int:
 
     env = {"python": platform.python_version(), "numpy": np.__version__}
     reports = {
-        "BENCH_kernels.json": ("fp_ip_batch microbenchmarks", bench_kernels),
+        "BENCH_kernels.json": ("kernel + session microbenchmarks", bench_kernels_and_session),
         "BENCH_fig3.json": ("quick Figure-3 sweep", bench_fig3),
         "BENCH_accuracy.json": ("quick §3.1 accuracy run", bench_accuracy),
     }
@@ -203,8 +279,15 @@ def main(argv=None) -> int:
         flat = results.values() if "seed_seconds" not in results else [results]
         for r in flat:
             mark = "ok" if r.get("identical") else "MISMATCH"
-            print(f"  seed {r['seed_seconds']}s -> engine {r['engine_seconds']}s "
-                  f"({r['speedup']}x, results {mark})")
+            if "seed_seconds" in r:
+                print(f"  seed {r['seed_seconds']}s -> engine {r['engine_seconds']}s "
+                      f"({r['speedup']}x, results {mark})")
+            elif "overhead_pct" in r:
+                print(f"  engine {r['engine_seconds']}s -> session {r['session_seconds']}s "
+                      f"({r['overhead_pct']:+.2f}% overhead, results {mark})")
+            else:
+                print(f"  serial {r['serial_seconds']}s -> {r['workers']} workers "
+                      f"{r['parallel_seconds']}s ({r['speedup']}x, results {mark})")
             failed |= not r.get("identical")
         path = out_dir / filename
         with open(path, "w") as fh:

@@ -14,6 +14,7 @@ import sys
 import numpy as np
 
 from repro.analysis.accuracy import accuracy_vs_precision
+from repro.api import EmulationSession
 from repro.nn.datasets import make_pattern_dataset
 from repro.nn.models import tiny_convnet
 from repro.nn.training import train
@@ -34,7 +35,13 @@ def main(quick: bool = False) -> None:
     precisions = (8, 12) if quick else (8, 10, 12, 16, 28)
     print(f"evaluating {n_eval} images through the emulated IPU "
           f"at precisions {precisions} (FP32 accumulation)...")
-    points = accuracy_vs_precision(model, images, labels, precisions, batch_size=16)
+    # one session spans every precision and batch: conv weights are decoded
+    # once per layer, input-batch activation plans are shared across points
+    with EmulationSession() as session:
+        points = accuracy_vs_precision(model, images, labels, precisions,
+                                       batch_size=16, session=session)
+        st = session.stats
+    print(f"(session plan cache: {st.plan_misses} decodes, {st.plan_hits} reuses)")
 
     ref = next(p for p in points if p.precision is None)
     rows = []

@@ -61,6 +61,7 @@ def emulated_conv2d(
     adder_width: int,
     acc_fmt: FPFormat = FP32,
     plan_cache: dict | None = None,
+    session=None,
 ) -> np.ndarray:
     """Convolution computed through the emulated approximate FP-IP.
 
@@ -72,8 +73,15 @@ def emulated_conv2d(
     The activation tensor is packed once and iterated against one weight
     channel's plan at a time, so peak temporary memory is O(B*n) — the seed
     materialized a K-fold broadcast of both operands before emulating.
+
+    ``session`` (an :class:`repro.api.EmulationSession`) routes activation
+    packing through the session's fingerprint cache — one batch's plan is
+    then shared across every IPU precision of an evaluation — and supplies
+    the weight-plan cache; ``plan_cache`` is the session-less fallback.
     """
     n_ipu = _N_IPU
+    if session is not None:
+        plan_cache = session.weight_plan_cache
     k, c, kh, kw = weight.shape
     nimg = x.shape[0]
     ho = conv_output_size(x.shape[2], kh, stride, padding)
@@ -84,7 +92,8 @@ def emulated_conv2d(
     pad = chunks * n_ipu - d
     if pad:
         cols = np.pad(cols, ((0, 0), (0, 0), (0, pad)))
-    acts = pack_operands(cols.reshape(nimg * p, chunks, n_ipu), FP16)
+    chunked = cols.reshape(nimg * p, chunks, n_ipu)
+    acts = pack_operands(chunked, FP16) if session is None else session.pack(chunked, FP16)
     wplan = weight_plan(weight, n_ipu, plan_cache)            # (K, chunks, n_ipu)
 
     out = np.empty((k, nimg * p))
@@ -104,7 +113,7 @@ def emulated_conv2d(
 
 def emulated_forward(
     model: Sequential, x: np.ndarray, adder_width: int | None, acc_fmt: FPFormat = FP32,
-    plan_cache: dict | None = None, conv_fn=None,
+    plan_cache: dict | None = None, conv_fn=None, session=None,
 ) -> np.ndarray:
     """Forward pass with every Conv2d routed through the emulation.
 
@@ -112,7 +121,8 @@ def emulated_forward(
     ``plan_cache`` (a plain dict) carries packed weight plans across calls —
     pass the same dict for every batch and precision of an evaluation so
     each layer's weights are decomposed exactly once. ``conv_fn`` swaps the
-    emulated convolution implementation (benchmark/regression hook).
+    emulated convolution implementation (benchmark/regression hook);
+    ``session`` routes all plan caching through an EmulationSession instead.
     """
 
     def run(layer, h):
@@ -126,7 +136,7 @@ def emulated_forward(
             return emulated_conv2d(
                 h, layer.weight.data, bias,
                 layer.stride, layer.padding, adder_width, acc_fmt,
-                plan_cache=plan_cache,
+                plan_cache=plan_cache, session=session,
             )
         if isinstance(layer, Residual):
             main = h
@@ -167,12 +177,15 @@ def accuracy_vs_precision(
     batch_size: int = 32,
     plan_cache: dict | None = None,
     conv_fn=None,
+    session=None,
 ) -> list[AccuracyPoint]:
     """Top-1 accuracy at each IPU precision plus the float32 reference,
     with per-batch accuracies (the paper's fluctuation analysis).
 
     One weight-plan cache spans every precision and batch of the run, so
     each conv layer's weights are decoded and nibble-split exactly once.
+    With a ``session``, input-batch activation plans are additionally shared
+    across precisions through the session's fingerprint cache.
     """
     if plan_cache is None:
         plan_cache = {}
@@ -183,7 +196,8 @@ def accuracy_vs_precision(
         for start in range(0, len(labels), batch_size):
             xb = images[start : start + batch_size]
             yb = labels[start : start + batch_size]
-            logits = emulated_forward(model, xb, w, acc_fmt, plan_cache, conv_fn)
+            logits = emulated_forward(model, xb, w, acc_fmt, plan_cache, conv_fn,
+                                      session=session)
             hits = (logits.argmax(axis=1) == yb)
             per_batch.append(float(hits.mean()))
             correct += int(hits.sum())

@@ -12,14 +12,13 @@ style and plain CNNs.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.analysis.error import ErrorStats, error_stats
-from repro.fp.formats import FP16, FP32, FPFormat, np_float_dtype
-from repro.ipu.engine import KernelPoint, fp_ip_points, pack_operands
-from repro.ipu.reference import cpu_fp32_dot_batch
+from repro.analysis.error import ErrorStats
+from repro.fp.formats import FP16, FP32, FPFormat
 from repro.nn.sampling import sample_operand_batch
 from repro.utils.rng import as_generator
 
@@ -87,40 +86,27 @@ def run_fig3_sweep(
     chunks: int = 1,
     rng=None,
 ) -> PrecisionSweep:
-    """The full Figure-3 grid.
+    """Deprecated shim: the Figure-3 grid through a throwaway session.
 
-    ``batch`` trades fidelity for runtime (the paper uses 1M samples;
-    medians stabilize far earlier). ``chunks`` chains that many n-element
-    IPU ops into one longer dot product before comparing — the FP32
-    accumulator case only shows its full precision demand on accumulated
-    dots (conv reductions are hundreds of elements long).
+    Build a :class:`repro.api.RunSpec` and call
+    :meth:`repro.api.EmulationSession.sweep` instead — a session shares
+    operand plans across sweeps and can parallelize the kernels. This
+    wrapper constructs the equivalent spec and produces bit-identical
+    results (asserted by the deprecation-shim tests).
     """
-    rng = as_generator(rng)
-    sweep = PrecisionSweep()
-    for source in sources:
-        a, b = _operands_for(source, batch * chunks, n, rng)
-        # quantize operands to FP16 once so the reference sees the same bits
-        a16 = np.asarray(a, np.float16).astype(np.float64)
-        b16 = np.asarray(b, np.float16).astype(np.float64)
-        ref = cpu_fp32_dot_batch(a16, b16).astype(np.float64)
-        if chunks > 1:
-            ref = ref.reshape(batch, chunks).sum(axis=1)
-        # decode + nibble-split once per source; every precision runs off the
-        # same plans, and the raw accumulator values are shared between the
-        # accumulator formats (only the final rounding differs)
-        pa, pb = pack_operands(a16, FP16), pack_operands(b16, FP16)
-        results = fp_ip_points(pa, pb, [KernelPoint(w) for w in precisions])
-        for w, res in zip(precisions, results):
-            approx_raw = res.values
-            if chunks > 1:
-                approx_raw = approx_raw.reshape(batch, chunks).sum(axis=1)
-            for acc_fmt in acc_fmts:
-                approx = approx_raw.astype(np_float_dtype(acc_fmt)).astype(np.float64)
-                ref_cast = ref.astype(np.float16).astype(np.float64) if acc_fmt.name == "fp16" else ref
-                sweep.points.append(
-                    SweepPoint(source, acc_fmt.name, w, error_stats(approx, ref_cast, acc_fmt))
-                )
-    return sweep
+    warnings.warn(
+        "run_fig3_sweep is deprecated; build a repro.api.RunSpec and call "
+        "EmulationSession.sweep",
+        DeprecationWarning, stacklevel=2,
+    )
+    from repro.api import EmulationSession, RunSpec
+
+    spec = RunSpec.grid(
+        precisions=tuple(precisions),
+        accumulators=tuple(f.name for f in acc_fmts),
+        sources=tuple(sources), batch=batch, n=n, chunks=chunks,
+    )
+    return EmulationSession().sweep(spec, rng=as_generator(rng))
 
 
 def recommended_min_precision(sweep: PrecisionSweep, acc_fmt: str, tol_bits: float = 0.5) -> int:

@@ -1,0 +1,39 @@
+"""Unified emulation API: registries, declarative specs, sessions.
+
+The stable front door to the repo's emulation stack::
+
+    from repro.api import EmulationSession, PrecisionPoint, RunSpec
+
+    spec = RunSpec.grid(precisions=(8, 12, 16, 28),
+                        accumulators=("fp16", "fp32"),
+                        sources=("laplace", "normal"), batch=4000)
+    with EmulationSession(workers=4) as session:
+        sweep = session.sweep(spec)           # decode once, run every point
+        res = session.inner_product(a, b, 16) # ad-hoc kernels share the cache
+
+Formats and accumulators are resolved through the string registries in
+:mod:`repro.fp.registry` (``"fp16"``, ``"bfloat16"``, custom ``"e4m3"``, ...;
+``"fp32"``/``"fp16"``/``"kulisch"``/``"int32"`` accumulators), and every
+spec round-trips through JSON for ``runner --spec`` replay.
+"""
+
+from repro.api.report import render_sweep
+from repro.api.session import EmulationSession, SessionStats
+from repro.api.spec import DEFAULT_SOURCES, PrecisionPoint, RunSpec
+from repro.fp.registry import (
+    AccumulatorSpec,
+    accumulator_names,
+    format_names,
+    parse_accumulator,
+    parse_format,
+    register_accumulator,
+    register_format,
+)
+
+__all__ = [
+    "EmulationSession", "SessionStats", "render_sweep",
+    "DEFAULT_SOURCES", "PrecisionPoint", "RunSpec",
+    "AccumulatorSpec", "accumulator_names", "format_names",
+    "parse_accumulator", "parse_format",
+    "register_accumulator", "register_format",
+]

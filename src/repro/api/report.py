@@ -1,0 +1,39 @@
+"""Generic rendering for session sweep results (spec-driven runs)."""
+
+from __future__ import annotations
+
+from repro.analysis.sweeps import PrecisionSweep
+from repro.utils.table import render_table
+
+__all__ = ["render_sweep"]
+
+METRICS = (
+    ("median_abs_error", "absolute error (median)"),
+    ("median_rel_error_pct", "absolute relative error % (median)"),
+    ("median_contaminated_bits", "contaminated bits (median)"),
+)
+
+
+def _accumulators(sweep: PrecisionSweep) -> list[str]:
+    seen: list[str] = []
+    for p in sweep.points:
+        if p.acc_fmt not in seen:
+            seen.append(p.acc_fmt)
+    return seen
+
+
+def render_sweep(sweep: PrecisionSweep, title: str = "precision sweep") -> str:
+    """Metric tables per accumulator, like Figure 3, for any RunSpec grid."""
+    blocks = []
+    precisions = sorted({p.precision for p in sweep.points})
+    for acc in _accumulators(sweep):
+        for metric, label in METRICS:
+            headers = ["source"] + [str(w) for w in precisions]
+            rows = []
+            for source in sweep.sources():
+                series = dict(sweep.series(source, acc, metric))
+                rows.append([source] + [series.get(w) for w in precisions])
+            blocks.append(render_table(
+                headers, rows, title=f"{title} [{acc} accumulator] {label}"
+            ))
+    return "\n\n".join(blocks)

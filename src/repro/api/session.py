@@ -1,0 +1,355 @@
+"""Emulation sessions: one front door for every emulation consumer.
+
+An :class:`EmulationSession` owns the state that ad-hoc entry points used to
+re-create per call:
+
+- a **plan cache** of :class:`repro.ipu.engine.PackedOperands`, keyed by
+  tensor fingerprint (content hash + shape + dtype) and operand format, so
+  a tensor is decoded and nibble-split exactly once no matter how many
+  precision points, accumulator formats, batches, or consumers touch it;
+- a **weight-plan cache** for the convolution path (keyed by array identity,
+  see :func:`repro.analysis.accuracy.weight_plan`);
+- an optional **worker pool** that splits large batches across threads —
+  rows are independent, so the parallel path is bit-exact with the serial
+  one (verified by the test suite).
+
+High-level methods cover the repo's workloads: :meth:`inner_product` /
+:meth:`inner_products` for kernel points, :meth:`conv2d` / :meth:`forward`
+for emulated inference, :meth:`int_dot` for INT mode, and :meth:`sweep` for
+declarative :class:`repro.api.spec.RunSpec` grids (the Figure-3 protocol).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.error import error_stats
+from repro.analysis.sweeps import PrecisionSweep, SweepPoint, _operands_for
+from repro.fp.formats import FPFormat, np_float_dtype
+from repro.fp.registry import parse_accumulator, parse_format
+from repro.ipu.engine import (
+    KernelPoint,
+    PackedOperands,
+    _broadcast_plan,
+    fp_ip_points,
+    pack_operands,
+)
+from repro.ipu.reference import cpu_fp32_dot_batch
+from repro.utils.rng import as_generator
+
+from repro.api.spec import PrecisionPoint, RunSpec
+
+__all__ = ["EmulationSession", "SessionStats"]
+
+# Below this many result rows the thread-pool split costs more than it saves.
+MIN_PARALLEL_ROWS = 4096
+
+
+@dataclass
+class SessionStats:
+    """Plan-cache counters (observability for cache-sizing decisions)."""
+
+    plan_hits: int = 0
+    plan_misses: int = 0
+    plan_evictions: int = 0
+    plan_bytes: int = 0
+    kernel_rows: int = 0
+    parallel_batches: int = 0
+
+
+def _fingerprint(values: np.ndarray, fmt: FPFormat) -> tuple[tuple, np.ndarray]:
+    """(cache key, format-cast array) for ``values`` under ``fmt``.
+
+    The key hashes the *format-cast* bits rather than the raw input: two
+    inputs that round to the same fp16/fp32 tensor produce identical plans,
+    and hashing the narrow cast is 4-8x less data than the float64 source.
+    The cast is returned so packing can reuse it.
+    """
+    cast = np.ascontiguousarray(values, dtype=np_float_dtype(fmt))
+    digest = hashlib.blake2b(cast.data, digest_size=16).hexdigest()
+    return (fmt.name, cast.shape, digest), cast
+
+
+def _plan_nbytes(plan: PackedOperands) -> int:
+    return plan.sign.nbytes + plan.exp.nbytes + plan.nibbles.nbytes
+
+
+def _dedup_kernels(points) -> tuple[list[KernelPoint], dict]:
+    """Unique kernel configurations (first-appearance order) + key index.
+
+    Points that differ only in accumulator share one kernel execution; the
+    caller applies each point's write-back separately.
+    """
+    kernels: list[KernelPoint] = []
+    index: dict[tuple, int] = {}
+    for p in points:
+        if p.kernel_key() not in index:
+            index[p.kernel_key()] = len(kernels)
+            kernels.append(p.kernel_point())
+    return kernels, index
+
+
+class EmulationSession:
+    """Shared-state emulation façade (see module docstring).
+
+    Parameters
+    ----------
+    workers:
+        Thread count for batch-parallel kernel execution; ``None`` or ``1``
+        runs serially. Results are bit-identical either way.
+    plan_cache_bytes:
+        Byte budget for cached operand plans (LRU eviction). ``0`` disables
+        caching (every :meth:`pack` decodes afresh).
+    chunk_rows:
+        Override the engine's cache-sized row chunking (testing hook).
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        plan_cache_bytes: int = 256 << 20,
+        chunk_rows: int | None = None,
+    ):
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = 1 if workers is None else int(workers)
+        self.plan_cache_bytes = plan_cache_bytes
+        self.chunk_rows = chunk_rows
+        self.stats = SessionStats()
+        self._plans: OrderedDict[tuple, PackedOperands] = OrderedDict()
+        self._weight_plans: dict = {}
+        self._pool: ThreadPoolExecutor | None = None
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down and drop all cached plans."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._plans.clear()
+        self._weight_plans.clear()
+        self.stats.plan_bytes = 0
+        self._closed = True
+
+    def __enter__(self) -> "EmulationSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def weight_plan_cache(self) -> dict:
+        """Identity-keyed conv weight plans (see ``accuracy.weight_plan``)."""
+        return self._weight_plans
+
+    # -- operand plans -----------------------------------------------------
+
+    def pack(self, values, fmt: str | FPFormat = "fp16") -> PackedOperands:
+        """Decode-once plan for ``values`` in ``fmt``, cached by content.
+
+        Passing an existing :class:`PackedOperands` returns it unchanged
+        (after checking the format matches), so call sites can accept either
+        raw arrays or pre-packed plans.
+        """
+        fmt = parse_format(fmt)
+        if isinstance(values, PackedOperands):
+            if values.fmt.name != fmt.name:
+                raise ValueError(
+                    f"plan is {values.fmt.name}, requested {fmt.name}"
+                )
+            return values
+        values = np.asarray(values)
+        if self.plan_cache_bytes <= 0:
+            return pack_operands(values, fmt)
+        key, cast = _fingerprint(values, fmt)
+        plan = self._plans.get(key)
+        if plan is not None:
+            self._plans.move_to_end(key)
+            self.stats.plan_hits += 1
+            return plan
+        plan = pack_operands(cast, fmt)
+        self.stats.plan_misses += 1
+        self._plans[key] = plan
+        self.stats.plan_bytes += _plan_nbytes(plan)
+        while self.stats.plan_bytes > self.plan_cache_bytes and len(self._plans) > 1:
+            _, evicted = self._plans.popitem(last=False)
+            self.stats.plan_bytes -= _plan_nbytes(evicted)
+            self.stats.plan_evictions += 1
+        return plan
+
+    # -- kernels -----------------------------------------------------------
+
+    @staticmethod
+    def _as_points(points) -> list[PrecisionPoint]:
+        out = []
+        for p in points:
+            if isinstance(p, PrecisionPoint):
+                out.append(p)
+            elif isinstance(p, int):
+                out.append(PrecisionPoint(p))
+            else:
+                raise TypeError(f"expected PrecisionPoint or int, got {type(p).__name__}")
+        return out
+
+    def inner_product(self, a, b, point, fmt: str | FPFormat = "fp16"):
+        """Emulate one configuration over a batch; returns FPIPBatchResult.
+
+        ``point`` is a :class:`PrecisionPoint` or a bare adder width;
+        ``a``/``b`` are float arrays ``(..., n)`` or packed plans.
+        """
+        return self.inner_products(a, b, [point], fmt)[0]
+
+    def inner_products(self, a, b, points, fmt: str | FPFormat = "fp16"):
+        """Emulate many configurations off one shared operand plan pair.
+
+        Points that differ only in accumulator share one kernel execution;
+        the per-point write-back rounding is re-applied from the exact
+        register values (bit-identical to a dedicated kernel run).
+        """
+        pts = self._as_points(points)
+        pa, pb = self.pack(a, fmt), self.pack(b, fmt)
+        kernels, index = _dedup_kernels(pts)
+        results = self._run_points(pa, pb, kernels)
+        out = []
+        for p in pts:
+            base = results[index[p.kernel_key()]]
+            acc = p.acc
+            if acc.kind != "float":
+                # exact/int write-back keeps the register bits (float64)
+                rounded = base.values
+            else:
+                dtype = np_float_dtype(acc.fmt)
+                if base.rounded.dtype == dtype:
+                    out.append(base)
+                    continue
+                rounded = base.values.astype(dtype)
+            out.append(type(base)(
+                values=base.values, rounded=rounded,
+                max_exp=base.max_exp, alignment_cycles=base.alignment_cycles,
+                total_cycles=base.total_cycles,
+            ))
+        return out
+
+    def int_dot(self, a, b, a_bits: int, b_bits: int, signed: bool = True):
+        """Batched INT-mode inner products: ``(results, cycles_per_op)``."""
+        from repro.ipu.vectorized import int_dot_batch
+
+        return int_dot_batch(a, b, a_bits, b_bits, signed=signed)
+
+    def _run_points(self, pa: PackedOperands, pb: PackedOperands,
+                    points: list[KernelPoint]):
+        """fp_ip_points, split across the worker pool when profitable."""
+        shape = np.broadcast_shapes(pa.shape, pb.shape)
+        rows = int(np.prod(shape[:-1], dtype=np.int64))
+        self.stats.kernel_rows += rows * len(points)
+        dim0 = shape[0] if len(shape) >= 2 else 1
+        parts = min(self.workers, dim0)
+        if parts <= 1 or rows < MIN_PARALLEL_ROWS:
+            return fp_ip_points(pa, pb, points, chunk_rows=self.chunk_rows)
+        if self._closed:
+            raise RuntimeError("session is closed")
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-emul"
+            )
+        self.stats.parallel_batches += 1
+        a_sign, a_exp, a_nib = _broadcast_plan(pa, shape)
+        b_sign, b_exp, b_nib = _broadcast_plan(pb, shape)
+        edges = [dim0 * i // parts for i in range(parts + 1)]
+        futures = []
+        for lo, hi in zip(edges, edges[1:]):
+            slab_a = PackedOperands(pa.fmt, a_sign[lo:hi], a_exp[lo:hi], a_nib[lo:hi])
+            slab_b = PackedOperands(pb.fmt, b_sign[lo:hi], b_exp[lo:hi], b_nib[lo:hi])
+            futures.append(self._pool.submit(
+                fp_ip_points, slab_a, slab_b, points, self.chunk_rows
+            ))
+        slabs = [f.result() for f in futures]
+        out = []
+        for i in range(len(points)):
+            parts_i = [s[i] for s in slabs]
+            first = parts_i[0]
+            out.append(type(first)(
+                values=np.concatenate([p.values for p in parts_i]),
+                rounded=np.concatenate([p.rounded for p in parts_i]),
+                max_exp=np.concatenate([p.max_exp for p in parts_i]),
+                alignment_cycles=np.concatenate([p.alignment_cycles for p in parts_i]),
+                total_cycles=np.concatenate([p.total_cycles for p in parts_i]),
+            ))
+        return out
+
+    # -- emulated inference ------------------------------------------------
+
+    def conv2d(self, x, weight, bias=None, stride: int = 1, padding: int = 0,
+               precision: int = 16, accumulator: str = "fp32") -> np.ndarray:
+        """Convolution through the emulated FP-IP, session-cached plans."""
+        from repro.analysis.accuracy import emulated_conv2d
+
+        acc = parse_accumulator(accumulator)
+        if acc.kind != "float":
+            raise ValueError("conv2d supports float accumulators (fp16/fp32)")
+        return emulated_conv2d(x, weight, bias, stride, padding, precision,
+                               acc_fmt=acc.fmt, session=self)
+
+    def forward(self, model, x, precision: int | None,
+                accumulator: str = "fp32") -> np.ndarray:
+        """Forward pass with every conv emulated (``precision=None`` = fp32)."""
+        from repro.analysis.accuracy import emulated_forward
+
+        acc = parse_accumulator(accumulator)
+        if acc.kind != "float":
+            raise ValueError("forward supports float accumulators (fp16/fp32)")
+        return emulated_forward(model, x, precision, acc_fmt=acc.fmt, session=self)
+
+    # -- declarative sweeps ------------------------------------------------
+
+    def sweep(self, spec: RunSpec, rng=None) -> PrecisionSweep:
+        """Run a :class:`RunSpec` grid (the Figure-3 protocol).
+
+        Per source: sample ``batch * chunks`` operand pairs, compute the
+        FP32-CPU reference, pack both operands once, execute every distinct
+        kernel configuration off the shared plans, then apply each point's
+        accumulator write-back and error statistics. Points that differ only
+        in accumulator share one kernel execution.
+
+        ``rng`` overrides ``spec.seed`` (for callers that thread one
+        generator through several runs); JSON replays leave it ``None``.
+        """
+        if not spec.points:
+            raise ValueError("RunSpec has no precision points")
+        fmt = parse_format(spec.operand_format)
+        dtype = np_float_dtype(fmt)
+        rng = as_generator(spec.seed if rng is None else rng)
+        result = PrecisionSweep()
+        for source in spec.sources:
+            a, b = _operands_for(source, spec.batch * spec.chunks, spec.n, rng)
+            # quantize operands into the operand format once so the
+            # reference sees the same bits the IPU does
+            aq = np.asarray(a, dtype).astype(np.float64)
+            bq = np.asarray(b, dtype).astype(np.float64)
+            ref = cpu_fp32_dot_batch(aq, bq).astype(np.float64)
+            if spec.chunks > 1:
+                ref = ref.reshape(spec.batch, spec.chunks).sum(axis=1)
+            pa, pb = self.pack(aq, fmt), self.pack(bq, fmt)
+            kernels, index = _dedup_kernels(spec.points)
+            results = self._run_points(pa, pb, kernels)
+            for p in spec.points:
+                acc = p.acc
+                approx = results[index[p.kernel_key()]].values
+                if spec.chunks > 1:
+                    approx = approx.reshape(spec.batch, spec.chunks).sum(axis=1)
+                approx = acc.round(approx)
+                ref_cast = ref
+                if acc.kind == "float" and acc.fmt_name == "fp16":
+                    ref_cast = ref.astype(np.float16).astype(np.float64)
+                result.points.append(SweepPoint(
+                    source, acc.name, p.adder_width,
+                    error_stats(approx, ref_cast, acc.error_format),
+                ))
+        return result

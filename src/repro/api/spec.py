@@ -1,0 +1,149 @@
+"""Declarative run configurations: frozen, JSON-round-trippable dataclasses.
+
+A :class:`PrecisionPoint` names one point of the paper's design space —
+IPU adder width x serve mode x accumulator — using registry strings only,
+so a whole sweep (:class:`RunSpec`) serializes to a flat JSON document that
+``python -m repro.experiments.runner --spec spec.json`` can replay.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+
+from repro.fp.registry import AccumulatorSpec, parse_accumulator, parse_format
+from repro.ipu.engine import KernelPoint
+
+__all__ = ["PrecisionPoint", "RunSpec", "DEFAULT_SOURCES"]
+
+DEFAULT_SOURCES = ("laplace", "normal", "uniform", "resnet-tensors", "convnet-tensors")
+
+
+@dataclass(frozen=True)
+class PrecisionPoint:
+    """One emulation configuration, fully described by JSON-safe fields.
+
+    ``accumulator`` is a registry name (``"fp32"``, ``"fp16"``,
+    ``"kulisch"``); ``software_precision``/``multi_cycle`` follow the
+    :class:`repro.ipu.engine.KernelPoint` conventions (``None`` = the
+    single-cycle Figure-3 default).
+    """
+
+    adder_width: int
+    software_precision: int | None = None
+    multi_cycle: bool = False
+    accumulator: str = "fp32"
+
+    def __post_init__(self) -> None:
+        if self.adder_width < 1:
+            raise ValueError(f"adder width must be positive, got {self.adder_width}")
+        acc = parse_accumulator(self.accumulator)  # fail early on unknown names
+        if acc.kind == "int":
+            raise ValueError(
+                f"accumulator {acc.name!r} is the INT-mode register; FP kernel "
+                "points take float/exact accumulators (use session.int_dot for "
+                "INT dots)"
+            )
+
+    @property
+    def acc(self) -> AccumulatorSpec:
+        return parse_accumulator(self.accumulator)
+
+    def kernel_point(self) -> KernelPoint:
+        """The engine configuration (accumulator rounding applied separately)."""
+        acc = self.acc
+        fmt = acc.fmt if acc.kind == "float" else parse_format("fp32")
+        return KernelPoint(self.adder_width, self.software_precision,
+                           self.multi_cycle, fmt)
+
+    def kernel_key(self) -> tuple:
+        """Points differing only in accumulator share one kernel execution."""
+        return (self.adder_width, self.software_precision, self.multi_cycle)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PrecisionPoint":
+        return cls(**d)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """A serializable precision sweep: sources x points at one batch shape.
+
+    Matches the Figure-3 protocol: per source, ``batch * chunks`` FP16
+    operand pairs of length ``n`` are sampled, every point is emulated off
+    one shared operand plan, and ``chunks`` consecutive inner products are
+    summed into one longer dot before the error statistics.
+    """
+
+    name: str = "sweep"
+    operand_format: str = "fp16"
+    sources: tuple[str, ...] = DEFAULT_SOURCES
+    points: tuple[PrecisionPoint, ...] = ()
+    batch: int = 20000
+    n: int = 16
+    chunks: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sources", tuple(self.sources))
+        object.__setattr__(self, "points", tuple(
+            p if isinstance(p, PrecisionPoint) else PrecisionPoint.from_dict(p)
+            for p in self.points
+        ))
+        fmt = parse_format(self.operand_format)
+        if fmt.name not in ("fp16", "fp32"):
+            # the vectorized engine decodes through native NumPy dtypes only
+            raise ValueError(
+                f"operand_format {fmt.name!r} has no vectorized engine path "
+                "(fp16/fp32 only)"
+            )
+        if self.batch < 1 or self.n < 1 or self.chunks < 1:
+            raise ValueError("batch, n, and chunks must all be >= 1")
+
+    @classmethod
+    def grid(
+        cls,
+        precisions: tuple[int, ...],
+        accumulators: tuple[str, ...] = ("fp32",),
+        **kwargs,
+    ) -> "RunSpec":
+        """The Figure-3 nesting: precisions outer, accumulators inner."""
+        points = tuple(
+            PrecisionPoint(w, accumulator=a) for w in precisions for a in accumulators
+        )
+        return cls(points=points, **kwargs)
+
+    def with_points(self, points) -> "RunSpec":
+        return replace(self, points=tuple(points))
+
+    # -- JSON round trip ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["sources"] = list(self.sources)
+        d["points"] = [p.to_dict() for p in self.points]
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunSpec":
+        d = dict(d)
+        d["points"] = tuple(PrecisionPoint.from_dict(p) for p in d.get("points", ()))
+        d["sources"] = tuple(d.get("sources", DEFAULT_SOURCES))
+        return cls(**d)
+
+    def to_json(self, path: str | Path | None = None) -> str:
+        text = json.dumps(self.to_dict(), indent=2) + "\n"
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    @classmethod
+    def from_json(cls, source: str | Path) -> "RunSpec":
+        """Load from a JSON string or a path to a JSON file."""
+        if isinstance(source, Path) or (isinstance(source, str) and source.lstrip()[:1] != "{"):
+            source = Path(source).read_text()
+        return cls.from_dict(json.loads(source))

@@ -24,17 +24,21 @@ def run(
     precisions=(8, 10, 12, 16, 28),
     n_eval: int = 128,
     styles=("resnet", "plain"),
+    session=None,
 ) -> list[AccuracyResult]:
     from repro.analysis._model_cache import trained_model
+    from repro.api import EmulationSession
 
     results = []
-    plan_cache: dict = {}  # weight plans shared across precisions and batches
+    # one session spans styles, precisions, and batches: weight plans are
+    # decoded once per layer, activation plans once per input batch
+    session = session or EmulationSession()
     for style in styles:
         model, dataset = trained_model(style)
         images = dataset.images[-n_eval:]
         labels = dataset.labels[-n_eval:]
         points = accuracy_vs_precision(model, images, labels, precisions,
-                                       plan_cache=plan_cache)
+                                       session=session)
         results.append(AccuracyResult(style, points))
     return results
 

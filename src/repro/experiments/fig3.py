@@ -2,17 +2,36 @@
 
 from __future__ import annotations
 
-from repro.analysis.sweeps import PrecisionSweep, recommended_min_precision, run_fig3_sweep
+from repro.analysis.sweeps import PrecisionSweep, recommended_min_precision
+from repro.api import EmulationSession, RunSpec
 from repro.fp.formats import FP16, FP32
+from repro.utils.rng import as_generator
 from repro.utils.table import render_table
 
-__all__ = ["run", "render"]
+__all__ = ["run", "render", "spec_for"]
 
 METRICS = (
     ("median_abs_error", "absolute error (median)"),
     ("median_rel_error_pct", "absolute relative error % (median)"),
     ("median_contaminated_bits", "contaminated bits (median)"),
 )
+
+
+def spec_for(
+    batch: int = 20000,
+    chunks: int = 4,
+    precisions=(8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 27, 28, 30, 38),
+    sources=("laplace", "normal", "uniform", "resnet-tensors", "convnet-tensors"),
+    acc_fmts=(FP16, FP32),
+    seed: int = 0,
+) -> RunSpec:
+    """The Figure-3 grid as a declarative, JSON-serializable RunSpec."""
+    return RunSpec.grid(
+        name="fig3",
+        precisions=tuple(precisions),
+        accumulators=tuple(f.name for f in acc_fmts),
+        sources=tuple(sources), batch=batch, chunks=chunks, seed=seed,
+    )
 
 
 def run(
@@ -22,11 +41,12 @@ def run(
     sources=("laplace", "normal", "uniform", "resnet-tensors", "convnet-tensors"),
     acc_fmts=(FP16, FP32),
     rng=0,
+    session: EmulationSession | None = None,
 ) -> PrecisionSweep:
-    return run_fig3_sweep(
-        sources=sources, precisions=precisions, acc_fmts=acc_fmts,
-        batch=batch, chunks=chunks, rng=rng,
-    )
+    spec = spec_for(batch, chunks, precisions, sources, acc_fmts,
+                    seed=rng if isinstance(rng, int) else 0)
+    session = session or EmulationSession()
+    return session.sweep(spec, rng=as_generator(rng))
 
 
 def render(sweep: PrecisionSweep) -> str:

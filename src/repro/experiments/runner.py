@@ -6,6 +6,8 @@ Usage::
     python -m repro.experiments.runner fig3 fig9
     python -m repro.experiments.runner --all [--quick]
     python -m repro.experiments.runner --all --quick --json timings.json
+    python -m repro.experiments.runner --spec examples/specs/fig3_quick.json
+    python -m repro.experiments.runner --spec spec.json --workers 4
 """
 
 from __future__ import annotations
@@ -86,6 +88,19 @@ EXPERIMENTS = {
 }
 
 
+def _run_spec(path: str, workers: int | None) -> str:
+    """Replay a declarative RunSpec JSON through an emulation session."""
+    from repro.api import EmulationSession, RunSpec, render_sweep
+
+    try:  # bad files/specs exit cleanly; sweep bugs must keep their traceback
+        spec = RunSpec.from_json(path)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        raise SystemExit(f"cannot load spec {path!r}: {exc}")
+    with EmulationSession(workers=workers) as session:
+        sweep = session.sweep(spec)
+    return render_sweep(sweep, title=spec.name)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -95,11 +110,34 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write per-experiment wall-clock seconds to PATH")
+    parser.add_argument("--spec", metavar="PATH", default=None,
+                        help="run a declarative RunSpec JSON (repro.api) instead "
+                             "of a named experiment")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="session worker threads for --spec runs")
     args = parser.parse_args(argv)
 
     if args.list:
         for name, (_, desc) in EXPERIMENTS.items():
             print(f"{name:10s} {desc}")
+        return 0
+    if args.spec is not None:
+        if args.experiments or args.all:
+            print("--spec cannot be combined with named experiments", file=sys.stderr)
+            return 2
+        start = time.time()
+        try:
+            output = _run_spec(args.spec, args.workers)
+        except SystemExit as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        print(output)
+        elapsed = round(time.time() - start, 3)
+        print(f"[spec {args.spec} done in {elapsed:.1f}s]")
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump({"spec": args.spec, "seconds": {"spec": elapsed}}, fh, indent=2)
+                fh.write("\n")
         return 0
     names = list(EXPERIMENTS) if args.all else args.experiments
     if not names:

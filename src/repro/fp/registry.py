@@ -1,0 +1,179 @@
+"""String-keyed registries for FP formats and accumulator configurations.
+
+Every knob of the paper's design space — operand precision, accumulator
+format, serve mode — is named here so that experiment configs can be plain
+JSON (:mod:`repro.api.spec`) instead of Python object graphs.
+
+Formats
+    :func:`parse_format` resolves the built-in names (``"fp16"``,
+    ``"fp32"``, ``"bfloat16"``/``"bf16"``, ``"tf32"``) plus arbitrary
+    ``eXmY`` specs (``"e4m3"``, ``"e5m2"``, ...) into
+    :class:`repro.fp.formats.FPFormat` instances. Parsed custom specs are
+    interned into the registry, so every registered name round-trips to an
+    identical format object.
+
+Accumulators
+    :class:`AccumulatorSpec` names a write-back configuration: a *float*
+    accumulator rounds the exact register contents into its format (the
+    paper's FP16/FP32 rows), the *exact* ``"kulisch"`` accumulator keeps the
+    register bits (the Kulisch reference the error metrics compare against),
+    and the *int* ``"int32"`` accumulator is the plain integer register of
+    INT mode. Each carries the software precision the paper pairs with it
+    (§3.1: 16 bits suffice for FP16 accumulation, 28 for FP32).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fp.formats import BF16, FP16, FP32, TF32, FPFormat
+
+__all__ = [
+    "register_format",
+    "parse_format",
+    "format_names",
+    "AccumulatorSpec",
+    "register_accumulator",
+    "parse_accumulator",
+    "accumulator_names",
+]
+
+_EXMY = re.compile(r"^e(\d+)m(\d+)$")
+
+_FORMATS: dict[str, FPFormat] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def register_format(fmt: FPFormat, *aliases: str) -> FPFormat:
+    """Register ``fmt`` under its name (and optional aliases); idempotent.
+
+    Re-registering a name with a *different* format is rejected — names are
+    the serialization surface, so they must stay unambiguous.
+    """
+    existing = _FORMATS.get(fmt.name)
+    if existing is not None and existing != fmt:
+        raise ValueError(f"format name {fmt.name!r} already registered as {existing}")
+    _FORMATS[fmt.name] = fmt
+    for alias in aliases:
+        target = _ALIASES.get(alias)
+        if target is not None and target != fmt.name:
+            raise ValueError(f"alias {alias!r} already points at {target!r}")
+        if alias in _FORMATS and _FORMATS[alias] != fmt:
+            raise ValueError(f"alias {alias!r} shadows a registered format")
+        _ALIASES[alias] = fmt.name
+    return fmt
+
+
+def parse_format(spec: str | FPFormat) -> FPFormat:
+    """Resolve a format name, alias, or ``eXmY`` spec to an :class:`FPFormat`."""
+    if isinstance(spec, FPFormat):
+        return spec
+    name = spec.strip().lower()
+    name = _ALIASES.get(name, name)
+    fmt = _FORMATS.get(name)
+    if fmt is not None:
+        return fmt
+    m = _EXMY.match(name)
+    if m is None:
+        raise KeyError(
+            f"unknown FP format {spec!r}; registered: {', '.join(format_names())} "
+            "(or an eXmY spec like 'e4m3')"
+        )
+    exp_bits, man_bits = int(m.group(1)), int(m.group(2))
+    if exp_bits < 2 or man_bits < 1:
+        raise ValueError(f"{spec!r}: need exp_bits >= 2 and man_bits >= 1")
+    return register_format(FPFormat(name, exp_bits, man_bits))
+
+
+def format_names() -> tuple[str, ...]:
+    """Registered format names (aliases excluded), registration order."""
+    return tuple(_FORMATS)
+
+
+register_format(FP16, "half", "float16")
+register_format(FP32, "single", "float32")
+register_format(BF16, "bf16")
+register_format(TF32)
+
+
+# -- accumulator / serve-mode configurations --------------------------------
+
+_ACCUMULATORS: dict[str, "AccumulatorSpec"] = {}
+
+
+@dataclass(frozen=True)
+class AccumulatorSpec:
+    """A named write-back configuration for the wide partial-sum register.
+
+    ``kind`` selects what happens to the exact register contents:
+
+    - ``"float"``: round once into ``fmt_name`` (the hardware write-back);
+    - ``"exact"``: keep the register bits (Kulisch-style exact accumulation);
+    - ``"int"``: the INT-mode integer register (no rounding ever occurs).
+
+    ``software_precision`` is the alignment mask threshold the paper pairs
+    with this accumulator when serving multi-cycle (§3.1/§3.3).
+    """
+
+    name: str
+    kind: str
+    fmt_name: str | None
+    software_precision: int
+
+    @property
+    def fmt(self) -> FPFormat | None:
+        return None if self.fmt_name is None else parse_format(self.fmt_name)
+
+    @property
+    def error_format(self) -> FPFormat:
+        """Format used for contaminated-bits error metrics against this
+        accumulator (exact/int accumulators are judged at FP32 width)."""
+        return self.fmt if self.kind == "float" else FP32
+
+    def round(self, values: np.ndarray) -> np.ndarray:
+        """Apply the write-back to exact register ``values`` (float64).
+
+        Float accumulators perform the single RNE rounding into their format
+        and return float64 of the rounded value; exact/int accumulators pass
+        the register contents through untouched.
+        """
+        if self.kind == "float":
+            from repro.fp.formats import np_float_dtype
+
+            return values.astype(np_float_dtype(self.fmt)).astype(np.float64)
+        return np.asarray(values, dtype=np.float64)
+
+
+def register_accumulator(spec: AccumulatorSpec) -> AccumulatorSpec:
+    existing = _ACCUMULATORS.get(spec.name)
+    if existing is not None and existing != spec:
+        raise ValueError(f"accumulator {spec.name!r} already registered as {existing}")
+    if spec.kind not in ("float", "exact", "int"):
+        raise ValueError(f"unknown accumulator kind {spec.kind!r}")
+    _ACCUMULATORS[spec.name] = spec
+    return spec
+
+
+def parse_accumulator(spec: str | AccumulatorSpec) -> AccumulatorSpec:
+    """Resolve an accumulator name (or pass a spec through)."""
+    if isinstance(spec, AccumulatorSpec):
+        return spec
+    try:
+        return _ACCUMULATORS[spec.strip().lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown accumulator {spec!r}; registered: {', '.join(accumulator_names())}"
+        ) from None
+
+
+def accumulator_names() -> tuple[str, ...]:
+    return tuple(_ACCUMULATORS)
+
+
+register_accumulator(AccumulatorSpec("fp32", "float", "fp32", 28))
+register_accumulator(AccumulatorSpec("fp16", "float", "fp16", 16))
+register_accumulator(AccumulatorSpec("kulisch", "exact", None, 38))
+register_accumulator(AccumulatorSpec("int32", "int", None, 0))

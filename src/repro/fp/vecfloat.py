@@ -19,6 +19,7 @@ __all__ = [
     "float_to_bits",
     "bits_to_float",
     "product_exponents",
+    "quantize_array",
     "DecodedArray",
 ]
 
@@ -86,6 +87,27 @@ def decode_array(fmt: FPFormat, values: np.ndarray) -> DecodedArray:
     magnitude = np.where(is_normal, man | (1 << fmt.man_bits), man)
     unbiased = np.where(is_normal, exp - fmt.bias, fmt.min_exp)
     return DecodedArray(fmt, sign.astype(np.int8), unbiased.astype(np.int64), magnitude.astype(np.int64))
+
+
+def quantize_array(fmt: FPFormat, values: np.ndarray) -> np.ndarray:
+    """Round ``values`` into ``fmt`` with RNE, vectorized, for *any* format.
+
+    Unlike :func:`float_to_bits` this needs no native NumPy dtype, so it
+    covers custom ``eXmY`` registry formats. Subnormals are honoured (the
+    quantization step clamps at ``2**(min_exp - man_bits)``) and overflow
+    *saturates* to the largest finite value — the fake-quantization
+    convention — rather than producing infinities. Returns float64.
+    """
+    x = np.asarray(values, dtype=np.float64)
+    if not np.all(np.isfinite(x)):
+        raise ValueError("quantize_array got non-finite input")
+    _, exp = np.frexp(x)            # |x| = m * 2**exp with m in [0.5, 1)
+    unbiased = exp - 1              # exponent of the leading bit
+    lsb = np.maximum(unbiased, fmt.min_exp) - fmt.man_bits
+    q = np.rint(np.ldexp(x, -lsb))  # RNE onto the format's quantization grid
+    out = np.ldexp(q, lsb)
+    max_finite = fmt.decode_value(fmt.max_finite_bits())
+    return np.clip(out, -max_finite, max_finite)
 
 
 def product_exponents(a: DecodedArray, b: DecodedArray) -> np.ndarray:

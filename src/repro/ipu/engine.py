@@ -48,13 +48,14 @@ from repro.fp.vecfloat import decode_array
 from repro.ipu.accumulator import ACC_FRACTION_BITS
 from repro.ipu.ehu import serve_cycles
 from repro.ipu.theory import MAX_FP16_PRODUCT_SHIFT, safe_precision
-from repro.nibble.decompose import fp_magnitude_nibbles_vec, fp_nibble_weight_exp
+from repro.nibble.decompose import NIBBLE_BITS, fp_magnitude_nibbles_vec, fp_nibble_weight_exp
 
 __all__ = [
     "FPIPBatchResult",
     "KernelPoint",
     "PackedOperands",
     "pack_operands",
+    "plan_values",
     "fp_ip_packed",
     "fp_ip_points",
     "DEFAULT_CHUNK_ELEMENTS",
@@ -194,6 +195,27 @@ def pack_operands(values: np.ndarray, fmt: FPFormat = FP16) -> PackedOperands:
         da.unbiased_exp.astype(np.int16),
         nib.astype(np.uint8),
     )
+
+
+def plan_values(plan: PackedOperands) -> np.ndarray:
+    """Reconstruct the decoded FP values a plan encodes, as float64.
+
+    Exact inverse of :func:`pack_operands` up to the format cast it performs:
+    ``plan_values(pack_operands(x, fmt))`` is ``x`` rounded into ``fmt``.
+    This is what makes a cached plan double as the fake-quantized view of
+    its tensor (:func:`repro.nn.quantize.fake_quantize_fp`).
+    """
+    fmt = plan.fmt
+    nib = plan.nibbles.astype(np.int64)
+    mag = np.zeros(plan.shape, dtype=np.int64)
+    for i in range(plan.k_total):
+        mag += nib[..., i] << (NIBBLE_BITS * i)
+    if fmt.magnitude_bits != NIBBLE_BITS * plan.k_total:
+        mag >>= 1  # undo the implicit left shift of the low nibble
+    vals = mag.astype(np.float64) * np.exp2(
+        (plan.exp.astype(np.int64) - fmt.man_bits).astype(np.float64)
+    )
+    return np.where(plan.sign, -vals, vals)
 
 
 def fp_ip_packed(

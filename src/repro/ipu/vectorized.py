@@ -20,6 +20,8 @@ of a single FP-IP op is bounded by ``4 * n * 2**30``.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.fp.formats import FP16, FP32, FPFormat
@@ -53,7 +55,16 @@ def fp_ip_batch(
         an MC-IPU.
     multi_cycle:
         Engage the MC serve loop when ``w < software_precision``.
+
+    .. deprecated::
+        Use :meth:`repro.api.EmulationSession.inner_product` — a session
+        caches the operand plans this wrapper rebuilds on every call. The
+        results are bit-identical (asserted by the deprecation-shim tests).
     """
+    warnings.warn(
+        "fp_ip_batch is deprecated; use repro.api.EmulationSession.inner_product",
+        DeprecationWarning, stacklevel=2,
+    )
     point = KernelPoint(adder_width, software_precision, multi_cycle, acc_fmt)
     point.resolve()  # validate the configuration before decoding anything
     pa = pack_operands(a, in_fmt)

@@ -16,7 +16,14 @@ from repro.nn.layers import (
     Sequential,
 )
 from repro.nn.models import model_conv_layers, tiny_convnet, tiny_resnet
-from repro.nn.quantize import QuantParams, calibrate, dequantize, fake_quantize, quantize
+from repro.nn.quantize import (
+    QuantParams,
+    calibrate,
+    dequantize,
+    fake_quantize,
+    fake_quantize_fp,
+    quantize,
+)
 from repro.nn.sampling import (
     BACKWARD_ERROR,
     BACKWARD_WEIGHT,
@@ -43,7 +50,8 @@ __all__ = [
     "AvgPool2d", "BatchNorm2d", "Conv2d", "Flatten", "GlobalAvgPool", "Layer",
     "Linear", "MaxPool2d", "ReLU", "Residual", "Sequential",
     "model_conv_layers", "tiny_convnet", "tiny_resnet",
-    "QuantParams", "calibrate", "dequantize", "fake_quantize", "quantize",
+    "QuantParams", "calibrate", "dequantize", "fake_quantize", "fake_quantize_fp",
+    "quantize",
     "BACKWARD_ERROR", "BACKWARD_WEIGHT", "DISTRIBUTIONS", "FORWARD_ACTIVATION",
     "FORWARD_WEIGHT", "TensorModel", "sample_distribution", "sample_model_tensors",
     "sample_operand_batch", "Parameter",

@@ -101,15 +101,22 @@ def expected_step_cycles(
     samples: int = 2048,
     rng=None,
     skip_empty_cycles: bool = False,
+    product_exps: np.ndarray | None = None,
 ) -> float:
-    """Expected cycles per nibble iteration step for this layer/tile."""
-    rng = as_generator(rng)
-    exps = sample_product_exponents(
-        layer, tile.c_unroll, tile.effective_cluster_size, samples,
-        direction=direction, rng=rng,
-    )
+    """Expected cycles per nibble iteration step for this layer/tile.
+
+    ``product_exps`` supplies pre-sampled exponents (``(samples, group, n)``,
+    e.g. gathered once from a session's operand plans) so several tile
+    configurations can be costed off one sampling pass.
+    """
+    if product_exps is None:
+        rng = as_generator(rng)
+        product_exps = sample_product_exponents(
+            layer, tile.c_unroll, tile.effective_cluster_size, samples,
+            direction=direction, rng=rng,
+        )
     per_step = step_cycle_samples(
-        exps, tile.adder_width, software_precision, skip_empty_cycles
+        product_exps, tile.adder_width, software_precision, skip_empty_cycles
     )
     return float(per_step.mean())
 
@@ -122,13 +129,15 @@ def simulate_layer(
     samples: int = 2048,
     rng=None,
     skip_empty_cycles: bool = False,
+    product_exps: np.ndarray | None = None,
 ) -> LayerPerf:
     """Cycle estimate for one conv layer in FP16 mode on this tile config."""
     ip_ops = layer_ip_ops(layer, tile.c_unroll)
     parallel = tile.n_tiles * tile.ipus_per_tile
     steps = -(-ip_ops // parallel)
     per_iter = expected_step_cycles(
-        layer, tile, software_precision, direction, samples, rng, skip_empty_cycles
+        layer, tile, software_precision, direction, samples, rng, skip_empty_cycles,
+        product_exps,
     )
     cycles = steps * FP16_ITERATIONS * per_iter
     return LayerPerf(

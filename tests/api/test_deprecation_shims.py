@@ -1,0 +1,76 @@
+"""Old entry points: still bit-identical, now warning about the session API."""
+
+import numpy as np
+import pytest
+
+from repro.api import EmulationSession, PrecisionPoint, RunSpec
+from repro.fp.formats import FP16, FP32
+
+
+def operands(batch=48, n=8, seed=11):
+    rng = np.random.default_rng(seed)
+    scale = np.exp2(rng.integers(-6, 7, (batch, n)))
+    a = (rng.laplace(0, 1, (batch, n)) * scale).astype(np.float16).astype(np.float64)
+    b = rng.normal(0, 1, (batch, n)).astype(np.float16).astype(np.float64)
+    return a, b
+
+
+class TestFpIpBatchShim:
+    def test_warns(self):
+        from repro.ipu.vectorized import fp_ip_batch
+
+        a, b = operands()
+        with pytest.warns(DeprecationWarning, match="EmulationSession"):
+            fp_ip_batch(a, b, 16)
+
+    @pytest.mark.parametrize("w,sw,mc,acc", [
+        (16, None, False, FP32),
+        (28, None, False, FP16),
+        (12, 28, True, FP32),
+    ])
+    def test_bit_identical_to_session(self, w, sw, mc, acc):
+        from repro.ipu.vectorized import fp_ip_batch
+
+        a, b = operands()
+        with pytest.warns(DeprecationWarning):
+            old = fp_ip_batch(a, b, w, sw, acc_fmt=acc, multi_cycle=mc)
+        new = EmulationSession().inner_product(
+            a, b, PrecisionPoint(w, sw, mc, accumulator=acc.name))
+        assert np.array_equal(old.values, new.values)
+        assert np.array_equal(old.rounded, new.rounded)
+        assert old.rounded.dtype == new.rounded.dtype
+        assert np.array_equal(old.max_exp, new.max_exp)
+        assert np.array_equal(old.alignment_cycles, new.alignment_cycles)
+        assert np.array_equal(old.total_cycles, new.total_cycles)
+
+    def test_still_validates_configuration(self):
+        from repro.ipu.vectorized import fp_ip_batch
+
+        a, b = operands()
+        with pytest.warns(DeprecationWarning), pytest.raises(ValueError):
+            fp_ip_batch(a, b, 12, 28, multi_cycle=False)
+
+
+class TestRunFig3SweepShim:
+    CONFIG = dict(sources=("laplace", "uniform"), precisions=(12, 16),
+                  batch=300, chunks=2)
+
+    def test_warns(self):
+        from repro.analysis.sweeps import run_fig3_sweep
+
+        with pytest.warns(DeprecationWarning, match="RunSpec"):
+            run_fig3_sweep(rng=0, **self.CONFIG)
+
+    def test_bit_identical_to_session_sweep(self):
+        from repro.analysis.sweeps import run_fig3_sweep
+
+        with pytest.warns(DeprecationWarning):
+            old = run_fig3_sweep(rng=5, acc_fmts=(FP16, FP32), **self.CONFIG)
+        spec = RunSpec.grid(
+            precisions=self.CONFIG["precisions"],
+            accumulators=("fp16", "fp32"),
+            sources=self.CONFIG["sources"],
+            batch=self.CONFIG["batch"], chunks=self.CONFIG["chunks"], seed=5,
+        )
+        new = EmulationSession().sweep(spec)
+        assert old.points == new.points  # SweepPoint/ErrorStats are dataclasses

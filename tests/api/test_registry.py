@@ -1,0 +1,154 @@
+"""Format/accumulator registries: name round trips and eXmY parsing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp.formats import BF16, FP16, FP32, TF32, FPFormat
+from repro.fp.registry import (
+    AccumulatorSpec,
+    accumulator_names,
+    format_names,
+    parse_accumulator,
+    parse_format,
+    register_accumulator,
+    register_format,
+)
+from repro.fp.vecfloat import quantize_array
+
+
+class TestFormatRegistry:
+    def test_builtins_registered(self):
+        assert {"fp16", "fp32", "bfloat16", "tf32"} <= set(format_names())
+
+    def test_every_registered_name_round_trips(self):
+        """The registry invariant: name -> format -> name is the identity."""
+        for name in format_names():
+            fmt = parse_format(name)
+            assert fmt.name == name
+            assert parse_format(fmt.name) is fmt
+
+    @pytest.mark.parametrize("alias,target", [
+        ("bf16", BF16), ("half", FP16), ("float16", FP16),
+        ("single", FP32), ("float32", FP32), ("FP16", FP16), (" fp32 ", FP32),
+    ])
+    def test_aliases_and_normalization(self, alias, target):
+        assert parse_format(alias) is target
+
+    def test_format_passthrough(self):
+        assert parse_format(TF32) is TF32
+
+    def test_exmy_parse(self):
+        fmt = parse_format("e4m3")
+        assert (fmt.exp_bits, fmt.man_bits, fmt.total_bits) == (4, 3, 8)
+        # parsed specs are interned: later lookups return the same object
+        assert parse_format("e4m3") is fmt
+        assert "e4m3" in format_names()
+
+    @given(exp_bits=st.integers(2, 11), man_bits=st.integers(1, 52))
+    @settings(max_examples=40, deadline=None)
+    def test_exmy_property_round_trip(self, exp_bits, man_bits):
+        name = f"e{exp_bits}m{man_bits}"
+        fmt = parse_format(name)
+        assert fmt == FPFormat(name, exp_bits, man_bits)
+        assert parse_format(name) == fmt  # identical on re-parse
+
+    @pytest.mark.parametrize("bad", ["", "fp12", "e1m3", "e4m0", "eXmY", "m3e4"])
+    def test_invalid_specs_rejected(self, bad):
+        with pytest.raises((KeyError, ValueError)):
+            parse_format(bad)
+
+    def test_conflicting_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_format(FPFormat("fp16", 8, 7))
+        with pytest.raises(ValueError):
+            register_format(FPFormat("my_fmt_x", 5, 10), "fp32")
+
+    def test_reregistration_idempotent(self):
+        assert register_format(FP16, "half") is FP16
+
+
+class TestAccumulatorRegistry:
+    def test_builtins(self):
+        assert {"fp32", "fp16", "kulisch", "int32"} <= set(accumulator_names())
+
+    def test_round_trip(self):
+        for name in accumulator_names():
+            spec = parse_accumulator(name)
+            assert spec.name == name
+            assert parse_accumulator(spec) is spec
+
+    def test_software_precisions_match_paper(self):
+        assert parse_accumulator("fp16").software_precision == 16
+        assert parse_accumulator("fp32").software_precision == 28
+
+    def test_float_round_is_format_cast(self):
+        vals = np.array([1.0000001, -3.14159, 65504.0 * (1 + 2**-12)])
+        spec = parse_accumulator("fp16")
+        want = vals.astype(np.float16).astype(np.float64)
+        assert np.array_equal(spec.round(vals), want)
+
+    def test_exact_round_is_identity(self):
+        vals = np.array([1.123456789, -2**40 + 0.5])
+        assert np.array_equal(parse_accumulator("kulisch").round(vals), vals)
+
+    def test_error_format(self):
+        assert parse_accumulator("fp16").error_format is FP16
+        assert parse_accumulator("kulisch").error_format is FP32
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            parse_accumulator("tf32")
+
+    def test_conflicting_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_accumulator(AccumulatorSpec("fp32", "float", "fp16", 28))
+        with pytest.raises(ValueError):
+            register_accumulator(AccumulatorSpec("weird", "bogus-kind", None, 0))
+
+
+class TestQuantizeArray:
+    """quantize_array backs fake_quantize_fp for non-native formats."""
+
+    @pytest.mark.parametrize("fmt", [FP16, BF16, TF32])
+    def test_matches_scalar_encode_decode(self, fmt):
+        rng = np.random.default_rng(0)
+        scale = np.exp2(rng.integers(-20, 16, 256).astype(np.float64))
+        x = rng.laplace(0, 1, 256) * scale
+        got = quantize_array(fmt, x)
+        want = np.array([fmt.decode_value(fmt.encode_value(float(v))) for v in x])
+        # encode_value overflows to inf; quantize_array saturates instead
+        max_finite = fmt.decode_value(fmt.max_finite_bits())
+        want = np.clip(want, -max_finite, max_finite)
+        assert np.array_equal(got, want)
+
+    def test_fp16_matches_numpy_cast_in_range(self):
+        rng = np.random.default_rng(1)
+        x = rng.laplace(0, 1, 512)
+        assert np.array_equal(quantize_array(FP16, x),
+                              x.astype(np.float16).astype(np.float64))
+
+    def test_subnormals_and_zero(self):
+        x = np.array([0.0, -0.0, 2.0**-24, 2.0**-25, 1.5 * 2.0**-24])
+        got = quantize_array(FP16, x)
+        want = x.astype(np.float16).astype(np.float64)
+        assert np.array_equal(got, want)
+
+    def test_saturates_instead_of_inf(self):
+        assert quantize_array(FP16, np.array([1e6]))[0] == 65504.0
+        assert quantize_array(FP16, np.array([-1e6]))[0] == -65504.0
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            quantize_array(FP16, np.array([np.inf]))
+
+    @given(st.floats(min_value=-1e4, max_value=1e4, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_custom_format_property(self, v):
+        fmt = parse_format("e4m3")
+        got = float(quantize_array(fmt, np.array([v]))[0])
+        want = fmt.decode_value(fmt.encode_value(v))
+        max_finite = fmt.decode_value(fmt.max_finite_bits())
+        want = max(-max_finite, min(max_finite, want))
+        assert got == want
