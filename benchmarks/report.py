@@ -11,7 +11,8 @@ tracked across PRs. Run from the repo root::
 Outputs:
 
 - ``BENCH_kernels.json``  — kernel microbenchmarks (single + MC) plus the
-  session-vs-direct-engine overhead/worker-pool rows
+  session-vs-direct-engine overhead/worker-pool rows and the cold-vs-warm
+  ``DesignSession.sweep`` design-space row (Table-1 grid)
 - ``BENCH_fig3.json``     — the quick Figure-3 sweep (same config as
   ``benchmarks/test_bench_fig3.py``)
 - ``BENCH_accuracy.json`` — the quick §3.1 accuracy run (same config as
@@ -32,8 +33,9 @@ import numpy as np
 from repro.analysis.accuracy import accuracy_vs_precision, emulated_conv2d
 from repro.analysis.error import error_stats
 from repro.analysis.sweeps import _operands_for
-from repro.api import EmulationSession, PrecisionPoint, RunSpec
+from repro.api import DesignSession, DesignSweepSpec, EmulationSession, PrecisionPoint, RunSpec
 from repro.fp.formats import FP16, FP32, np_float_dtype
+from repro.hw.designs import DESIGNS
 from repro.ipu.engine import KernelPoint, fp_ip_points, pack_operands
 from repro.ipu.reference import cpu_fp32_dot_batch
 from repro.ipu.seedref import fp_ip_batch_seed
@@ -208,8 +210,42 @@ def bench_session(repeats):
     return out
 
 
+def bench_design_space(repeats):
+    """Cold vs warm DesignSession.sweep over the Table-1 design grid.
+
+    Cold builds a fresh session per run (every alignment simulation, tile
+    costing, and numerics sweep computed); warm re-sweeps the same session
+    (everything served from the value-keyed caches). Reports must compare
+    equal — the caches return exactly what a re-computation would.
+    """
+    spec = DesignSweepSpec.grid(name="table1-grid", designs=tuple(DESIGNS),
+                                tiles=("small",), samples=96, rng=41)
+
+    def cold():
+        with DesignSession() as session:
+            return session.sweep(spec)
+
+    cold_s, cold_reports = _best_of(cold, repeats)
+    with DesignSession() as session:
+        session.sweep(spec)  # populate every cache
+        warm_s, warm_reports = _best_of(lambda: session.sweep(spec), repeats)
+        hits, misses = dict(session.stats.hits), dict(session.stats.misses)
+    return {
+        "design_space_sweep": {
+            "designs": len(spec.designs), "points": len(spec.points()),
+            "samples": spec.samples, "cpus": os.cpu_count() or 1,
+            "cold_seconds": round(cold_s, 4),
+            "warm_seconds": round(warm_s, 4),
+            "speedup": round(cold_s / warm_s, 2),
+            "cache_hits": hits, "cache_misses": misses,
+            "identical": bool(cold_reports == warm_reports),
+        }
+    }
+
+
 def bench_kernels_and_session(repeats):
-    return {**bench_kernels(repeats), **bench_session(repeats)}
+    return {**bench_kernels(repeats), **bench_session(repeats),
+            **bench_design_space(repeats)}
 
 
 def bench_fig3(repeats):
@@ -285,6 +321,9 @@ def main(argv=None) -> int:
             elif "overhead_pct" in r:
                 print(f"  engine {r['engine_seconds']}s -> session {r['session_seconds']}s "
                       f"({r['overhead_pct']:+.2f}% overhead, results {mark})")
+            elif "cold_seconds" in r:
+                print(f"  cold sweep {r['cold_seconds']}s -> warm {r['warm_seconds']}s "
+                      f"({r['speedup']}x, {r['points']} design points, results {mark})")
             else:
                 print(f"  serial {r['serial_seconds']}s -> {r['workers']} workers "
                       f"{r['parallel_seconds']}s ({r['speedup']}x, results {mark})")

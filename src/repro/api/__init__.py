@@ -1,6 +1,6 @@
-"""Unified emulation API: registries, declarative specs, sessions.
+"""Unified evaluation API: registries, declarative specs, sessions.
 
-The stable front door to the repo's emulation stack::
+The stable front door to the repo's emulation *and* design-space stacks::
 
     from repro.api import EmulationSession, PrecisionPoint, RunSpec
 
@@ -11,15 +11,42 @@ The stable front door to the repo's emulation stack::
         sweep = session.sweep(spec)           # decode once, run every point
         res = session.inner_product(a, b, 16) # ad-hoc kernels share the cache
 
+    from repro.api import DesignSession
+
+    with DesignSession() as ds:
+        report = ds.evaluate("mc-ipu:8x4@24b")   # accuracy + TOPS/mm2 + TOPS/W
+        reports = ds.sweep(DesignSweepSpec.grid(
+            designs=("MC-IPU4", "mc-ipu:8x4@24b", "INT8"), tiles=("small",)))
+        front = pareto_frontier(reports, x="tops_per_mm2@fp16",
+                                y="-median_contaminated_bits")
+
 Formats and accumulators are resolved through the string registries in
 :mod:`repro.fp.registry` (``"fp16"``, ``"bfloat16"``, custom ``"e4m3"``, ...;
-``"fp32"``/``"fp16"``/``"kulisch"``/``"int32"`` accumulators), and every
-spec round-trips through JSON for ``runner --spec`` replay.
+``"fp32"``/``"fp16"``/``"kulisch"``/``"int32"`` accumulators); hardware
+designs and tiles through :mod:`repro.hw.registry` (``"MC-IPU4"``,
+``"mc-ipu:4x4@20b"``, ``"int:8x8"``; ``"small"``, ``"16x16x2x2@20b/c4"``).
+Every spec round-trips through JSON for ``runner --spec`` /
+``runner --design-spec`` replay.
 """
 
-from repro.api.report import render_sweep
+from repro.api.design import (
+    DesignReport,
+    DesignSession,
+    DesignSessionStats,
+    pareto_frontier,
+)
+from repro.api.report import render_design_reports, render_sweep
 from repro.api.session import EmulationSession, SessionStats
-from repro.api.spec import DEFAULT_SOURCES, PrecisionPoint, RunSpec
+from repro.api.spec import (
+    DEFAULT_OP_PRECISIONS,
+    DEFAULT_SOURCES,
+    DesignPoint,
+    DesignSpec,
+    DesignSweepSpec,
+    PrecisionPoint,
+    RunSpec,
+    TileSpec,
+)
 from repro.fp.registry import (
     AccumulatorSpec,
     accumulator_names,
@@ -29,11 +56,25 @@ from repro.fp.registry import (
     register_accumulator,
     register_format,
 )
+from repro.hw.registry import (
+    design_names,
+    parse_design,
+    parse_tile,
+    register_design,
+    register_tile,
+    tile_names,
+)
 
 __all__ = [
     "EmulationSession", "SessionStats", "render_sweep",
     "DEFAULT_SOURCES", "PrecisionPoint", "RunSpec",
+    "DesignSession", "DesignSessionStats", "DesignReport", "pareto_frontier",
+    "render_design_reports",
+    "DEFAULT_OP_PRECISIONS", "DesignSpec", "TileSpec", "DesignPoint",
+    "DesignSweepSpec",
     "AccumulatorSpec", "accumulator_names", "format_names",
     "parse_accumulator", "parse_format",
     "register_accumulator", "register_format",
+    "parse_design", "register_design", "design_names",
+    "parse_tile", "register_tile", "tile_names",
 ]

@@ -5,7 +5,7 @@ from __future__ import annotations
 from repro.analysis.sweeps import PrecisionSweep
 from repro.utils.table import render_table
 
-__all__ = ["render_sweep"]
+__all__ = ["render_sweep", "render_design_reports"]
 
 METRICS = (
     ("median_abs_error", "absolute error (median)"),
@@ -37,3 +37,47 @@ def render_sweep(sweep: PrecisionSweep, title: str = "precision sweep") -> str:
                 headers, rows, title=f"{title} [{acc} accumulator] {label}"
             ))
     return "\n\n".join(blocks)
+
+
+def _row_label(a: int, w: int) -> str:
+    return "FP16" if (a, w) == (16, 16) else f"{a}x{w}"
+
+
+def render_design_reports(reports, title: str = "design sweep") -> str:
+    """One row per :class:`repro.api.design.DesignReport`: hardware
+    efficiency columns for every op-precision row next to the numerics
+    error metrics — the joint Table-1 view for arbitrary design grids."""
+    if not reports:
+        return f"{title}: no design points"
+    op_rows = []  # union over reports, first-appearance order
+    for r in reports:
+        for pair in r.point.op_precisions:
+            if pair not in op_rows:
+                op_rows.append(pair)
+    headers = ["design", "tile", "numerics", "area [1e-3 mm2]", "align"]
+    for a, w in op_rows:
+        headers += [f"{_row_label(a, w)} T/mm2", f"{_row_label(a, w)} T/W"]
+    headers += ["abs err (med)", "cont. bits (med)"]
+    rows = []
+    for r in reports:
+        precision = r.point.resolved_precision()
+        if precision is None:
+            numerics = "-"
+        else:
+            numerics = f"w{precision.adder_width}" + ("/mc" if precision.multi_cycle else "")
+        row = [r.design, r.point.tile.name, numerics,
+               r.area_mm2 * 1e3, round(r.alignment_factor, 3)]
+        for (a, w) in op_rows:
+            try:
+                point = r.efficiency_for(a, w)
+            except KeyError:
+                point = None  # this report never costed that op precision
+            row += (["-", "-"] if point is None
+                    else [round(point.tops_per_mm2, 2), round(point.tops_per_w, 2)])
+        if r.accuracy:
+            row += [r.accuracy_metric("median_abs_error"),
+                    round(r.accuracy_metric("median_contaminated_bits"), 2)]
+        else:
+            row += ["-", "-"]
+        rows.append(row)
+    return render_table(headers, rows, title=f"{title} — TOPS are TFLOPS on the FP16 row")

@@ -22,6 +22,7 @@ declarative :class:`repro.api.spec.RunSpec` grids (the Figure-3 protocol).
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -122,6 +123,7 @@ class EmulationSession:
         self.chunk_rows = chunk_rows
         self.stats = SessionStats()
         self._plans: OrderedDict[tuple, PackedOperands] = OrderedDict()
+        self._plan_lock = threading.Lock()  # callers may share one session
         self._weight_plans: dict = {}
         self._pool: ThreadPoolExecutor | None = None
         self._closed = False
@@ -158,6 +160,8 @@ class EmulationSession:
         (after checking the format matches), so call sites can accept either
         raw arrays or pre-packed plans.
         """
+        if self._closed:
+            raise RuntimeError("session is closed")
         fmt = parse_format(fmt)
         if isinstance(values, PackedOperands):
             if values.fmt.name != fmt.name:
@@ -169,19 +173,25 @@ class EmulationSession:
         if self.plan_cache_bytes <= 0:
             return pack_operands(values, fmt)
         key, cast = _fingerprint(values, fmt)
-        plan = self._plans.get(key)
-        if plan is not None:
-            self._plans.move_to_end(key)
-            self.stats.plan_hits += 1
-            return plan
-        plan = pack_operands(cast, fmt)
-        self.stats.plan_misses += 1
-        self._plans[key] = plan
-        self.stats.plan_bytes += _plan_nbytes(plan)
-        while self.stats.plan_bytes > self.plan_cache_bytes and len(self._plans) > 1:
-            _, evicted = self._plans.popitem(last=False)
-            self.stats.plan_bytes -= _plan_nbytes(evicted)
-            self.stats.plan_evictions += 1
+        with self._plan_lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self.stats.plan_hits += 1
+                return plan
+        plan = pack_operands(cast, fmt)  # decode outside the lock
+        with self._plan_lock:
+            existing = self._plans.get(key)
+            if existing is not None:  # another thread packed the same tensor
+                self.stats.plan_hits += 1
+                return existing
+            self.stats.plan_misses += 1
+            self._plans[key] = plan
+            self.stats.plan_bytes += _plan_nbytes(plan)
+            while self.stats.plan_bytes > self.plan_cache_bytes and len(self._plans) > 1:
+                _, evicted = self._plans.popitem(last=False)
+                self.stats.plan_bytes -= _plan_nbytes(evicted)
+                self.stats.plan_evictions += 1
         return plan
 
     # -- kernels -----------------------------------------------------------
@@ -246,6 +256,8 @@ class EmulationSession:
     def _run_points(self, pa: PackedOperands, pb: PackedOperands,
                     points: list[KernelPoint]):
         """fp_ip_points, split across the worker pool when profitable."""
+        if self._closed:
+            raise RuntimeError("session is closed")
         shape = np.broadcast_shapes(pa.shape, pb.shape)
         rows = int(np.prod(shape[:-1], dtype=np.int64))
         self.stats.kernel_rows += rows * len(points)
@@ -253,12 +265,11 @@ class EmulationSession:
         parts = min(self.workers, dim0)
         if parts <= 1 or rows < MIN_PARALLEL_ROWS:
             return fp_ip_points(pa, pb, points, chunk_rows=self.chunk_rows)
-        if self._closed:
-            raise RuntimeError("session is closed")
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.workers, thread_name_prefix="repro-emul"
-            )
+        with self._plan_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="repro-emul"
+                )
         self.stats.parallel_batches += 1
         a_sign, a_exp, a_nib = _broadcast_plan(pa, shape)
         b_sign, b_exp, b_nib = _broadcast_plan(pb, shape)

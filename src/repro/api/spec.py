@@ -1,9 +1,16 @@
 """Declarative run configurations: frozen, JSON-round-trippable dataclasses.
 
-A :class:`PrecisionPoint` names one point of the paper's design space —
-IPU adder width x serve mode x accumulator — using registry strings only,
-so a whole sweep (:class:`RunSpec`) serializes to a flat JSON document that
-``python -m repro.experiments.runner --spec spec.json`` can replay.
+A :class:`PrecisionPoint` names one point of the paper's *numerics* design
+space — IPU adder width x serve mode x accumulator — using registry strings
+only, so a whole sweep (:class:`RunSpec`) serializes to a flat JSON document
+that ``python -m repro.experiments.runner --spec spec.json`` can replay.
+
+The *hardware* half mirrors the same pattern: :class:`DesignSpec` and
+:class:`TileSpec` name entries of :mod:`repro.hw.registry`, a
+:class:`DesignPoint` crosses them with a :class:`PrecisionPoint` (the joint
+accuracy x efficiency coordinate the paper's Table 1 argues about), and a
+:class:`DesignSweepSpec` crosses whole grids — replayable with
+``runner --design-spec spec.json``.
 """
 
 from __future__ import annotations
@@ -13,11 +20,32 @@ from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 
 from repro.fp.registry import AccumulatorSpec, parse_accumulator, parse_format
+from repro.hw.designs import TABLE1_PRECISIONS, Design
+from repro.hw.registry import format_tile, parse_design, parse_tile, register_design
 from repro.ipu.engine import KernelPoint
+from repro.tile.config import TileConfig
 
-__all__ = ["PrecisionPoint", "RunSpec", "DEFAULT_SOURCES"]
+__all__ = [
+    "PrecisionPoint", "RunSpec", "DEFAULT_SOURCES",
+    "DesignSpec", "TileSpec", "DesignPoint", "DesignSweepSpec",
+    "DEFAULT_OP_PRECISIONS",
+]
 
 DEFAULT_SOURCES = ("laplace", "normal", "uniform", "resnet-tensors", "convnet-tensors")
+
+
+def _dump_spec_json(d: dict, path: str | Path | None) -> str:
+    text = json.dumps(d, indent=2) + "\n"
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def _load_spec_json(source: str | Path) -> dict:
+    """JSON dict from a JSON string or a path to a JSON file."""
+    if isinstance(source, Path) or (isinstance(source, str) and source.lstrip()[:1] != "{"):
+        source = Path(source).read_text()
+    return json.loads(source)
 
 
 @dataclass(frozen=True)
@@ -45,6 +73,7 @@ class PrecisionPoint:
                 "points take float/exact accumulators (use session.int_dot for "
                 "INT dots)"
             )
+        self.kernel_point().resolve()  # reject unservable width/precision combos
 
     @property
     def acc(self) -> AccumulatorSpec:
@@ -136,14 +165,242 @@ class RunSpec:
         return cls(**d)
 
     def to_json(self, path: str | Path | None = None) -> str:
-        text = json.dumps(self.to_dict(), indent=2) + "\n"
-        if path is not None:
-            Path(path).write_text(text)
-        return text
+        return _dump_spec_json(self.to_dict(), path)
 
     @classmethod
     def from_json(cls, source: str | Path) -> "RunSpec":
         """Load from a JSON string or a path to a JSON file."""
-        if isinstance(source, Path) or (isinstance(source, str) and source.lstrip()[:1] != "{"):
-            source = Path(source).read_text()
-        return cls.from_dict(json.loads(source))
+        return cls.from_dict(_load_spec_json(source))
+
+
+# -- hardware design space ---------------------------------------------------
+
+# The AxW op-precision rows of Table 1; (16, 16) denotes FP16 x FP16.
+DEFAULT_OP_PRECISIONS = tuple(tuple(p) for p in TABLE1_PRECISIONS)
+
+
+@dataclass(frozen=True)
+class DesignSpec:
+    """One hardware design, named by its :mod:`repro.hw.registry` string.
+
+    Accepts paper names (``"MC-IPU4"``) and grammar specs
+    (``"mc-ipu:8x4@24b"``); the string is normalized to the registry's
+    canonical name at construction, so equal designs compare (and
+    serialize) equal regardless of input spelling.
+    """
+
+    design: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "design", parse_design(self.design).name)
+
+    @property
+    def name(self) -> str:
+        return self.design
+
+    def resolve(self) -> Design:
+        return parse_design(self.design)
+
+    def to_dict(self) -> str:
+        return self.design
+
+    @classmethod
+    def from_dict(cls, d) -> "DesignSpec":
+        if isinstance(d, DesignSpec):
+            return d
+        if isinstance(d, Design):
+            # hand-built designs become resolvable by registering them
+            # (idempotent; a name conflict with a different design raises)
+            register_design(d)
+            return cls(d.name)
+        if isinstance(d, dict):
+            return cls(**d)
+        return cls(d)
+
+
+@dataclass(frozen=True)
+class TileSpec:
+    """One tile geometry, named by its :mod:`repro.hw.registry` string
+    (``"small"``, ``"big"``, ``"16x16x2x2"``, with optional ``@Wb``/``/cN``
+    suffixes). Validated eagerly; normalized lexically (case/whitespace)."""
+
+    tile: str = "small"
+
+    def __post_init__(self) -> None:
+        normalized = self.tile.strip().lower()
+        parse_tile(normalized)  # fail early on unknown/malformed specs
+        object.__setattr__(self, "tile", normalized)
+
+    @property
+    def name(self) -> str:
+        return self.tile
+
+    def resolve(self) -> TileConfig:
+        return parse_tile(self.tile)
+
+    def to_dict(self) -> str:
+        return self.tile
+
+    @classmethod
+    def from_dict(cls, d) -> "TileSpec":
+        if isinstance(d, TileSpec):
+            return d
+        if isinstance(d, TileConfig):
+            # derived names like 'small-w16-c4' are not parseable; emit the
+            # grammar form ('small@16b/c4') from the config's fields instead
+            return cls(format_tile(d))
+        if isinstance(d, dict):
+            return cls(**d)
+        return cls(d)
+
+
+def _as_op_precisions(rows) -> tuple[tuple[int, int], ...]:
+    out = []
+    for row in rows:
+        a, w = (int(v) for v in row)
+        if a < 1 or w < 1:
+            raise ValueError(f"op precision {row!r} must be positive")
+        out.append((a, w))
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One joint design-space coordinate: hardware x tile x numerics.
+
+    ``precision`` is the emulation configuration for the accuracy half;
+    ``None`` derives the single-cycle IPU at the design's adder width (the
+    Figure-3 protocol — see :meth:`resolved_precision`; INT-only designs
+    have no FP numerics and stay ``None``). ``op_precisions`` are the AxW
+    rows costed on the efficiency half (Table 1's four by default);
+    ``samples``/``rng`` parametrize the alignment-factor performance
+    simulation.
+    """
+
+    design: DesignSpec
+    tile: TileSpec = TileSpec()
+    precision: PrecisionPoint | None = None
+    op_precisions: tuple[tuple[int, int], ...] = DEFAULT_OP_PRECISIONS
+    samples: int = 384
+    rng: int = 41
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "design", DesignSpec.from_dict(self.design))
+        object.__setattr__(self, "tile", TileSpec.from_dict(self.tile))
+        if self.precision is not None and not isinstance(self.precision, PrecisionPoint):
+            object.__setattr__(self, "precision", PrecisionPoint.from_dict(self.precision))
+        object.__setattr__(self, "op_precisions", _as_op_precisions(self.op_precisions))
+        if self.samples < 1:
+            raise ValueError(f"samples must be >= 1, got {self.samples}")
+
+    def resolved_precision(self) -> PrecisionPoint | None:
+        """The numerics point: explicit, or derived from the design.
+
+        The derived point is the single-cycle IPU at the design's adder
+        width with FP32 accumulation — the Figure-3 protocol the repo's
+        accuracy experiments use, where the truncating tree's error is the
+        signature of the width choice. Pass an explicit ``precision`` to
+        model other modes (e.g. the near-exact multi-cycle serve,
+        ``PrecisionPoint(w, 28, True)``, whose cost the alignment factor
+        already reflects). INT-only designs have no FP16 numerics
+        (``None``).
+        """
+        if self.precision is not None:
+            return self.precision
+        design = self.design.resolve()
+        if design.fp_mode is None:
+            return None
+        return PrecisionPoint(design.adder_width)
+
+    def to_dict(self) -> dict:
+        return {
+            "design": self.design.to_dict(),
+            "tile": self.tile.to_dict(),
+            "precision": None if self.precision is None else self.precision.to_dict(),
+            "op_precisions": [list(p) for p in self.op_precisions],
+            "samples": self.samples,
+            "rng": self.rng,
+        }
+
+    @classmethod
+    def from_dict(cls, d) -> "DesignPoint":
+        if isinstance(d, DesignPoint):
+            return d
+        if isinstance(d, str):
+            return cls(design=DesignSpec(d))
+        return cls(**d)
+
+
+@dataclass(frozen=True)
+class DesignSweepSpec:
+    """A serializable design-space sweep: designs x tiles x precisions.
+
+    The cross product (:meth:`points`) pairs every design with every tile
+    and every precision override (an empty ``precisions`` grid derives the
+    numerics point per design), sharing ``op_precisions``/``samples``/
+    ``rng`` — so a whole Pareto exploration is one flat JSON document that
+    ``runner --design-spec spec.json`` can replay.
+    """
+
+    name: str = "design-sweep"
+    designs: tuple[DesignSpec, ...] = ()
+    tiles: tuple[TileSpec, ...] = (TileSpec(),)
+    precisions: tuple[PrecisionPoint, ...] = ()
+    op_precisions: tuple[tuple[int, int], ...] = DEFAULT_OP_PRECISIONS
+    samples: int = 384
+    rng: int = 41
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "designs", tuple(
+            DesignSpec.from_dict(d) for d in self.designs))
+        object.__setattr__(self, "tiles", tuple(
+            TileSpec.from_dict(t) for t in self.tiles))
+        object.__setattr__(self, "precisions", tuple(
+            p if isinstance(p, PrecisionPoint) else PrecisionPoint.from_dict(p)
+            for p in self.precisions))
+        object.__setattr__(self, "op_precisions", _as_op_precisions(self.op_precisions))
+        if not self.tiles:
+            raise ValueError("DesignSweepSpec needs at least one tile")
+        if self.samples < 1:
+            raise ValueError(f"samples must be >= 1, got {self.samples}")
+
+    @classmethod
+    def grid(cls, designs, tiles=("small",), **kwargs) -> "DesignSweepSpec":
+        """Cross registry strings: designs outer, tiles middle, precisions inner."""
+        return cls(designs=tuple(designs), tiles=tuple(tiles), **kwargs)
+
+    def points(self) -> tuple[DesignPoint, ...]:
+        """The cross product, in designs-outer / tiles / precisions-inner order."""
+        return tuple(
+            DesignPoint(design=d, tile=t, precision=p,
+                        op_precisions=self.op_precisions,
+                        samples=self.samples, rng=self.rng)
+            for d in self.designs
+            for t in self.tiles
+            for p in (self.precisions or (None,))
+        )
+
+    # -- JSON round trip ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "designs": [d.to_dict() for d in self.designs],
+            "tiles": [t.to_dict() for t in self.tiles],
+            "precisions": [p.to_dict() for p in self.precisions],
+            "op_precisions": [list(p) for p in self.op_precisions],
+            "samples": self.samples,
+            "rng": self.rng,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "DesignSweepSpec":
+        return cls(**d)
+
+    def to_json(self, path: str | Path | None = None) -> str:
+        return _dump_spec_json(self.to_dict(), path)
+
+    @classmethod
+    def from_json(cls, source: str | Path) -> "DesignSweepSpec":
+        """Load from a JSON string or a path to a JSON file."""
+        return cls.from_dict(_load_spec_json(source))

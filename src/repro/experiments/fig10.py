@@ -6,22 +6,23 @@ at full INT4 rate; FP efficiency (TFLOPS/mm², TFLOPS/W) uses the *effective*
 FP16 throughput — 9 nibble iterations times the average alignment cycles the
 performance simulator measures for that (p, c) on the forward workloads.
 NO-OPT is the 38-bit Baseline2-style tile.
+
+Tile costs and the alignment-cycle simulations run through a
+:class:`repro.api.DesignSession` (byte-identical outputs, session-cached
+across cold/warm runs); the Pareto search delegates to the generic
+:func:`repro.api.pareto_frontier`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from repro.hw.tile_cost import tile_cost
 from repro.ipu.mc_ipu import BASELINE_ADDER_WIDTH
-from repro.nn.zoo import WORKLOADS
-from repro.tile.config import BIG_TILE, CLOCK_GHZ, SMALL_TILE, TileConfig
-from repro.tile.simulator import FP16_ITERATIONS, simulate_network
+from repro.tile.config import BIG_TILE, CLOCK_GHZ, SMALL_TILE
+from repro.tile.simulator import FP16_ITERATIONS
 from repro.utils.table import render_table
 
-__all__ = ["DesignPoint", "run", "render", "pareto_front"]
+__all__ = ["Fig10Point", "DesignPoint", "run", "render", "pareto_front"]
 
 SOFTWARE_PRECISION_FP32 = 28
 PRECISIONS = (12, 16, 20, 24, 28, BASELINE_ADDER_WIDTH)
@@ -34,7 +35,7 @@ WORKLOAD_MIX = (("resnet18", "forward"), ("resnet50", "forward"),
 
 
 @dataclass(frozen=True)
-class DesignPoint:
+class Fig10Point:
     tile: str
     precision: int
     cluster: int | None
@@ -49,57 +50,45 @@ class DesignPoint:
         return f"({self.precision},{c})"
 
 
-def _avg_alignment_cycles(tile: TileConfig, samples: int, rng: int) -> float:
-    """Average cycles per nibble iteration over the benchmark mix."""
-    if tile.adder_width >= SOFTWARE_PRECISION_FP32:
-        return 1.0
-    factors = []
-    for name, direction in WORKLOAD_MIX:
-        layers = WORKLOADS[name]()
-        perf = simulate_network(layers, tile, SOFTWARE_PRECISION_FP32, direction,
-                                samples=samples, rng=rng)
-        total_steps = sum(l.steps for l in perf.layers)
-        factors.append(perf.total_cycles / (total_steps * FP16_ITERATIONS))
-    return float(np.mean(factors))
+# Historical name, kept for imports; repro.api.DesignPoint is the joint
+# accuracy x efficiency spec, this is Figure 10's (precision, cluster) row.
+DesignPoint = Fig10Point
 
 
-def run(samples: int = 384, rng: int = 31, tiles=(SMALL_TILE, BIG_TILE)) -> list[DesignPoint]:
-    points = []
-    for base in tiles:
-        for w in PRECISIONS:
-            for c in CLUSTERS:
-                if w == BASELINE_ADDER_WIDTH and c is not None:
-                    continue  # the baseline needs no clustering
-                tile = base.with_precision(w, c)
-                cost = tile_cost(tile, mode="fp")
-                int_ops = tile.multipliers_per_tile * 2 * CLOCK_GHZ * 1e9
-                af = _avg_alignment_cycles(tile, samples, rng)
-                fp_ops = int_ops / (FP16_ITERATIONS * af)
-                points.append(
-                    DesignPoint(
-                        tile=base.name, precision=w, cluster=c,
-                        tops_mm2=int_ops / cost.area_mm2 / 1e12,
-                        tflops_mm2=fp_ops / cost.area_mm2 / 1e12,
-                        tops_w=int_ops / cost.power_w / 1e12,
-                        tflops_w=fp_ops / cost.power_w / 1e12,
+def run(samples: int = 384, rng: int = 31, tiles=(SMALL_TILE, BIG_TILE),
+        session=None) -> list[Fig10Point]:
+    from repro.api.design import use_session
+
+    with use_session(session) as session:
+        points = []
+        for base in tiles:
+            for w in PRECISIONS:
+                for c in CLUSTERS:
+                    if w == BASELINE_ADDER_WIDTH and c is not None:
+                        continue  # the baseline needs no clustering
+                    tile = base.with_precision(w, c)
+                    cost = session.tile_cost(tile, mode="fp")
+                    int_ops = tile.multipliers_per_tile * 2 * CLOCK_GHZ * 1e9
+                    af = session.alignment_factor(
+                        tile, WORKLOAD_MIX, SOFTWARE_PRECISION_FP32, samples, rng)
+                    fp_ops = int_ops / (FP16_ITERATIONS * af)
+                    points.append(
+                        Fig10Point(
+                            tile=base.name, precision=w, cluster=c,
+                            tops_mm2=int_ops / cost.area_mm2 / 1e12,
+                            tflops_mm2=fp_ops / cost.area_mm2 / 1e12,
+                            tops_w=int_ops / cost.power_w / 1e12,
+                            tflops_w=fp_ops / cost.power_w / 1e12,
+                        )
                     )
-                )
-    return points
+        return points
 
 
-def pareto_front(points: list[DesignPoint], x: str = "tops_w", y: str = "tflops_w") -> list[DesignPoint]:
-    """Points not dominated in the (x, y) efficiency plane."""
-    front = []
-    for p in points:
-        dominated = any(
-            getattr(q, x) >= getattr(p, x) and getattr(q, y) >= getattr(p, y) and q is not p
-            and (getattr(q, x) > getattr(p, x) or getattr(q, y) > getattr(p, y))
-            for q in points
-            if q.tile == p.tile
-        )
-        if not dominated:
-            front.append(p)
-    return front
+def pareto_front(points: list[Fig10Point], x: str = "tops_w", y: str = "tflops_w") -> list[Fig10Point]:
+    """Points not dominated in the (x, y) efficiency plane (per base tile)."""
+    from repro.api import pareto_frontier
+
+    return pareto_frontier(points, x, y, within=lambda p: p.tile)
 
 
 def render(points: list[DesignPoint]) -> str:

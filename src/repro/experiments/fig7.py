@@ -1,12 +1,17 @@
-"""Figure 7: area and power breakdowns of MC-IPU based tiles."""
+"""Figure 7: area and power breakdowns of MC-IPU based tiles.
+
+Tile costings run through a :class:`repro.api.DesignSession` so a shared
+session prices each (tile, width) configuration once across experiments;
+output stays byte-identical to the direct ``tile_cost`` path.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
 from repro.hw.components import COMPONENT_NAMES
-from repro.hw.tile_cost import TileCost, tile_cost
-from repro.tile.config import BIG_TILE, SMALL_TILE, TileConfig
+from repro.hw.tile_cost import TileCost
+from repro.tile.config import BIG_TILE, SMALL_TILE
 from repro.utils.table import render_table
 
 __all__ = ["run", "render", "FIG7_WIDTHS"]
@@ -20,15 +25,18 @@ class Fig7Result:
     labels: list[str]
 
 
-def run() -> Fig7Result:
-    tiles = {}
-    labels = ["INT"] + [f"MC-IPU({w})" for w in FIG7_WIDTHS]
-    for base in (SMALL_TILE, BIG_TILE):
-        row = [tile_cost(base, fp_mode=None)]
-        for w in FIG7_WIDTHS:
-            row.append(tile_cost(base.with_precision(w), mode="fp"))
-        tiles[base.name] = row
-    return Fig7Result(tiles=tiles, labels=labels)
+def run(session=None) -> Fig7Result:
+    from repro.api.design import use_session
+
+    with use_session(session) as session:
+        tiles = {}
+        labels = ["INT"] + [f"MC-IPU({w})" for w in FIG7_WIDTHS]
+        for base in (SMALL_TILE, BIG_TILE):
+            row = [session.tile_cost(base, fp_mode=None)]
+            for w in FIG7_WIDTHS:
+                row.append(session.tile_cost(base.with_precision(w), mode="fp"))
+            tiles[base.name] = row
+        return Fig7Result(tiles=tiles, labels=labels)
 
 
 def render(result: Fig7Result) -> str:

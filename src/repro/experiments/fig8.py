@@ -4,6 +4,12 @@ Four workloads, as in the paper: ResNet-18 / ResNet-50 / InceptionV3 forward
 and ResNet-18 backward, all with FP32 accumulation (28-bit software
 precision), on both the 8-input (Baseline1-relative) and 16-input
 (Baseline2-relative) tiles.
+
+Simulations run through a :class:`repro.api.DesignSession`, whose
+value-keyed performance cache eliminates the repeated baseline simulation
+per axis point (the baseline depends on the workload only, not on the
+swept precision/cluster) — results stay byte-identical to the uncached
+path because the simulator is deterministic in its integer seed.
 """
 
 from __future__ import annotations
@@ -11,9 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.ipu.mc_ipu import BASELINE_ADDER_WIDTH
-from repro.nn.zoo import WORKLOADS, resnet18_convs
+from repro.nn.zoo import WORKLOADS
 from repro.tile.config import BIG_TILE, SMALL_TILE, TileConfig
-from repro.tile.simulator import simulate_network
 from repro.utils.table import render_table
 
 __all__ = ["run_precision_sweep", "run_cluster_sweep", "render"]
@@ -49,45 +54,54 @@ def _layers(zoo_name: str):
     return _LAYER_CACHE[zoo_name]
 
 
-def _normalized(tile: TileConfig, base: TileConfig, layers, direction, samples, rng):
-    perf = simulate_network(layers, tile, SOFTWARE_PRECISION_FP32, direction,
-                            samples=samples, rng=rng)
-    ref = simulate_network(layers, base, SOFTWARE_PRECISION_FP32, direction,
-                           samples=max(samples // 4, 64), rng=rng)
+def _normalized(session, tile: TileConfig, base: TileConfig, layers, direction,
+                samples, rng):
+    perf = session.network_perf(layers, tile, SOFTWARE_PRECISION_FP32, direction,
+                                samples=samples, rng=rng)
+    ref = session.network_perf(layers, base, SOFTWARE_PRECISION_FP32, direction,
+                               samples=max(samples // 4, 64), rng=rng)
     return perf.normalized_to(ref)
 
 
-def run_precision_sweep(samples: int = 512, rng: int = 11) -> SweepResult:
+def run_precision_sweep(samples: int = 512, rng: int = 11, session=None) -> SweepResult:
     """Fig 8(a): normalized time vs adder-tree precision (no clustering)."""
-    result = SweepResult("MC-IPU precision", PRECISIONS)
-    for tile in (SMALL_TILE, BIG_TILE):
-        base = tile.with_precision(BASELINE_ADDER_WIDTH)
-        result.values[tile.name] = {}
-        for label, zoo_name, direction in WORKLOAD_SET:
-            layers = _layers(zoo_name)
-            series = [
-                _normalized(tile.with_precision(w), base, layers, direction, samples, rng)
-                for w in PRECISIONS
-            ]
-            result.values[tile.name][label] = series
-    return result
+    from repro.api.design import use_session
+
+    with use_session(session) as session:
+        result = SweepResult("MC-IPU precision", PRECISIONS)
+        for tile in (SMALL_TILE, BIG_TILE):
+            base = tile.with_precision(BASELINE_ADDER_WIDTH)
+            result.values[tile.name] = {}
+            for label, zoo_name, direction in WORKLOAD_SET:
+                layers = _layers(zoo_name)
+                series = [
+                    _normalized(session, tile.with_precision(w), base, layers,
+                                direction, samples, rng)
+                    for w in PRECISIONS
+                ]
+                result.values[tile.name][label] = series
+        return result
 
 
-def run_cluster_sweep(samples: int = 512, rng: int = 12, width: int = 16) -> SweepResult:
+def run_cluster_sweep(samples: int = 512, rng: int = 12, width: int = 16,
+                      session=None) -> SweepResult:
     """Fig 8(b): normalized time vs cluster size at MC-IPU(16)."""
-    result = SweepResult(f"cluster size (MC-IPU({width}))", CLUSTER_SIZES)
-    for tile in (SMALL_TILE, BIG_TILE):
-        base = tile.with_precision(BASELINE_ADDER_WIDTH)
-        result.values[tile.name] = {}
-        for label, zoo_name, direction in WORKLOAD_SET:
-            layers = _layers(zoo_name)
-            series = [
-                _normalized(tile.with_precision(width, c), base, layers, direction,
-                            samples, rng)
-                for c in CLUSTER_SIZES
-            ]
-            result.values[tile.name][label] = series
-    return result
+    from repro.api.design import use_session
+
+    with use_session(session) as session:
+        result = SweepResult(f"cluster size (MC-IPU({width}))", CLUSTER_SIZES)
+        for tile in (SMALL_TILE, BIG_TILE):
+            base = tile.with_precision(BASELINE_ADDER_WIDTH)
+            result.values[tile.name] = {}
+            for label, zoo_name, direction in WORKLOAD_SET:
+                layers = _layers(zoo_name)
+                series = [
+                    _normalized(session, tile.with_precision(width, c), base, layers,
+                                direction, samples, rng)
+                    for c in CLUSTER_SIZES
+                ]
+                result.values[tile.name][label] = series
+        return result
 
 
 def render(result: SweepResult) -> str:

@@ -8,6 +8,7 @@ Usage::
     python -m repro.experiments.runner --all --quick --json timings.json
     python -m repro.experiments.runner --spec examples/specs/fig3_quick.json
     python -m repro.experiments.runner --spec spec.json --workers 4
+    python -m repro.experiments.runner --design-spec examples/specs/design_pareto.json
 """
 
 from __future__ import annotations
@@ -101,6 +102,19 @@ def _run_spec(path: str, workers: int | None) -> str:
     return render_sweep(sweep, title=spec.name)
 
 
+def _run_design_spec(path: str, workers: int | None) -> str:
+    """Replay a DesignSweepSpec JSON through a design session."""
+    from repro.api import DesignSession, DesignSweepSpec, render_design_reports
+
+    try:
+        spec = DesignSweepSpec.from_json(path)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        raise SystemExit(f"cannot load design spec {path!r}: {exc}")
+    with DesignSession(workers=workers) as session:
+        reports = session.sweep(spec)
+    return render_design_reports(reports, title=spec.name)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -113,30 +127,39 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--spec", metavar="PATH", default=None,
                         help="run a declarative RunSpec JSON (repro.api) instead "
                              "of a named experiment")
+    parser.add_argument("--design-spec", metavar="PATH", default=None,
+                        help="run a declarative DesignSweepSpec JSON through a "
+                             "DesignSession (joint accuracy x efficiency report)")
     parser.add_argument("--workers", type=int, default=None,
-                        help="session worker threads for --spec runs")
+                        help="session worker threads for --spec/--design-spec runs")
     args = parser.parse_args(argv)
 
     if args.list:
         for name, (_, desc) in EXPERIMENTS.items():
             print(f"{name:10s} {desc}")
         return 0
-    if args.spec is not None:
+    if args.spec is not None and args.design_spec is not None:
+        print("--spec and --design-spec are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.spec is not None or args.design_spec is not None:
         if args.experiments or args.all:
-            print("--spec cannot be combined with named experiments", file=sys.stderr)
+            flag = "--spec" if args.spec is not None else "--design-spec"
+            print(f"{flag} cannot be combined with named experiments", file=sys.stderr)
             return 2
+        path = args.spec if args.spec is not None else args.design_spec
+        runner = _run_spec if args.spec is not None else _run_design_spec
         start = time.time()
         try:
-            output = _run_spec(args.spec, args.workers)
+            output = runner(path, args.workers)
         except SystemExit as exc:
             print(exc, file=sys.stderr)
             return 2
         print(output)
         elapsed = round(time.time() - start, 3)
-        print(f"[spec {args.spec} done in {elapsed:.1f}s]")
+        print(f"[spec {path} done in {elapsed:.1f}s]")
         if args.json:
             with open(args.json, "w") as fh:
-                json.dump({"spec": args.spec, "seconds": {"spec": elapsed}}, fh, indent=2)
+                json.dump({"spec": path, "seconds": {"spec": elapsed}}, fh, indent=2)
                 fh.write("\n")
         return 0
     names = list(EXPERIMENTS) if args.all else args.experiments

@@ -1,16 +1,16 @@
-"""Table 1: TOPS/mm² and TOPS/W across eight designs and four precisions."""
+"""Table 1: TOPS/mm² and TOPS/W across eight designs and four precisions.
+
+Runs through a :class:`repro.api.DesignSession`: per-design component areas
+and the alignment-factor network simulations are session-cached, so designs
+sharing an adder tree (MC-SER and MC-IPU4 both serve off a 16-bit tree with
+EHU clusters of 8) simulate once. Outputs are byte-identical to the
+pre-session implementation (pinned by the golden-render tests).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
-
-from repro.hw.designs import DESIGNS, TABLE1_PRECISIONS, Design
-from repro.hw.efficiency import EfficiencyPoint, design_efficiency
-from repro.nn.zoo import resnet18_convs
-from repro.tile.config import SMALL_TILE
-from repro.tile.simulator import FP16_ITERATIONS, simulate_network
+from repro.hw.designs import DESIGNS, TABLE1_PRECISIONS
+from repro.hw.efficiency import EfficiencyPoint
 from repro.utils.table import render_table
 
 __all__ = ["run", "render", "PAPER_TABLE1"]
@@ -35,34 +35,27 @@ PAPER_TABLE1 = {
 }
 
 
-def _alignment_factor(design: Design, samples: int, rng: int) -> float:
-    """Average MC alignment cycles for FP16 ops with FP32 accumulation,
-    averaged over forward and backward (the paper's benchmark mix)."""
-    if design.fp_mode != "temporal" or design.adder_width >= 28:
-        return 1.0
-    tile = SMALL_TILE.with_precision(design.adder_width, 8)
-    factors = []
-    for direction in ("forward", "backward"):
-        perf = simulate_network(resnet18_convs(), tile, 28, direction,
-                                samples=samples, rng=rng)
-        steps = sum(l.steps for l in perf.layers)
-        factors.append(perf.total_cycles / (steps * FP16_ITERATIONS))
-    import numpy as _np
+def run(
+    samples: int = 384, rng: int = 41, session=None
+) -> dict[tuple[str, int, int], EfficiencyPoint | None]:
+    """All Table-1 cells through a (possibly shared) DesignSession."""
+    from repro.api.design import use_session
 
-    return float(_np.mean(factors))
-
-
-def run(samples: int = 384, rng: int = 41) -> dict[tuple[str, int, int], EfficiencyPoint | None]:
-    cells: dict[tuple[str, int, int], EfficiencyPoint | None] = {}
-    factors = {name: _alignment_factor(d, samples, rng) for name, d in DESIGNS.items()}
-    for name, design in DESIGNS.items():
-        for a, w in TABLE1_PRECISIONS:
-            af = factors[name] if (a, w) == (16, 16) else 1.0
-            if not design.supports(a, w):
-                cells[(name, a, w)] = None
-                continue
-            cells[(name, a, w)] = design_efficiency(design, a, w, alignment_factor=af)
-    return cells
+    with use_session(session) as session:
+        cells: dict[tuple[str, int, int], EfficiencyPoint | None] = {}
+        factors = {
+            name: session.design_alignment_factor(d, samples=samples, rng=rng)
+            for name, d in DESIGNS.items()
+        }
+        for name, design in DESIGNS.items():
+            for a, w in TABLE1_PRECISIONS:
+                af = factors[name] if (a, w) == (16, 16) else 1.0
+                if not design.supports(a, w):
+                    cells[(name, a, w)] = None
+                    continue
+                cells[(name, a, w)] = session.design_efficiency(
+                    design, a, w, alignment_factor=af)
+        return cells
 
 
 def render(cells) -> str:

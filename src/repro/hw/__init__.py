@@ -2,10 +2,20 @@
 
 from repro.hw.components import COMPONENT_NAMES, IPUGeometry, component_areas_ge
 from repro.hw.gates import GE_AREA_MM2, GE_POWER_W, LEAKAGE_FRACTION
+from repro.hw.registry import (
+    design_names,
+    parse_design,
+    parse_tile,
+    register_design,
+    register_tile,
+    tile_names,
+)
 from repro.hw.tile_cost import ACTIVITY, TileCost, tile_cost
 
 __all__ = [
     "COMPONENT_NAMES", "IPUGeometry", "component_areas_ge",
     "GE_AREA_MM2", "GE_POWER_W", "LEAKAGE_FRACTION",
     "ACTIVITY", "TileCost", "tile_cost",
+    "parse_design", "register_design", "design_names",
+    "parse_tile", "register_tile", "tile_names",
 ]

@@ -37,14 +37,22 @@ class EfficiencyPoint:
         return (self.a_prec, self.w_prec) == (16, 16)
 
 
-def design_area_mm2(design: Design) -> float:
-    """Area of one IPU instance of this design (mm²)."""
-    return sum(component_areas_ge(design.geometry()).values()) * GE_AREA_MM2
+def design_area_mm2(design: Design, areas: dict[str, float] | None = None) -> float:
+    """Area of one IPU instance of this design (mm²).
+
+    ``areas`` supplies precomputed per-component GE areas (e.g. from a
+    :class:`repro.api.DesignSession` cache) so repeated costings of one
+    design skip the geometry walk.
+    """
+    if areas is None:
+        areas = component_areas_ge(design.geometry())
+    return sum(areas.values()) * GE_AREA_MM2
 
 
-def design_power_w(design: Design, mode: str) -> float:
+def design_power_w(design: Design, mode: str, areas: dict[str, float] | None = None) -> float:
     """Power of one IPU instance (W) under the given activity mode."""
-    areas = component_areas_ge(design.geometry())
+    if areas is None:
+        areas = component_areas_ge(design.geometry())
     act = ACTIVITY["int" if design.fp_mode is None else mode]
     total = 0.0
     for comp, ge in areas.items():
@@ -58,6 +66,7 @@ def design_efficiency(
     a_prec: int,
     w_prec: int,
     alignment_factor: float = 1.0,
+    areas: dict[str, float] | None = None,
 ) -> EfficiencyPoint | None:
     """One cell pair of Table 1; ``None`` when the design lacks FP16.
 
@@ -74,8 +83,8 @@ def design_efficiency(
     # MACs per cycle across the IPU's n multipliers:
     macs_per_cycle = design.n_inputs / (cycles * units)
     ops_per_second = macs_per_cycle * 2 * CLOCK_GHZ * 1e9
-    area = design_area_mm2(design)
-    power = design_power_w(design, mode="fp" if is_fp else "int")
+    area = design_area_mm2(design, areas=areas)
+    power = design_power_w(design, mode="fp" if is_fp else "int", areas=areas)
     return EfficiencyPoint(
         design=design.name,
         a_prec=a_prec,

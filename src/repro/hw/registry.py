@@ -1,0 +1,327 @@
+"""String-keyed registries for hardware designs and tile configurations.
+
+Mirrors :mod:`repro.fp.registry` on the hardware side: every design point
+of the paper's sensitivity analysis (Table 1) and every tile geometry of
+the performance experiments (Figs 7-10) is resolvable from a plain string,
+so design-space sweeps can be flat JSON documents
+(:class:`repro.api.spec.DesignSweepSpec`) instead of Python object graphs.
+
+Designs
+    :func:`parse_design` resolves the eight paper names (``"MC-IPU4"``,
+    ``"NVDLA"``, ... — case-insensitive) plus arbitrary specs of the form
+    ``kind:AxB@Wb[/opt...]`` into frozen :class:`repro.hw.designs.Design`
+    instances::
+
+        mc-ipu:4x4@20b            # temporal nibble design, 4x4 MUL, 20b ADT
+        mc-ipu:8x4@24b/ehu4       # /nN, /ehuN, /itN tune the geometry
+        int:8x8                   # INT-only (adder defaults to A+B)
+        nvdla-like:8x8@36b/spatial2   # spatial FP16 fusion of 2 units
+        native:12x12@36b          # dedicated FP16 FMA datapath
+
+    Temporal designs get their FP16 iteration count from the nibble
+    schedule — ``ceil(12/A) * ceil(12/B)`` passes for the 11-bit FP16
+    significands padded to three nibbles (12x1 -> 12, 4x4 -> 9, 8x4 -> 6)
+    — overridable with ``/itN`` (the paper's MC-IPU8 packs the four
+    partial products of a 12x12 into two 8x8 array passes, hence its
+    registered ``fp16_iterations=2``). Parsed specs are interned, so every
+    canonical name round-trips to an identical design object.
+
+Tiles
+    :func:`parse_tile` resolves ``"small"``/``"big"`` (aliases
+    ``"baseline1"``/``"baseline2"``) and custom ``(C,K,H,Wo)`` unrollings
+    ``"CxKxHxWo"``, with optional adder width and cluster suffixes::
+
+        small                     # the paper's 8-input tile (38b baseline)
+        small@16b/c4              # MC-IPU(16) adder trees, clusters of 4
+        tile:16x16x2x2@20b        # custom unrolling ("tile:" optional)
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.hw.designs import DESIGNS, Design
+from repro.tile.config import BIG_TILE, SMALL_TILE, TileConfig
+
+__all__ = [
+    "register_design",
+    "parse_design",
+    "design_names",
+    "fp16_temporal_iterations",
+    "register_tile",
+    "parse_tile",
+    "format_tile",
+    "tile_names",
+]
+
+# FP16 significands (1 implicit + 10 stored bits) pad to three 4-bit nibbles.
+_FP16_SIGNIFICAND_BITS = 12
+
+_DESIGN_RE = re.compile(
+    r"^(?P<kind>mc-ipu|int|nvdla-like|native):"
+    r"(?P<a>\d+)x(?P<b>\d+)"
+    r"(?:@(?P<w>\d+)b?)?"
+    r"(?P<opts>(?:/[a-z]+\d+)*)$"
+)
+_OPT_RE = re.compile(r"/(?P<key>spatial|it|n|ehu)(?P<val>\d+)")
+
+_KIND_FP_MODE = {
+    "mc-ipu": "temporal",
+    "int": None,
+    "nvdla-like": "spatial",
+    "native": "native",
+}
+
+
+def fp16_temporal_iterations(mult_a: int, mult_b: int) -> int:
+    """Temporal multiplier passes per FP16 product on an AxB multiplier."""
+    return -(-_FP16_SIGNIFICAND_BITS // mult_a) * (-(-_FP16_SIGNIFICAND_BITS // mult_b))
+
+
+_DESIGNS: dict[str, Design] = {}
+_DESIGN_ALIASES: dict[str, str] = {}
+# Grammar specs interned by canonical name on first parse. Kept separate
+# from the explicit registry so design_names() (and the unknown-design
+# error message built from it) stays the curated list even after a
+# programmatic sweep has parsed thousands of candidate specs.
+_PARSED: dict[str, Design] = {}
+
+
+def register_design(design: Design, *aliases: str) -> Design:
+    """Register ``design`` under its (case-insensitive) name; idempotent.
+
+    Re-registering a name with a *different* design is rejected — names are
+    the serialization surface, so they must stay unambiguous.
+    """
+    key = design.name.strip().lower()
+    existing = _DESIGNS.get(key)
+    if existing is not None and existing != design:
+        raise ValueError(f"design name {design.name!r} already registered as {existing}")
+    _DESIGNS[key] = design
+    for alias in aliases:
+        alias = alias.strip().lower()
+        target = _DESIGN_ALIASES.get(alias)
+        if target is not None and target != key:
+            raise ValueError(f"alias {alias!r} already points at {target!r}")
+        if alias in _DESIGNS and _DESIGNS[alias] != design:
+            raise ValueError(f"alias {alias!r} shadows a registered design")
+        _DESIGN_ALIASES[alias] = key
+    return design
+
+
+def _parse_design_spec(name: str, original: str) -> Design:
+    m = _DESIGN_RE.match(name)
+    if m is None:
+        raise KeyError(
+            f"unknown design {original!r}; registered: {', '.join(design_names())} "
+            "(or a spec like 'mc-ipu:4x4@20b', 'int:8x8', "
+            "'nvdla-like:8x8@36b/spatial2', 'native:12x12@36b')"
+        )
+    kind = m.group("kind")
+    a, b = int(m.group("a")), int(m.group("b"))
+    if a < 1 or b < 1:
+        raise ValueError(f"{original!r}: multiplier must be at least 1x1")
+    unknown = _OPT_RE.sub("", m.group("opts"))
+    if unknown:
+        raise ValueError(
+            f"{original!r}: unknown option(s) {unknown!r}; valid: "
+            "/spatialN, /itN, /nN, /ehuN"
+        )
+    opts = {k: int(v) for k, v in _OPT_RE.findall(m.group("opts"))}
+    if "spatial" in opts and kind != "nvdla-like":
+        raise ValueError(f"{original!r}: /spatialN only applies to nvdla-like designs")
+    if "it" in opts and kind != "mc-ipu":
+        raise ValueError(f"{original!r}: /itN only applies to mc-ipu designs")
+    if m.group("w") is not None:
+        width = int(m.group("w"))
+    elif kind == "int":
+        width = a + b  # an INT-only tree only needs the product width
+    else:
+        raise ValueError(f"{original!r}: FP-capable designs need an explicit '@<width>b'")
+    if width < 1:
+        raise ValueError(f"{original!r}: adder width must be positive")
+
+    fp_mode = _KIND_FP_MODE[kind]
+    units = opts.get("spatial", 2) if kind == "nvdla-like" else 1
+    if units < 1:
+        raise ValueError(f"{original!r}: /spatialN needs at least one unit")
+    if kind == "int":
+        iterations = None
+    elif kind == "mc-ipu":
+        iterations = opts.get("it", fp16_temporal_iterations(a, b))
+        if iterations < 1:
+            raise ValueError(f"{original!r}: /itN needs at least one iteration")
+    else:
+        iterations = 1
+    n_inputs = opts.get("n", 16)
+    ehu_share = opts.get("ehu", 8)
+    if n_inputs < 1 or ehu_share < 1:
+        raise ValueError(f"{original!r}: /nN and /ehuN must be positive")
+
+    canonical = f"{kind}:{a}x{b}@{width}b"
+    if kind == "nvdla-like" and units != 2:
+        canonical += f"/spatial{units}"
+    if kind == "mc-ipu" and iterations != fp16_temporal_iterations(a, b):
+        canonical += f"/it{iterations}"
+    if n_inputs != 16:
+        canonical += f"/n{n_inputs}"
+    if ehu_share != 8:
+        canonical += f"/ehu{ehu_share}"
+    interned = _DESIGNS.get(canonical) or _PARSED.get(canonical)
+    if interned is not None:
+        return interned
+    design = Design(
+        name=canonical, mult_a=a, mult_b=b, adder_width=width, fp_mode=fp_mode,
+        fp16_iterations=iterations, fp16_units_per_product=units,
+        n_inputs=n_inputs, ehu_share=ehu_share,
+    )
+    _PARSED[canonical] = design
+    return design
+
+
+def parse_design(spec: str | Design) -> Design:
+    """Resolve a design name, alias, or ``kind:AxB@Wb`` spec to a Design."""
+    if isinstance(spec, Design):
+        return spec
+    name = spec.strip().lower()
+    name = _DESIGN_ALIASES.get(name, name)
+    design = _DESIGNS.get(name) or _PARSED.get(name)
+    if design is not None:
+        return design
+    return _parse_design_spec(name, spec)
+
+
+def design_names() -> tuple[str, ...]:
+    """Registered design names (aliases excluded), registration order."""
+    return tuple(d.name for d in _DESIGNS.values())
+
+
+for _design in DESIGNS.values():
+    register_design(_design)
+del _design
+
+
+# -- tile configurations -----------------------------------------------------
+
+_TILES: dict[str, TileConfig] = {}
+_TILE_ALIASES: dict[str, str] = {}
+
+_TILE_RE = re.compile(
+    r"^(?P<base>[^@/]+?)(?:@(?P<w>\d+)b?)?(?:/c(?P<c>\d+))?$"
+)
+_UNROLL_RE = re.compile(r"^(?:tile:)?(\d+)x(\d+)x(\d+)x(\d+)$")
+
+
+def register_tile(tile: TileConfig, *aliases: str) -> TileConfig:
+    """Register a base tile geometry under its (case-insensitive) name."""
+    key = tile.name.strip().lower()
+    existing = _TILES.get(key)
+    if existing is not None and existing != tile:
+        raise ValueError(f"tile name {tile.name!r} already registered as {existing}")
+    _TILES[key] = tile
+    for alias in aliases:
+        alias = alias.strip().lower()
+        target = _TILE_ALIASES.get(alias)
+        if target is not None and target != key:
+            raise ValueError(f"alias {alias!r} already points at {target!r}")
+        if alias in _TILES and _TILES[alias] != tile:
+            raise ValueError(f"alias {alias!r} shadows a registered tile")
+        _TILE_ALIASES[alias] = key
+    return tile
+
+
+def _base_tile(base: str, original: str) -> TileConfig:
+    base = _TILE_ALIASES.get(base, base)
+    tile = _TILES.get(base)
+    if tile is not None:
+        return tile
+    m = _UNROLL_RE.match(base)
+    if m is None:
+        raise KeyError(
+            f"unknown tile {original!r}; registered: {', '.join(tile_names())} "
+            "(or a 'CxKxHxWo' unrolling like '16x16x2x2', optionally with "
+            "'@<width>b' and '/c<cluster>' suffixes)"
+        )
+    c, k, h, wo = (int(g) for g in m.groups())
+    if min(c, k, h, wo) < 1:
+        raise ValueError(f"{original!r}: all four unroll factors must be positive")
+    return TileConfig(name=f"{c}x{k}x{h}x{wo}", c_unroll=c, k_unroll=k,
+                      h_unroll=h, w_unroll=wo)
+
+
+def parse_tile(spec: str | TileConfig) -> TileConfig:
+    """Resolve ``base[@Wb][/cN]`` to a :class:`TileConfig`.
+
+    ``base`` is a registered tile name or a ``CxKxHxWo`` unrolling;
+    ``@Wb`` sets the adder-tree width and ``/cN`` the cluster size (both
+    default to the base tile's: the 38-bit unclustered baseline).
+    """
+    if isinstance(spec, TileConfig):
+        return spec
+    name = spec.strip().lower()
+    m = _TILE_RE.match(name)
+    if m is None:
+        raise KeyError(f"malformed tile spec {spec!r}")
+    tile = _base_tile(m.group("base"), spec)
+    width, cluster = m.group("w"), m.group("c")
+    if width is None and cluster is None:
+        return tile
+    tile = tile.with_precision(
+        tile.adder_width if width is None else int(width),
+        None if cluster is None else int(cluster),
+    )
+    tile.effective_cluster_size  # validate the cluster bound eagerly
+    return tile
+
+
+def _same_base_geometry(a: TileConfig, b: TileConfig) -> bool:
+    return (a.c_unroll, a.k_unroll, a.h_unroll, a.w_unroll,
+            a.weight_buffer_depth, a.n_tiles) == (
+        b.c_unroll, b.k_unroll, b.h_unroll, b.w_unroll,
+        b.weight_buffer_depth, b.n_tiles)
+
+
+def format_tile(tile: TileConfig) -> str:
+    """The registry spec string for a tile (inverse of :func:`parse_tile`).
+
+    Prefers the tile's own base name (``with_precision`` derives
+    ``small-w16-c4`` from ``small``), then the ``CxKxHxWo`` form, then any
+    geometry-matching registered base, appending ``@Wb``/``/cN`` where they
+    differ from the base. Raises for tiles the grammar cannot express
+    (non-default weight buffers or tile counts on unregistered geometries).
+    """
+    base_name = tile.name.split("-w")[0].strip().lower()
+    base = _TILES.get(_TILE_ALIASES.get(base_name, base_name))
+    if base is not None and _same_base_geometry(base, tile):
+        spec = base.name
+    else:
+        default = TileConfig(name="", c_unroll=tile.c_unroll,
+                             k_unroll=tile.k_unroll, h_unroll=tile.h_unroll,
+                             w_unroll=tile.w_unroll)
+        if _same_base_geometry(default, tile):
+            base = default
+            spec = f"{tile.c_unroll}x{tile.k_unroll}x{tile.h_unroll}x{tile.w_unroll}"
+        else:
+            base = next((t for t in _TILES.values()
+                         if _same_base_geometry(t, tile)), None)
+            if base is None:
+                raise ValueError(
+                    f"tile {tile.name!r} has a non-default weight buffer or "
+                    "tile count the spec grammar cannot express; "
+                    "register_tile() it"
+                )
+            spec = base.name
+    if tile.adder_width != base.adder_width:
+        spec += f"@{tile.adder_width}b"
+    if tile.cluster_size is not None:
+        spec += f"/c{tile.cluster_size}"
+    return spec
+
+
+def tile_names() -> tuple[str, ...]:
+    """Registered base tile names (aliases excluded), registration order."""
+    return tuple(t.name for t in _TILES.values())
+
+
+register_tile(SMALL_TILE, "baseline1")
+register_tile(BIG_TILE, "baseline2")

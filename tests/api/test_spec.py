@@ -40,6 +40,12 @@ class TestPrecisionPoint:
         with pytest.raises(ValueError):
             PrecisionPoint(0)
 
+    def test_rejects_unservable_single_cycle_precision(self):
+        """A single-cycle point cannot promise more software precision than
+        its tree width — fail at spec load, not mid-sweep."""
+        with pytest.raises(ValueError, match="single-cycle"):
+            PrecisionPoint(12, software_precision=28, multi_cycle=False)
+
 
 class TestRunSpec:
     def spec(self):

@@ -1,0 +1,170 @@
+"""Hardware design/tile registries: name resolution, grammar, round trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.designs import DESIGNS, Design
+from repro.hw.registry import (
+    design_names,
+    format_tile,
+    fp16_temporal_iterations,
+    parse_design,
+    parse_tile,
+    register_design,
+    register_tile,
+    tile_names,
+)
+from repro.tile.config import BIG_TILE, SMALL_TILE, TileConfig
+
+
+class TestDesignNames:
+    def test_paper_names_resolve_to_registry_objects(self):
+        for name, design in DESIGNS.items():
+            assert parse_design(name) is design
+
+    def test_case_and_whitespace_insensitive(self):
+        assert parse_design(" mc-ipu4 ") is DESIGNS["MC-IPU4"]
+        assert parse_design("NVDLA") is parse_design("nvdla")
+
+    def test_design_passthrough(self):
+        d = DESIGNS["MC-IPU8"]
+        assert parse_design(d) is d
+
+    def test_all_eight_registered(self):
+        assert set(DESIGNS) <= set(design_names())
+
+    def test_unknown_name_raises_keyerror_with_suggestions(self):
+        with pytest.raises(KeyError, match="registered"):
+            parse_design("bogus")
+
+    def test_reregistering_conflicting_name_rejected(self):
+        clash = Design("MC-IPU4", 9, 9, 9, "temporal", fp16_iterations=1)
+        with pytest.raises(ValueError, match="already registered"):
+            register_design(clash)
+
+
+class TestDesignGrammar:
+    def test_mc_ipu_spec_matches_paper_design_fields(self):
+        d = parse_design("mc-ipu:4x4@16b")
+        m = DESIGNS["MC-IPU4"]
+        assert (d.mult_a, d.mult_b, d.adder_width, d.fp_mode, d.fp16_iterations,
+                d.fp16_units_per_product, d.n_inputs, d.ehu_share) == (
+            m.mult_a, m.mult_b, m.adder_width, m.fp_mode, m.fp16_iterations,
+            m.fp16_units_per_product, m.n_inputs, m.ehu_share)
+
+    @pytest.mark.parametrize("a,b,iters", [(12, 1, 12), (4, 4, 9), (8, 4, 6),
+                                           (4, 8, 6), (12, 12, 1), (8, 8, 4)])
+    def test_fp16_iteration_formula(self, a, b, iters):
+        assert fp16_temporal_iterations(a, b) == iters
+        assert parse_design(f"mc-ipu:{a}x{b}@24b").fp16_iterations == iters
+
+    def test_it_override_models_the_mc_ipu8_packing(self):
+        d = parse_design("mc-ipu:8x8@23b/it2")
+        assert d.fp16_iterations == 2  # DESIGNS["MC-IPU8"] packs 4 -> 2 passes
+
+    def test_int_kind(self):
+        d = parse_design("int:8x8")
+        assert d.fp_mode is None and d.fp16_iterations is None
+        assert d.adder_width == 16  # defaults to the product width
+        assert parse_design("int:8x8@20b").adder_width == 20
+
+    def test_nvdla_like_kind(self):
+        d = parse_design("nvdla-like:8x8@36b/spatial2")
+        assert d.fp_mode == "spatial" and d.fp16_units_per_product == 2
+        # /spatial2 is the default: canonical name omits it
+        assert d is parse_design("nvdla-like:8x8@36b")
+        assert parse_design("nvdla-like:8x8@36b/spatial4").fp16_units_per_product == 4
+
+    def test_native_kind(self):
+        d = parse_design("native:12x12@36b")
+        assert d.fp_mode == "native" and d.fp16_iterations == 1
+
+    def test_geometry_options(self):
+        d = parse_design("mc-ipu:4x4@16b/n8/ehu4")
+        assert d.n_inputs == 8 and d.ehu_share == 4
+
+    def test_parsed_specs_do_not_pollute_design_names(self):
+        d = parse_design("mc-ipu:6x6@21b")
+        assert d.name not in design_names()  # curated list stays curated
+        assert parse_design(d.name) is d     # but canonical names still intern
+
+    def test_interned_and_canonicalized(self):
+        d = parse_design("MC-IPU : 8x4@24b".replace(" ", ""))
+        assert parse_design("mc-ipu:8x4@24b") is d
+        assert parse_design("mc-ipu:8x4@24") is d  # the 'b' is optional
+        assert parse_design(d.name) is d           # canonical name round-trips
+
+    @pytest.mark.parametrize("spec,err", [
+        ("mc-ipu:4x4", ValueError),              # FP designs need a width
+        ("mc-ipu:0x4@16b", ValueError),
+        ("int:8x8/spatial2", ValueError),        # /spatialN is nvdla-like only
+        ("native:12x12@36b/it2", ValueError),    # /itN is mc-ipu only
+        ("mcipu:4x4@16b", KeyError),             # unknown kind
+        ("mc-ipu:8x8@23b/iter2", ValueError),    # misspelled option, not ignored
+        ("mc-ipu:4x4@20b/ehus4", ValueError),
+    ])
+    def test_rejects_malformed_specs(self, spec, err):
+        with pytest.raises(err):
+            parse_design(spec)
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=st.integers(1, 16), b=st.integers(1, 16), w=st.integers(8, 40))
+    def test_canonical_name_round_trip_property(self, a, b, w):
+        d = parse_design(f"mc-ipu:{a}x{b}@{w}b")
+        assert parse_design(d.name) is d
+        assert (d.mult_a, d.mult_b, d.adder_width) == (a, b, w)
+        assert d.fp16_iterations == fp16_temporal_iterations(a, b)
+
+
+class TestTileRegistry:
+    def test_named_tiles_and_aliases(self):
+        assert parse_tile("small") is SMALL_TILE
+        assert parse_tile("BIG") is BIG_TILE
+        assert parse_tile("baseline1") is SMALL_TILE
+        assert parse_tile("baseline2") is BIG_TILE
+        assert set(tile_names()) >= {"small", "big"}
+
+    def test_tileconfig_passthrough(self):
+        t = SMALL_TILE.with_precision(16, 4)
+        assert parse_tile(t) is t
+
+    def test_width_and_cluster_suffixes(self):
+        assert parse_tile("small@16b/c4") == SMALL_TILE.with_precision(16, 4)
+        assert parse_tile("small@16") == SMALL_TILE.with_precision(16)
+        assert parse_tile("big/c8") == BIG_TILE.with_precision(
+            BIG_TILE.adder_width, 8)
+
+    def test_custom_unrolling(self):
+        t = parse_tile("16x16x2x2@20b/c4")
+        assert (t.c_unroll, t.k_unroll, t.h_unroll, t.w_unroll) == (16, 16, 2, 2)
+        assert t.adder_width == 20 and t.cluster_size == 4
+        assert parse_tile("tile:8x8x2x2") == TileConfig(
+            name="8x8x2x2", c_unroll=8, k_unroll=8)
+
+    def test_cluster_bound_validated_eagerly(self):
+        with pytest.raises(ValueError, match="cluster size"):
+            parse_tile("small/c999")
+
+    def test_unknown_and_malformed(self):
+        with pytest.raises(KeyError, match="registered"):
+            parse_tile("medium")
+        with pytest.raises(KeyError):
+            parse_tile("8x8x2")  # three factors, not four
+
+    def test_reregistering_conflicting_name_rejected(self):
+        clash = TileConfig(name="small", c_unroll=99, k_unroll=1)
+        with pytest.raises(ValueError, match="already registered"):
+            register_tile(clash)
+
+    @pytest.mark.parametrize("spec", [
+        "small", "big", "small@16b/c4", "big@20b", "8x8x2x2", "16x16x2x2@12b/c2",
+    ])
+    def test_format_tile_inverts_parse_tile(self, spec):
+        tile = parse_tile(spec)
+        assert parse_tile(format_tile(tile)) == tile
+
+    def test_format_tile_rejects_unrepresentable(self):
+        odd = TileConfig(name="odd", c_unroll=4, k_unroll=4, n_tiles=7)
+        with pytest.raises(ValueError, match="cannot express"):
+            format_tile(odd)
