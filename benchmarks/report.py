@@ -10,8 +10,11 @@ tracked across PRs. Run from the repo root::
 
 Outputs:
 
-- ``BENCH_kernels.json``  — kernel microbenchmarks (single + MC) plus the
-  session-vs-direct-engine overhead/worker-pool rows and the cold-vs-warm
+- ``BENCH_kernels.json``  — kernel microbenchmarks (single + MC), the
+  session-vs-direct-engine overhead row, serial-vs-thread-vs-process
+  backend scaling rows for emulation *and* design sweeps (with session
+  stats proving the pools engaged; ``cpus`` recorded honestly), the
+  chunk-size scan behind ``DEFAULT_CHUNK_ELEMENTS``, and the cold-vs-warm
   ``DesignSession.sweep`` design-space row (Table-1 grid)
 - ``BENCH_fig3.json``     — the quick Figure-3 sweep (same config as
   ``benchmarks/test_bench_fig3.py``)
@@ -160,13 +163,15 @@ def bench_kernels(repeats):
 
 
 def bench_session(repeats):
-    """Session-vs-direct-engine: cold overhead and worker-pool scaling.
+    """Session-vs-direct-engine: cold overhead and execution-backend scaling.
 
     The overhead row compares one cold single-threaded session call against
     the direct engine path on the standard microbenchmark batch (the session
-    adds a content fingerprint + registry resolution). The worker rows run a
-    large multi-point sweep serially and with a thread pool; all paths must
-    be bit-identical.
+    adds a content fingerprint + registry resolution). The backend rows run
+    a large multi-point sweep through every execution backend at the same
+    worker count; all paths must be bit-identical, and the process row's
+    session stats must show the pool actually engaged (tasks dispatched,
+    shared-memory bytes shipped).
     """
     rng = np.random.default_rng(1)
     a = rng.laplace(0, 1, (KERNEL_BATCH, 16))
@@ -187,27 +192,65 @@ def bench_session(repeats):
     big_b = rng.laplace(0, 1, (120000, 16))
     points = [PrecisionPoint(w) for w in (12, 16, 28)]
 
-    def run_with(workers):
-        with EmulationSession(workers=workers) as session:
-            return session.inner_products(big_a, big_b, points)
+    def run_with(backend, workers):
+        with EmulationSession(workers=workers, backend=backend) as session:
+            results = session.inner_products(big_a, big_b, points)
+            return results, session.stats.as_dict()
 
-    serial_s, serial_res = _best_of(lambda: run_with(1), repeats)
+    serial_s, (serial_res, _) = _best_of(lambda: run_with("serial", 1), repeats)
     cpus = os.cpu_count() or 1
-    workers = max(2, min(4, cpus))  # exercise the pool even on 1-core hosts
-    par_s, par_res = _best_of(lambda: run_with(workers), repeats)
-    identical = all(
-        np.array_equal(s.values, p.values) and np.array_equal(s.rounded, p.rounded)
-        for s, p in zip(serial_res, par_res)
-    )
-    out["worker_pool_sweep"] = {
-        "batch": 120000, "n": 16, "points": [p.adder_width for p in points],
-        "workers": workers, "cpus": cpus,
-        "serial_seconds": round(serial_s, 4),
-        "parallel_seconds": round(par_s, 4),
-        "speedup": round(serial_s / par_s, 2),
-        "identical": bool(identical),
-    }
+    workers = max(2, min(4, cpus))  # exercise the pools even on 1-core hosts
+    for backend, row in (("thread", "worker_pool_sweep"),
+                         ("process", "process_pool_sweep")):
+        par_s, (par_res, stats) = _best_of(lambda: run_with(backend, workers), repeats)
+        identical = all(
+            np.array_equal(s.values, p.values) and np.array_equal(s.rounded, p.rounded)
+            for s, p in zip(serial_res, par_res)
+        )
+        engaged = stats["tasks_dispatched"] > 0 and (
+            backend != "process" or stats["shm_bytes"] > 0)
+        out[row] = {
+            "batch": 120000, "n": 16, "points": [p.adder_width for p in points],
+            "backend": backend, "workers": workers, "cpus": cpus,
+            "serial_seconds": round(serial_s, 4),
+            "parallel_seconds": round(par_s, 4),
+            "speedup": round(serial_s / par_s, 2),
+            "tasks_dispatched": stats["tasks_dispatched"],
+            "shm_bytes": stats["shm_bytes"],
+            "pool_engaged": bool(engaged),
+            "identical": bool(identical),
+        }
+        assert engaged, f"{backend} pool did not engage"
     return out
+
+
+def bench_chunk_block(repeats):
+    """Microbenchmark of the shared chunk-sizing knob (DEFAULT_CHUNK_ELEMENTS).
+
+    Times the standard single-point kernel at several chunk sizes so the
+    committed default is a measured choice rather than folklore; the session
+    exposes the same knob as ``chunk_rows``.
+    """
+    from repro.ipu.engine import DEFAULT_CHUNK_ELEMENTS
+
+    rng = np.random.default_rng(7)
+    pa = pack_operands(rng.laplace(0, 1, (120000, 16)), FP16)
+    pb = pack_operands(rng.laplace(0, 1, (120000, 16)), FP16)
+    point = KernelPoint(16)
+    rows = {}
+    for elements in (1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20):
+        chunk_rows = max(1, elements // 16)
+        secs, _ = _best_of(
+            lambda: fp_ip_points(pa, pb, [point], chunk_rows=chunk_rows), repeats)
+        rows[f"elements_{elements}"] = {
+            "chunk_rows": chunk_rows,
+            "seconds": round(secs, 4),
+            "default": elements == DEFAULT_CHUNK_ELEMENTS,
+        }
+    return {"chunk_block": {
+        "batch": 120000, "n": 16, "adder_width": 16,
+        "default_elements": DEFAULT_CHUNK_ELEMENTS, "sizes": rows,
+    }}
 
 
 def bench_design_space(repeats):
@@ -216,21 +259,24 @@ def bench_design_space(repeats):
     Cold builds a fresh session per run (every alignment simulation, tile
     costing, and numerics sweep computed); warm re-sweeps the same session
     (everything served from the value-keyed caches). Reports must compare
-    equal — the caches return exactly what a re-computation would.
+    equal — the caches return exactly what a re-computation would. The
+    backend rows repeat the cold sweep through the thread and process
+    backends (cold is where fan-out matters: a warm sweep is all cache
+    hits).
     """
     spec = DesignSweepSpec.grid(name="table1-grid", designs=tuple(DESIGNS),
                                 tiles=("small",), samples=96, rng=41)
 
-    def cold():
-        with DesignSession() as session:
-            return session.sweep(spec)
+    def cold(backend="serial", workers=None):
+        with DesignSession(workers=workers, backend=backend) as session:
+            return session.sweep(spec), session.stats.as_dict()
 
-    cold_s, cold_reports = _best_of(cold, repeats)
+    cold_s, (cold_reports, _) = _best_of(cold, repeats)
     with DesignSession() as session:
         session.sweep(spec)  # populate every cache
         warm_s, warm_reports = _best_of(lambda: session.sweep(spec), repeats)
         hits, misses = dict(session.stats.hits), dict(session.stats.misses)
-    return {
+    out = {
         "design_space_sweep": {
             "designs": len(spec.designs), "points": len(spec.points()),
             "samples": spec.samples, "cpus": os.cpu_count() or 1,
@@ -241,11 +287,28 @@ def bench_design_space(repeats):
             "identical": bool(cold_reports == warm_reports),
         }
     }
+    cpus = os.cpu_count() or 1
+    workers = max(2, min(4, cpus))
+    for backend in ("thread", "process"):
+        par_s, (par_reports, stats) = _best_of(
+            lambda: cold(backend, workers), repeats)
+        out[f"design_sweep_{backend}"] = {
+            "points": len(spec.points()), "samples": spec.samples,
+            "backend": backend, "workers": workers, "cpus": cpus,
+            "serial_seconds": round(cold_s, 4),
+            "parallel_seconds": round(par_s, 4),
+            "speedup": round(cold_s / par_s, 2),
+            "tasks_dispatched": stats["tasks_dispatched"],
+            "shm_bytes": stats["shm_bytes"],
+            "pool_engaged": stats["tasks_dispatched"] > 0,
+            "identical": bool(par_reports == cold_reports),
+        }
+    return out
 
 
 def bench_kernels_and_session(repeats):
     return {**bench_kernels(repeats), **bench_session(repeats),
-            **bench_design_space(repeats)}
+            **bench_chunk_block(repeats), **bench_design_space(repeats)}
 
 
 def bench_fig3(repeats):
@@ -314,6 +377,11 @@ def main(argv=None) -> int:
         results = payload["results"]
         flat = results.values() if "seed_seconds" not in results else [results]
         for r in flat:
+            if "sizes" in r:  # informational microbenchmark, nothing to verify
+                default = next(v for v in r["sizes"].values() if v["default"])
+                print(f"  chunk-size scan: default {r['default_elements']} "
+                      f"elements -> {default['seconds']}s")
+                continue
             mark = "ok" if r.get("identical") else "MISMATCH"
             if "seed_seconds" in r:
                 print(f"  seed {r['seed_seconds']}s -> engine {r['engine_seconds']}s "
@@ -325,7 +393,8 @@ def main(argv=None) -> int:
                 print(f"  cold sweep {r['cold_seconds']}s -> warm {r['warm_seconds']}s "
                       f"({r['speedup']}x, {r['points']} design points, results {mark})")
             else:
-                print(f"  serial {r['serial_seconds']}s -> {r['workers']} workers "
+                print(f"  serial {r['serial_seconds']}s -> {r['workers']} "
+                      f"{r.get('backend', 'thread')} workers "
                       f"{r['parallel_seconds']}s ({r['speedup']}x, results {mark})")
             failed |= not r.get("identical")
         path = out_dir / filename

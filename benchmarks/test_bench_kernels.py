@@ -39,6 +39,30 @@ def test_bench_engine_precision_sweep(benchmark):
     benchmark(fp_ip_points, pa, pb, points)
 
 
+def test_bench_streaming_iter(benchmark):
+    """The bounded-memory streaming path vs one in-memory fp_ip_points call.
+
+    Chunked iteration must not cost materially more than the monolithic
+    run — it executes the same cache-sized chunks, just yielding between
+    them instead of holding every output row.
+    """
+    from repro.api import EmulationSession
+
+    rng = np.random.default_rng(5)
+    a = rng.laplace(0, 1, (20000, 16))
+    b = rng.laplace(0, 1, (20000, 16))
+    with EmulationSession() as s:
+        pa, pb = s.pack(a), s.pack(b)
+
+        def consume():
+            total = 0.0
+            for _, _, chunk in s.fp_ip_points_iter(pa, pb, [16]):
+                total += float(chunk[0].values[-1])
+            return total
+
+        benchmark(consume)
+
+
 def test_bench_step_cycles(benchmark):
     rng = np.random.default_rng(2)
     exps = rng.integers(-28, 31, size=(4096, 8, 16))

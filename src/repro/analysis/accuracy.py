@@ -15,7 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.fp.formats import FP16, FP32, FPFormat
-from repro.ipu.engine import PackedOperands, fp_ip_packed, pack_operands
+from repro.ipu.engine import KernelPoint, PackedOperands, fp_ip_packed, pack_operands
 from repro.nn.functional import conv_output_size, im2col
 from repro.nn.layers import BatchNorm2d, Conv2d, GlobalAvgPool, Linear, MaxPool2d, ReLU, Residual, Sequential
 from repro.utils.rng import as_generator
@@ -77,7 +77,10 @@ def emulated_conv2d(
     ``session`` (an :class:`repro.api.EmulationSession`) routes activation
     packing through the session's fingerprint cache — one batch's plan is
     then shared across every IPU precision of an evaluation — and supplies
-    the weight-plan cache; ``plan_cache`` is the session-less fallback.
+    the weight-plan cache; the per-channel kernels also run through the
+    session's execution backend, so large batches split across its
+    thread/process pool (bit-identical results either way). ``plan_cache``
+    is the session-less fallback.
     """
     n_ipu = _N_IPU
     if session is not None:
@@ -97,9 +100,16 @@ def emulated_conv2d(
     wplan = weight_plan(weight, n_ipu, plan_cache)            # (K, chunks, n_ipu)
 
     out = np.empty((k, nimg * p))
-    for ch in range(k):
-        res = fp_ip_packed(acts, wplan[ch], adder_width, acc_fmt=acc_fmt)
-        out[ch] = res.values.sum(axis=1)                      # exact chunk partials
+    if session is None:
+        for ch in range(k):
+            res = fp_ip_packed(acts, wplan[ch], adder_width, acc_fmt=acc_fmt)
+            out[ch] = res.values.sum(axis=1)                  # exact chunk partials
+    else:
+        point = KernelPoint(adder_width, acc_fmt=acc_fmt)
+        with session.kernel_scope():  # ship the act plan to workers once
+            for ch in range(k):
+                res = session.run_kernels(acts, wplan[ch], [point])[0]
+                out[ch] = res.values.sum(axis=1)
     out_t = out.T.reshape(nimg, p, k).transpose(0, 2, 1)
     if acc_fmt.name == "fp32":
         out_t = out_t.astype(np.float32)

@@ -90,9 +90,11 @@ def run_fig3_sweep(
 
     Build a :class:`repro.api.RunSpec` and call
     :meth:`repro.api.EmulationSession.sweep` instead — a session shares
-    operand plans across sweeps and can parallelize the kernels. This
-    wrapper constructs the equivalent spec and produces bit-identical
-    results (asserted by the deprecation-shim tests).
+    operand plans across sweeps, streams the kernels chunk by chunk
+    (million-sample batches stay memory-bounded), and can parallelize them
+    across an execution backend. This wrapper constructs the equivalent
+    spec and produces bit-identical results (asserted by the
+    deprecation-shim tests).
     """
     warnings.warn(
         "run_fig3_sweep is deprecated; build a repro.api.RunSpec and call "

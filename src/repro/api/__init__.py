@@ -7,9 +7,15 @@ The stable front door to the repo's emulation *and* design-space stacks::
     spec = RunSpec.grid(precisions=(8, 12, 16, 28),
                         accumulators=("fp16", "fp32"),
                         sources=("laplace", "normal"), batch=4000)
-    with EmulationSession(workers=4) as session:
+    with EmulationSession(workers=4, backend="process") as session:
         sweep = session.sweep(spec)           # decode once, run every point
         res = session.inner_product(a, b, 16) # ad-hoc kernels share the cache
+        for lo, hi, chunk in session.fp_ip_points_iter(a, b, [16]):
+            ...                               # streaming, bounded memory
+
+Execution backends (:mod:`repro.api.executor`: serial / thread / process)
+are bit-identical — pick per session, per spec (``"executor"`` field), or
+per replay (``runner --backend``).
 
     from repro.api import DesignSession
 
@@ -35,6 +41,7 @@ from repro.api.design import (
     DesignSessionStats,
     pareto_frontier,
 )
+from repro.api.executor import ExecutorSpec, make_executor
 from repro.api.report import render_design_reports, render_sweep
 from repro.api.session import EmulationSession, SessionStats
 from repro.api.spec import (
@@ -67,6 +74,7 @@ from repro.hw.registry import (
 
 __all__ = [
     "EmulationSession", "SessionStats", "render_sweep",
+    "ExecutorSpec", "make_executor",
     "DEFAULT_SOURCES", "PrecisionPoint", "RunSpec",
     "DesignSession", "DesignSessionStats", "DesignReport", "pareto_frontier",
     "render_design_reports",

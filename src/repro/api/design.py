@@ -26,7 +26,7 @@ from __future__ import annotations
 import math
 import re
 import threading
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import Future
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -47,6 +47,7 @@ from repro.nn.zoo import WORKLOADS
 from repro.tile.config import SMALL_TILE, TileConfig
 from repro.tile.simulator import FP16_ITERATIONS, NetworkPerf, simulate_network
 
+from repro.api.executor import make_executor
 from repro.api.session import EmulationSession
 from repro.api.spec import DesignPoint, DesignSweepSpec, PrecisionPoint, RunSpec
 
@@ -67,14 +68,31 @@ DEFAULT_ACCURACY_SPEC = RunSpec(name="design-accuracy",
 
 @dataclass
 class DesignSessionStats:
-    """Per-cache hit/miss counters (observability for sweep sizing)."""
+    """Per-cache hit/miss counters plus executor telemetry.
+
+    ``backend``/``workers`` describe the sweep fan-out backend;
+    ``tasks_dispatched`` counts design points actually handed to a pool and
+    ``shm_bytes`` the executor's shared-memory traffic (design sweeps ship
+    points, not plans, so this stays 0 unless the embedded emulation's
+    executor is shared).
+    """
 
     hits: dict = field(default_factory=dict)
     misses: dict = field(default_factory=dict)
+    backend: str = "serial"
+    workers: int = 1
+    tasks_dispatched: int = 0
+    shm_bytes: int = 0
 
     def note(self, kind: str, hit: bool) -> None:
         bucket = self.hits if hit else self.misses
         bucket[kind] = bucket.get(kind, 0) + 1
+
+    def as_dict(self) -> dict:
+        return {"hits": dict(self.hits), "misses": dict(self.misses),
+                "backend": self.backend, "workers": self.workers,
+                "tasks_dispatched": self.tasks_dispatched,
+                "shm_bytes": self.shm_bytes}
 
 
 @dataclass(frozen=True)
@@ -203,6 +221,31 @@ def pareto_frontier(items, x, y, within=None) -> list:
     return front
 
 
+# Per-worker-process design session for process-backend sweeps: one session
+# per (accuracy-template) so its value-keyed caches persist across every task
+# the worker receives, mirroring the thread backend's shared-cache behavior
+# within each process.
+_WORKER_SESSION: "tuple[str, DesignSession] | None" = None
+
+
+def _evaluate_design_task(payload) -> "DesignReport":
+    """Process-pool task: evaluate one serialized DesignPoint.
+
+    The payload is ``(point_dict, accuracy_spec_dict)`` — both plain JSON
+    dicts, so the task pickles small no matter how heavy the evaluation is.
+    Everything here is deterministic, so per-process caches return exactly
+    what the parent's would.
+    """
+    global _WORKER_SESSION
+    point_dict, accuracy_dict = payload
+    key = repr(sorted(accuracy_dict.items(), key=lambda kv: kv[0]))
+    if _WORKER_SESSION is None or _WORKER_SESSION[0] != key:
+        if _WORKER_SESSION is not None:
+            _WORKER_SESSION[1].close()
+        _WORKER_SESSION = (key, DesignSession(accuracy=RunSpec.from_dict(accuracy_dict)))
+    return _WORKER_SESSION[1].evaluate(DesignPoint.from_dict(point_dict))
+
+
 @contextmanager
 def use_session(session: "DesignSession | None" = None):
     """Yield ``session``, or create a temporary one and close it after.
@@ -228,7 +271,7 @@ class DesignSession:
     Parameters
     ----------
     workers:
-        Thread count for :meth:`sweep` fan-out (also forwarded to the
+        Worker count for :meth:`sweep` fan-out (also forwarded to the
         embedded :class:`EmulationSession` unless one is supplied).
         Results are identical to a serial sweep — caches deduplicate
         in-flight work, and every computation is deterministic.
@@ -240,6 +283,13 @@ class DesignSession:
         The :class:`RunSpec` protocol template for accuracy metrics; its
         ``points`` are ignored (each evaluation injects the design's
         resolved :class:`PrecisionPoint`).
+    backend:
+        Sweep fan-out backend (:mod:`repro.api.executor`): ``"serial"`` /
+        ``"thread"`` / ``"process"``, a spec, or a spec dict. ``None``
+        keeps the historical convention (threads when ``workers > 1``).
+        The process backend evaluates points in per-worker sessions —
+        caches are per process, but every computation is deterministic, so
+        reports are identical to a serial sweep.
     """
 
     def __init__(
@@ -247,18 +297,20 @@ class DesignSession:
         workers: int | None = None,
         emulation: EmulationSession | None = None,
         accuracy: RunSpec | None = None,
+        backend=None,
     ):
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
-        self.workers = 1 if workers is None else int(workers)
+        self.executor = make_executor(backend, workers)
+        self.workers = self.executor.workers
         self.accuracy_spec = accuracy if accuracy is not None else DEFAULT_ACCURACY_SPEC
-        self.stats = DesignSessionStats()
+        self.stats = DesignSessionStats(backend=self.executor.name,
+                                        workers=self.executor.workers)
         self._emulation = emulation
         self._owns_emulation = emulation is None
         self._memo: dict[tuple, Future] = {}
         self._layer_lists: dict[str, tuple] = {}
         self._lock = threading.Lock()
-        self._pool: ThreadPoolExecutor | None = None
         self._closed = False
 
     # -- lifecycle ---------------------------------------------------------
@@ -274,10 +326,9 @@ class DesignSession:
             return self._emulation
 
     def close(self) -> None:
-        """Shut the pool down, drop all caches, close an owned emulation."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Shut the backend down, drop all caches, close an owned emulation."""
+        self.executor.close()
+        self.stats.tasks_dispatched = self.executor.tasks_dispatched
         if self._owns_emulation and self._emulation is not None:
             self._emulation.close()
             self._emulation = None
@@ -509,23 +560,26 @@ class DesignSession:
     def sweep(self, spec: DesignSweepSpec | list) -> list[DesignReport]:
         """Evaluate a :class:`DesignSweepSpec` (or an explicit point list).
 
-        With ``workers > 1`` the points fan out across a thread pool;
-        the in-flight-deduplicating caches guarantee shared simulations run
-        once, and reports come back in spec order, identical to a serial
-        sweep.
+        With ``workers > 1`` the points fan out across the execution
+        backend. On the thread backend the in-flight-deduplicating caches
+        guarantee shared simulations run once; on the process backend each
+        worker process owns a long-lived session whose caches persist
+        across its tasks. Reports come back in spec order, identical to a
+        serial sweep (every computation is deterministic).
         """
         if isinstance(spec, DesignSweepSpec):
             points = list(spec.points())
         else:
             points = [DesignPoint.from_dict(p) for p in spec]
-        if self.workers <= 1 or len(points) <= 1:
+        if self.executor.workers <= 1 or len(points) <= 1:
             return [self.evaluate(p) for p in points]
         if self._closed:
             raise RuntimeError("session is closed")
-        with self._lock:  # sessions may be shared across caller threads
-            if self._pool is None:
-                self._pool = ThreadPoolExecutor(max_workers=self.workers,
-                                                thread_name_prefix="repro-design")
-            pool = self._pool
-        futures = [pool.submit(self.evaluate, p) for p in points]
-        return [f.result() for f in futures]
+        if self.executor.name == "process":
+            accuracy_dict = self.accuracy_spec.to_dict()
+            payloads = [(p.to_dict(), accuracy_dict) for p in points]
+            reports = self.executor.map_tasks(_evaluate_design_task, payloads)
+        else:
+            reports = self.executor.map(self.evaluate, points)
+        self.stats.tasks_dispatched = self.executor.tasks_dispatched
+        return reports

@@ -1,0 +1,525 @@
+"""Pluggable execution backends: one interface, serial / thread / process.
+
+Both sessions used to own a private ``ThreadPoolExecutor`` — which, the
+committed benchmarks show, buys nothing on the GIL-bound kernel path
+(``BENCH_kernels.json: worker_pool_sweep`` measured 1.0x). This module
+factors the fan-out into interchangeable backends behind one interface so
+truly million-sample sweeps can use real processes:
+
+``SerialExecutor``
+    runs everything inline; the reference semantics.
+
+``ThreadExecutor``
+    the former session plumbing: broadcast-slab the operand plans and run
+    :func:`repro.ipu.engine.fp_ip_points` per span on a thread pool. NumPy
+    releases the GIL inside the kernel's hot loops, so this scales on
+    multi-core hosts without any serialization cost.
+
+``ProcessExecutor``
+    a fork-server-free ``ProcessPoolExecutor`` (fork context where
+    available). Operand plans are *not* pickled per task: each plan's
+    decoded planes are exported once per call into
+    ``multiprocessing.shared_memory`` via the
+    :meth:`~repro.ipu.engine.PackedOperands.to_buffers` codec, and workers
+    reconstruct zero-copy views (:meth:`from_buffers`) before running their
+    span. Segments are unlinked as soon as the call completes; the
+    ``live_segments`` property and the cleanup test pin that no segment
+    outlives :meth:`close`.
+
+Task splitting is **chunk-granular**: spans along the leading batch axis are
+aligned to the engine's cache-sized row blocks
+(:func:`repro.ipu.engine.default_chunk_rows`), so every backend processes
+the same chunks in the same order and the results are bit-identical to
+serial execution (rows are independent; verified by the parity suite).
+
+The declarative face is :class:`ExecutorSpec` (``{"backend": "process",
+"workers": 8}``), embedded in ``RunSpec``/``DesignSweepSpec`` JSON and
+surfaced as ``runner --backend``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.ipu.engine import (
+    FPIPBatchResult,
+    PackedOperands,
+    _broadcast_plan,
+    default_chunk_rows,
+    fp_ip_points,
+)
+
+__all__ = ["ExecutorSpec", "BACKENDS", "make_executor",
+           "SerialExecutor", "ThreadExecutor", "ProcessExecutor"]
+
+BACKENDS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class ExecutorSpec:
+    """Declarative backend selection: JSON-safe, embeddable in run specs.
+
+    ``workers=None`` means "all cores" for pooled backends and 1 for
+    serial. ``from_dict`` accepts ``None`` (→ default serial spec), a bare
+    backend string, a dict, or an existing spec, so spec JSONs may say
+    ``"executor": {"backend": "process", "workers": 8}`` or just
+    ``"executor": "process"``.
+    """
+
+    backend: str = "serial"
+    workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown executor backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+
+    @property
+    def resolved_workers(self) -> int:
+        if self.workers is not None:
+            return int(self.workers)
+        if self.backend == "serial":
+            return 1
+        return os.cpu_count() or 1
+
+    def merged(self, backend: str | None = None,
+               workers: int | None = None) -> "ExecutorSpec":
+        """This spec with CLI-style overrides applied (None = keep)."""
+        return ExecutorSpec(backend or self.backend,
+                            self.workers if workers is None else workers)
+
+    def to_dict(self) -> dict:
+        return {"backend": self.backend, "workers": self.workers}
+
+    @classmethod
+    def from_dict(cls, d) -> "ExecutorSpec":
+        if d is None:
+            return cls()
+        if isinstance(d, ExecutorSpec):
+            return d
+        if isinstance(d, str):
+            return cls(backend=d)
+        return cls(**d)
+
+
+def resolve_executor_spec(backend=None, workers: int | None = None) -> ExecutorSpec:
+    """The sessions' constructor convention, preserved from the PR-2 API:
+    ``workers > 1`` with no explicit backend means threads (the historical
+    behavior), ``workers in (None, 1)`` means serial. ``backend`` may be a
+    name, an :class:`ExecutorSpec`, or a dict."""
+    if backend is None:
+        name = "serial" if workers is None or workers <= 1 else "thread"
+        return ExecutorSpec(name, workers)
+    spec = ExecutorSpec.from_dict(backend)
+    if workers is not None:
+        spec = spec.merged(workers=workers)
+    return spec
+
+
+def chunk_spans(dim0: int, inner: int, n: int, parts_limit: int,
+                chunk_rows: int | None = None) -> list[tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` spans of the leading axis, one per task.
+
+    Span edges fall on multiples of the engine's row block (the same
+    ``chunk_rows``-derived block :func:`fp_ip_points` chunks by), so a
+    split run processes exactly the chunks a serial run would — task
+    granularity never cuts a cache-sized chunk in half. When the batch
+    holds fewer full chunks than workers, the granule shrinks so every
+    worker still gets a span (splitting is bit-neutral at any granularity;
+    alignment is a locality preference, not a correctness requirement).
+    """
+    if dim0 <= 0:
+        return []
+    rows_per_chunk = default_chunk_rows(n) if chunk_rows is None else chunk_rows
+    block = max(1, rows_per_chunk // max(inner, 1))
+    block = max(1, min(block, -(-dim0 // max(parts_limit, 1))))
+    nblocks = -(-dim0 // block)
+    parts = max(1, min(parts_limit, nblocks))
+    edges = [min(dim0, (nblocks * i // parts) * block) for i in range(parts + 1)]
+    edges[-1] = dim0
+    return [(lo, hi) for lo, hi in zip(edges, edges[1:]) if lo < hi]
+
+
+def _slab(plan: PackedOperands, shape: tuple[int, ...], lo: int, hi: int) -> PackedOperands:
+    """One task's slice of a plan broadcast to the pair shape (zero-copy)."""
+    sign, exp, nib = _broadcast_plan(plan, shape)
+    return PackedOperands(plan.fmt, sign[lo:hi], exp[lo:hi], nib[lo:hi])
+
+
+def _concat_results(slabs: list[list[FPIPBatchResult]]) -> list[FPIPBatchResult]:
+    """Reassemble per-span result lists (span-major) into whole-batch results."""
+    out = []
+    for i in range(len(slabs[0])):
+        parts = [s[i] for s in slabs]
+        out.append(FPIPBatchResult(
+            values=np.concatenate([p.values for p in parts]),
+            rounded=np.concatenate([p.rounded for p in parts]),
+            max_exp=np.concatenate([p.max_exp for p in parts]),
+            alignment_cycles=np.concatenate([p.alignment_cycles for p in parts]),
+            total_cycles=np.concatenate([p.total_cycles for p in parts]),
+        ))
+    return out
+
+
+class SerialExecutor:
+    """Inline execution; the reference every other backend must match."""
+
+    name = "serial"
+
+    def __init__(self, workers: int = 1):
+        self.workers = 1
+        self.tasks_dispatched = 0
+        self.shm_bytes = 0
+
+    def run_points(self, pa, pb, points, shape, chunk_rows=None):
+        return fp_ip_points(pa, pb, points, chunk_rows=chunk_rows)
+
+    def map(self, fn, items) -> list:
+        return [fn(item) for item in items]
+
+    def map_tasks(self, fn, payloads) -> list:
+        return [fn(p) for p in payloads]
+
+    @contextmanager
+    def plan_scope(self):
+        """No-op here; see :meth:`ProcessExecutor.plan_scope`."""
+        yield
+
+    def close(self) -> None:
+        pass
+
+
+class ThreadExecutor:
+    """Thread-pool fan-out (NumPy kernels release the GIL)."""
+
+    name = "thread"
+
+    def __init__(self, workers: int):
+        self.workers = max(1, int(workers))
+        self.tasks_dispatched = 0
+        self.shm_bytes = 0
+        self._pool: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="repro-exec")
+            return self._pool
+
+    def run_points(self, pa, pb, points, shape, chunk_rows=None):
+        dim0 = shape[0]
+        inner = int(np.prod(shape[1:-1], dtype=np.int64))
+        spans = chunk_spans(dim0, inner, shape[-1], self.workers, chunk_rows)
+        if len(spans) <= 1:
+            return fp_ip_points(pa, pb, points, chunk_rows=chunk_rows)
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(fp_ip_points, _slab(pa, shape, lo, hi),
+                        _slab(pb, shape, lo, hi), points, chunk_rows)
+            for lo, hi in spans
+        ]
+        with self._lock:
+            self.tasks_dispatched += len(futures)
+        return _concat_results([f.result() for f in futures])
+
+    def map(self, fn, items) -> list:
+        items = list(items)
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        pool = self._ensure_pool()
+        futures = [pool.submit(fn, item) for item in items]
+        with self._lock:
+            self.tasks_dispatched += len(futures)
+        return [f.result() for f in futures]
+
+    map_tasks = map
+
+    @contextmanager
+    def plan_scope(self):
+        """No-op here; see :meth:`ProcessExecutor.plan_scope`."""
+        yield
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+# -- process backend ----------------------------------------------------------
+
+def _export_plan(plan: PackedOperands) -> tuple[shared_memory.SharedMemory, dict]:
+    """Copy a plan's planes into one shared-memory segment.
+
+    Returns the owning segment plus a picklable descriptor (name, field
+    layout, offsets) that :func:`_attach_plan` turns back into a zero-copy
+    plan in any process on the machine.
+    """
+    meta, buffers = plan.to_buffers()
+    offsets, total = [], 0
+    for arr in buffers:
+        total = -(-total // 16) * 16  # 16-byte align each plane
+        offsets.append(total)
+        total += arr.nbytes
+    shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+    try:
+        for arr, off in zip(buffers, offsets):
+            if arr.nbytes:
+                dst = np.frombuffer(shm.buf, np.uint8, count=arr.nbytes, offset=off)
+                dst[:] = arr.reshape(-1).view(np.uint8)
+                del dst
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    sizes = [arr.nbytes for arr in buffers]
+    return shm, {"name": shm.name, "meta": meta, "offsets": offsets, "sizes": sizes}
+
+
+def _attach_plan(desc: dict, own_tracker: bool) -> tuple[shared_memory.SharedMemory, PackedOperands]:
+    """Worker-side inverse of :func:`_export_plan` (zero-copy views).
+
+    Attaching registers the segment with the resource tracker (a CPython
+    3.11 wart). Fork workers share the parent's tracker, where the repeat
+    registration is a set-level no-op and the parent unregisters once at
+    unlink — nothing to undo. A worker with its *own* tracker (spawn) must
+    unregister, or its tracker would try to unlink the parent's segment at
+    shutdown.
+    """
+    shm = shared_memory.SharedMemory(name=desc["name"])
+    if own_tracker:
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")  # noqa: SLF001
+        except Exception:
+            pass
+    bufs = [shm.buf[off:off + size] if size else b""
+            for off, size in zip(desc["offsets"], desc["sizes"])]
+    return shm, PackedOperands.from_buffers(desc["meta"], bufs)
+
+
+def _release_plan(shm: shared_memory.SharedMemory) -> None:
+    """Close a worker's attachment; tolerate lingering buffer exports.
+
+    All views into the segment must be dropped before close; if a stray
+    reference survives (BufferError), the map is left for process exit to
+    reclaim rather than crashing the task.
+    """
+    try:
+        shm.close()
+    except BufferError:
+        pass
+
+
+def _kernel_task(desc_a, desc_b, shape, lo, hi, points, chunk_rows, own_tracker):
+    """One span of fp_ip_points against shared-memory operand plans."""
+    shape = tuple(shape)
+    shm_a, pa = _attach_plan(desc_a, own_tracker)
+    shm_b, pb = _attach_plan(desc_b, own_tracker)
+    try:
+        slab_a = _slab(pa, shape, lo, hi)
+        slab_b = _slab(pb, shape, lo, hi)
+        results = fp_ip_points(slab_a, slab_b, points, chunk_rows=chunk_rows)
+        return [(r.values, r.rounded, r.max_exp, r.alignment_cycles, r.total_cycles)
+                for r in results]
+    finally:
+        del pa, pb
+        try:
+            del slab_a, slab_b
+        except NameError:
+            pass
+        _release_plan(shm_a)
+        _release_plan(shm_b)
+
+
+class ProcessExecutor:
+    """Process-pool fan-out with shared-memory operand planes.
+
+    Tasks carry only a segment descriptor and a span, so the decoded plans
+    cross the process boundary exactly once per call regardless of task
+    count. The fork context is used where available (Linux), which also
+    carries registered custom formats/designs into the workers.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int):
+        self.workers = max(1, int(workers))
+        self.tasks_dispatched = 0
+        self.shm_bytes = 0
+        self.last_segments: list[str] = []
+        self._start_method = ("fork" if "fork" in multiprocessing.get_all_start_methods()
+                              else multiprocessing.get_start_method(allow_none=False))
+        self._pool: ProcessPoolExecutor | None = None
+        self._live: dict[str, shared_memory.SharedMemory] = {}
+        self._scope_depth = 0
+        # id(plan) -> (plan, descriptor); the plan reference pins the id so
+        # it cannot be recycled onto a different object mid-scope
+        self._scope_exports: dict[int, tuple[PackedOperands, dict]] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def live_segments(self) -> list[str]:
+        """Names of shared-memory segments currently owned (not yet unlinked)."""
+        with self._lock:
+            return sorted(self._live)
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                ctx = multiprocessing.get_context(self._start_method)
+                self._pool = ProcessPoolExecutor(max_workers=self.workers,
+                                                 mp_context=ctx)
+            return self._pool
+
+    @contextmanager
+    def plan_scope(self):
+        """Pin plan exports across calls: within the scope, re-submitting the
+        same :class:`PackedOperands` object reuses its shared-memory segment
+        instead of re-exporting it, and segments are unlinked when the
+        outermost scope exits. This is how per-channel loops (the emulated
+        convolution) ship one activation plan across many kernel calls."""
+        with self._lock:
+            self._scope_depth += 1
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._scope_depth -= 1
+                if self._scope_depth == 0:
+                    names = [d["name"] for _, d in self._scope_exports.values()]
+                    self._scope_exports = {}
+                else:
+                    names = []
+            self._unlink(names)
+
+    def _register(self, shm: shared_memory.SharedMemory) -> None:
+        self._live[shm.name] = shm
+        self.shm_bytes += shm.size
+        self.last_segments.append(shm.name)
+
+    def _export(self, plan: PackedOperands) -> tuple[dict, bool]:
+        """``(descriptor, deferred)``: deferred exports outlive the call
+        (a surrounding plan_scope owns their unlink).
+
+        The scoped branch checks, exports, and registers under one lock
+        hold, so concurrent callers sharing a plan inside a scope never
+        race into a double export (the copy is serialized — scopes exist
+        for single-threaded per-channel loops, where this never contends).
+        """
+        with self._lock:
+            if self._scope_depth > 0:
+                cached = self._scope_exports.get(id(plan))
+                if cached is not None and cached[0] is plan:
+                    return cached[1], True
+                shm, desc = _export_plan(plan)
+                self._register(shm)
+                self._scope_exports[id(plan)] = (plan, desc)
+                return desc, True
+        shm, desc = _export_plan(plan)
+        with self._lock:
+            self._register(shm)
+        return desc, False
+
+    def _unlink(self, names) -> None:
+        for name in names:
+            with self._lock:
+                shm = self._live.pop(name, None)
+            if shm is not None:
+                _release_plan(shm)
+                try:
+                    shm.unlink()
+                except FileNotFoundError:
+                    pass
+
+    def run_points(self, pa, pb, points, shape, chunk_rows=None):
+        dim0 = shape[0]
+        inner = int(np.prod(shape[1:-1], dtype=np.int64))
+        spans = chunk_spans(dim0, inner, shape[-1], self.workers, chunk_rows)
+        if len(spans) <= 1:
+            return fp_ip_points(pa, pb, points, chunk_rows=chunk_rows)
+        pool = self._ensure_pool()
+        with self._lock:
+            if self._scope_depth == 0:
+                self.last_segments = []
+        own_tracker = self._start_method != "fork"
+        exported: list[tuple[dict, bool]] = []
+        try:  # exports inside the try so a failed second export still cleans up
+            desc_a, defer_a = self._export(pa)
+            exported.append((desc_a, defer_a))
+            if pb is pa:  # self inner products share one segment
+                desc_b, defer_b = desc_a, defer_a
+            else:
+                desc_b, defer_b = self._export(pb)
+                exported.append((desc_b, defer_b))
+            futures = [
+                pool.submit(_kernel_task, desc_a, desc_b, tuple(shape),
+                            lo, hi, points, chunk_rows, own_tracker)
+                for lo, hi in spans
+            ]
+            with self._lock:
+                self.tasks_dispatched += len(futures)
+            slabs = [
+                [FPIPBatchResult(*arrays) for arrays in f.result()]
+                for f in futures
+            ]
+        finally:
+            self._unlink([desc["name"] for desc, defer in exported if not defer])
+        return _concat_results(slabs)
+
+    def map(self, fn, items) -> list:
+        raise TypeError(
+            "ProcessExecutor cannot run arbitrary closures; use map_tasks "
+            "with a module-level function and picklable payloads"
+        )
+
+    def map_tasks(self, fn, payloads) -> list:
+        payloads = list(payloads)
+        if len(payloads) <= 1:
+            return [fn(p) for p in payloads]
+        pool = self._ensure_pool()
+        futures = [pool.submit(fn, p) for p in payloads]
+        with self._lock:
+            self.tasks_dispatched += len(futures)
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+            live, self._live = dict(self._live), {}
+            self._scope_exports = {}
+        for shm in live.values():
+            _release_plan(shm)
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+_BACKEND_CLASSES = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def make_executor(backend=None, workers: int | None = None):
+    """Build an executor from a spec/name/dict plus optional worker override."""
+    spec = resolve_executor_spec(backend, workers)
+    return _BACKEND_CLASSES[spec.backend](spec.resolved_workers)

@@ -9,14 +9,18 @@ re-create per call:
   precision points, accumulator formats, batches, or consumers touch it;
 - a **weight-plan cache** for the convolution path (keyed by array identity,
   see :func:`repro.analysis.accuracy.weight_plan`);
-- an optional **worker pool** that splits large batches across threads —
-  rows are independent, so the parallel path is bit-exact with the serial
-  one (verified by the test suite).
+- a pluggable **execution backend** (:mod:`repro.api.executor`: ``serial`` /
+  ``thread`` / ``process``) that splits large batches chunk-granularly —
+  rows are independent, so every backend is bit-exact with serial execution
+  (verified by the test suite). The process backend ships operand planes
+  through shared memory instead of re-pickling plans per task.
 
 High-level methods cover the repo's workloads: :meth:`inner_product` /
-:meth:`inner_products` for kernel points, :meth:`conv2d` / :meth:`forward`
-for emulated inference, :meth:`int_dot` for INT mode, and :meth:`sweep` for
-declarative :class:`repro.api.spec.RunSpec` grids (the Figure-3 protocol).
+:meth:`inner_products` for kernel points, :meth:`fp_ip_points_iter` for
+streaming million-sample batches at bounded memory, :meth:`conv2d` /
+:meth:`forward` for emulated inference, :meth:`int_dot` for INT mode, and
+:meth:`sweep` for declarative :class:`repro.api.spec.RunSpec` grids (the
+Figure-3 protocol, streamed chunk by chunk).
 """
 
 from __future__ import annotations
@@ -24,8 +28,7 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
@@ -36,24 +39,31 @@ from repro.fp.registry import parse_accumulator, parse_format
 from repro.ipu.engine import (
     KernelPoint,
     PackedOperands,
-    _broadcast_plan,
+    default_chunk_rows,
     fp_ip_points,
     pack_operands,
 )
 from repro.ipu.reference import cpu_fp32_dot_batch
 from repro.utils.rng import as_generator
 
+from repro.api.executor import _slab, make_executor
 from repro.api.spec import PrecisionPoint, RunSpec
 
 __all__ = ["EmulationSession", "SessionStats"]
 
-# Below this many result rows the thread-pool split costs more than it saves.
+# Below this many result rows the pool split costs more than it saves.
 MIN_PARALLEL_ROWS = 4096
 
 
 @dataclass
 class SessionStats:
-    """Plan-cache counters (observability for cache-sizing decisions)."""
+    """Plan-cache and executor counters (observability for sizing decisions).
+
+    ``backend``/``workers`` describe the execution backend;
+    ``tasks_dispatched`` counts tasks actually handed to a pool and
+    ``shm_bytes`` the cumulative shared-memory traffic (process backend
+    only) — benchmark JSON asserts on these to prove the pool engaged.
+    """
 
     plan_hits: int = 0
     plan_misses: int = 0
@@ -61,6 +71,13 @@ class SessionStats:
     plan_bytes: int = 0
     kernel_rows: int = 0
     parallel_batches: int = 0
+    backend: str = "serial"
+    workers: int = 1
+    tasks_dispatched: int = 0
+    shm_bytes: int = 0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
 
 
 def _fingerprint(values: np.ndarray, fmt: FPFormat) -> tuple[tuple, np.ndarray]:
@@ -101,13 +118,22 @@ class EmulationSession:
     Parameters
     ----------
     workers:
-        Thread count for batch-parallel kernel execution; ``None`` or ``1``
-        runs serially. Results are bit-identical either way.
+        Worker count for batch-parallel kernel execution; ``None`` or ``1``
+        runs serially (unless ``backend`` says otherwise). Results are
+        bit-identical either way.
     plan_cache_bytes:
         Byte budget for cached operand plans (LRU eviction). ``0`` disables
         caching (every :meth:`pack` decodes afresh).
     chunk_rows:
-        Override the engine's cache-sized row chunking (testing hook).
+        The one chunk-sizing knob: result rows per engine work chunk, also
+        the default granularity of :meth:`fp_ip_points_iter` and of the
+        executor's task splitting. ``None`` auto-sizes from
+        :data:`repro.ipu.engine.DEFAULT_CHUNK_ELEMENTS`.
+    backend:
+        Execution backend: ``"serial"`` / ``"thread"`` / ``"process"``, an
+        :class:`repro.api.executor.ExecutorSpec`, or a spec dict. ``None``
+        keeps the historical convention — threads when ``workers > 1``,
+        serial otherwise.
     """
 
     def __init__(
@@ -115,30 +141,35 @@ class EmulationSession:
         workers: int | None = None,
         plan_cache_bytes: int = 256 << 20,
         chunk_rows: int | None = None,
+        backend=None,
     ):
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
-        self.workers = 1 if workers is None else int(workers)
+        self.executor = make_executor(backend, workers)
+        self.workers = self.executor.workers
         self.plan_cache_bytes = plan_cache_bytes
         self.chunk_rows = chunk_rows
-        self.stats = SessionStats()
+        self.stats = SessionStats(backend=self.executor.name,
+                                  workers=self.executor.workers)
         self._plans: OrderedDict[tuple, PackedOperands] = OrderedDict()
         self._plan_lock = threading.Lock()  # callers may share one session
         self._weight_plans: dict = {}
-        self._pool: ThreadPoolExecutor | None = None
         self._closed = False
 
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the worker pool down and drop all cached plans."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Shut the execution backend down and drop all cached plans."""
+        self.executor.close()
+        self._sync_executor_stats()
         self._plans.clear()
         self._weight_plans.clear()
         self.stats.plan_bytes = 0
         self._closed = True
+
+    def _sync_executor_stats(self) -> None:
+        self.stats.tasks_dispatched = self.executor.tasks_dispatched
+        self.stats.shm_bytes = self.executor.shm_bytes
 
     def __enter__(self) -> "EmulationSession":
         return self
@@ -227,6 +258,11 @@ class EmulationSession:
         pa, pb = self.pack(a, fmt), self.pack(b, fmt)
         kernels, index = _dedup_kernels(pts)
         results = self._run_points(pa, pb, kernels)
+        return self._apply_accumulators(pts, index, results)
+
+    @staticmethod
+    def _apply_accumulators(pts, index, results):
+        """Per-point write-back off shared kernel results (see inner_products)."""
         out = []
         for p in pts:
             base = results[index[p.kernel_key()]]
@@ -253,47 +289,101 @@ class EmulationSession:
 
         return int_dot_batch(a, b, a_bits, b_bits, signed=signed)
 
+    def run_kernels(self, pa: PackedOperands, pb: PackedOperands,
+                    points: list[KernelPoint]):
+        """Plan-level kernel entry: raw engine results per KernelPoint.
+
+        The advanced counterpart of :meth:`inner_products` for callers that
+        already hold packed plans and engine :class:`KernelPoint`s (the
+        emulated-convolution path): no accumulator registry, no write-back —
+        just :func:`fp_ip_points` through the execution backend when
+        profitable, bit-identical to a direct engine call.
+        """
+        return self._run_points(pa, pb, points)
+
+    def kernel_scope(self):
+        """Context manager pinning process-backend plan exports.
+
+        Inside the scope, repeated :meth:`run_kernels` calls that reuse the
+        same plan object ship it through shared memory once instead of once
+        per call (no-op on serial/thread backends). Segments are unlinked
+        when the scope exits.
+        """
+        return self.executor.plan_scope()
+
     def _run_points(self, pa: PackedOperands, pb: PackedOperands,
                     points: list[KernelPoint]):
-        """fp_ip_points, split across the worker pool when profitable."""
+        """fp_ip_points through the execution backend when profitable."""
         if self._closed:
             raise RuntimeError("session is closed")
-        shape = np.broadcast_shapes(pa.shape, pb.shape)
+        shape = self._pair_shape(pa, pb)
         rows = int(np.prod(shape[:-1], dtype=np.int64))
         self.stats.kernel_rows += rows * len(points)
-        dim0 = shape[0] if len(shape) >= 2 else 1
-        parts = min(self.workers, dim0)
-        if parts <= 1 or rows < MIN_PARALLEL_ROWS:
+        if (self.executor.workers <= 1 or shape[0] <= 1
+                or rows < MIN_PARALLEL_ROWS):
             return fp_ip_points(pa, pb, points, chunk_rows=self.chunk_rows)
-        with self._plan_lock:
-            if self._pool is None:
-                self._pool = ThreadPoolExecutor(
-                    max_workers=self.workers, thread_name_prefix="repro-emul"
-                )
         self.stats.parallel_batches += 1
-        a_sign, a_exp, a_nib = _broadcast_plan(pa, shape)
-        b_sign, b_exp, b_nib = _broadcast_plan(pb, shape)
-        edges = [dim0 * i // parts for i in range(parts + 1)]
-        futures = []
-        for lo, hi in zip(edges, edges[1:]):
-            slab_a = PackedOperands(pa.fmt, a_sign[lo:hi], a_exp[lo:hi], a_nib[lo:hi])
-            slab_b = PackedOperands(pb.fmt, b_sign[lo:hi], b_exp[lo:hi], b_nib[lo:hi])
-            futures.append(self._pool.submit(
-                fp_ip_points, slab_a, slab_b, points, self.chunk_rows
-            ))
-        slabs = [f.result() for f in futures]
-        out = []
-        for i in range(len(points)):
-            parts_i = [s[i] for s in slabs]
-            first = parts_i[0]
-            out.append(type(first)(
-                values=np.concatenate([p.values for p in parts_i]),
-                rounded=np.concatenate([p.rounded for p in parts_i]),
-                max_exp=np.concatenate([p.max_exp for p in parts_i]),
-                alignment_cycles=np.concatenate([p.alignment_cycles for p in parts_i]),
-                total_cycles=np.concatenate([p.total_cycles for p in parts_i]),
-            ))
-        return out
+        results = self.executor.run_points(pa, pb, points, shape,
+                                           chunk_rows=self.chunk_rows)
+        self._sync_executor_stats()
+        return results
+
+    @staticmethod
+    def _pair_shape(pa: PackedOperands, pb: PackedOperands) -> tuple[int, ...]:
+        """The broadcast pair shape, padded to (batch, n) like the engine."""
+        shape = np.broadcast_shapes(pa.shape, pb.shape)
+        if len(shape) < 2:
+            shape = (1,) * (2 - len(shape)) + shape
+        return shape
+
+    # -- streaming ----------------------------------------------------------
+
+    def _stream_kernels(self, pa: PackedOperands, pb: PackedOperands,
+                        kernels: list[KernelPoint], chunk_rows: int | None = None):
+        """Yield ``(start, stop, results)`` per leading-axis block.
+
+        The raw streaming core: no accumulator write-back, results carry the
+        engine's per-kernel output for rows ``[start, stop)`` of the pair's
+        leading axis. Peak extra memory is one block's outputs plus the
+        engine's work buffers — O(chunk_rows x kernels), independent of the
+        total batch size. Each block still runs through the execution
+        backend, so a process/thread pool parallelizes within blocks.
+        """
+        if self._closed:
+            raise RuntimeError("session is closed")
+        shape = self._pair_shape(pa, pb)
+        dim0, n = shape[0], shape[-1]
+        inner = int(np.prod(shape[1:-1], dtype=np.int64))
+        rows_per_block = chunk_rows or self.chunk_rows or default_chunk_rows(n)
+        # one block per pool task keeps streaming and parallelism composable
+        step = max(1, (rows_per_block // max(inner, 1)) * max(self.executor.workers, 1))
+        for start in range(0, dim0, step):
+            stop = min(start + step, dim0)
+            yield start, stop, self._run_points(
+                _slab(pa, shape, start, stop), _slab(pb, shape, start, stop), kernels)
+
+    def fp_ip_points_iter(self, a, b, points, fmt: str | FPFormat = "fp16",
+                          chunk_rows: int | None = None):
+        """Streaming :meth:`inner_products`: yield per-chunk results.
+
+        Yields ``(start, stop, [FPIPBatchResult per point])`` for consecutive
+        blocks of the broadcast pair's **leading axis**; concatenating the
+        chunks reproduces :meth:`inner_products` bit-for-bit (tested). Use
+        this for million-sample sweeps: peak extra memory is bounded by
+        O(``chunk_rows`` x points) instead of O(batch x points), because no
+        per-point output array is ever materialized for the full batch
+        (pool backends split within blocks, so their factor is
+        O(chunk_rows x workers x points) — still batch-independent).
+
+        ``chunk_rows`` defaults to the session's knob (auto-sized from
+        :data:`repro.ipu.engine.DEFAULT_CHUNK_ELEMENTS`); accumulator
+        write-back per point matches :meth:`inner_products`.
+        """
+        pts = self._as_points(points)
+        pa, pb = self.pack(a, fmt), self.pack(b, fmt)
+        kernels, index = _dedup_kernels(pts)
+        for start, stop, results in self._stream_kernels(pa, pb, kernels, chunk_rows):
+            yield start, stop, self._apply_accumulators(pts, index, results)
 
     # -- emulated inference ------------------------------------------------
 
@@ -321,13 +411,17 @@ class EmulationSession:
     # -- declarative sweeps ------------------------------------------------
 
     def sweep(self, spec: RunSpec, rng=None) -> PrecisionSweep:
-        """Run a :class:`RunSpec` grid (the Figure-3 protocol).
+        """Run a :class:`RunSpec` grid (the Figure-3 protocol), streamed.
 
         Per source: sample ``batch * chunks`` operand pairs, compute the
         FP32-CPU reference, pack both operands once, execute every distinct
-        kernel configuration off the shared plans, then apply each point's
-        accumulator write-back and error statistics. Points that differ only
-        in accumulator share one kernel execution.
+        kernel configuration off the shared plans **chunk by chunk**
+        (:meth:`_stream_kernels`), then apply each point's accumulator
+        write-back and error statistics. Points that differ only in
+        accumulator share one kernel execution, and only the exact register
+        values are retained per kernel — the engine's full five-array output
+        never exists for more than one chunk, so million-sample error sweeps
+        stay memory-bounded.
 
         ``rng`` overrides ``spec.seed`` (for callers that thread one
         generator through several runs); JSON replays leave it ``None``.
@@ -349,10 +443,13 @@ class EmulationSession:
                 ref = ref.reshape(spec.batch, spec.chunks).sum(axis=1)
             pa, pb = self.pack(aq, fmt), self.pack(bq, fmt)
             kernels, index = _dedup_kernels(spec.points)
-            results = self._run_points(pa, pb, kernels)
+            values = [np.empty(spec.batch * spec.chunks) for _ in kernels]
+            for start, stop, chunk in self._stream_kernels(pa, pb, kernels):
+                for buf, res in zip(values, chunk):
+                    buf[start:stop] = res.values
             for p in spec.points:
                 acc = p.acc
-                approx = results[index[p.kernel_key()]].values
+                approx = values[index[p.kernel_key()]]
                 if spec.chunks > 1:
                     approx = approx.reshape(spec.batch, spec.chunks).sum(axis=1)
                 approx = acc.round(approx)

@@ -25,10 +25,12 @@ from repro.hw.registry import format_tile, parse_design, parse_tile, register_de
 from repro.ipu.engine import KernelPoint
 from repro.tile.config import TileConfig
 
+from repro.api.executor import ExecutorSpec
+
 __all__ = [
     "PrecisionPoint", "RunSpec", "DEFAULT_SOURCES",
     "DesignSpec", "TileSpec", "DesignPoint", "DesignSweepSpec",
-    "DEFAULT_OP_PRECISIONS",
+    "DEFAULT_OP_PRECISIONS", "ExecutorSpec",
 ]
 
 DEFAULT_SOURCES = ("laplace", "normal", "uniform", "resnet-tensors", "convnet-tensors")
@@ -106,6 +108,16 @@ class RunSpec:
     operand pairs of length ``n`` are sampled, every point is emulated off
     one shared operand plan, and ``chunks`` consecutive inner products are
     summed into one longer dot before the error statistics.
+
+    ``executor`` optionally pins an execution backend
+    (``{"backend": "process", "workers": 8}`` or a bare backend name), so a
+    committed spec JSON replays with the backend it was measured with. The
+    field is applied by the replay drivers (``runner --spec``, whose
+    ``--backend``/``--workers`` flags override it); library callers choose
+    the backend when constructing their :class:`EmulationSession` —
+    ``session.sweep`` runs on the session's backend regardless (pass
+    ``EmulationSession(backend=spec.executor)`` to honor it). The backend
+    never changes results — only wall-clock.
     """
 
     name: str = "sweep"
@@ -116,6 +128,7 @@ class RunSpec:
     n: int = 16
     chunks: int = 1
     seed: int = 0
+    executor: ExecutorSpec | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "sources", tuple(self.sources))
@@ -123,6 +136,8 @@ class RunSpec:
             p if isinstance(p, PrecisionPoint) else PrecisionPoint.from_dict(p)
             for p in self.points
         ))
+        if self.executor is not None and not isinstance(self.executor, ExecutorSpec):
+            object.__setattr__(self, "executor", ExecutorSpec.from_dict(self.executor))
         fmt = parse_format(self.operand_format)
         if fmt.name not in ("fp16", "fp32"):
             # the vectorized engine decodes through native NumPy dtypes only
@@ -339,7 +354,11 @@ class DesignSweepSpec:
     and every precision override (an empty ``precisions`` grid derives the
     numerics point per design), sharing ``op_precisions``/``samples``/
     ``rng`` — so a whole Pareto exploration is one flat JSON document that
-    ``runner --design-spec spec.json`` can replay.
+    ``runner --design-spec spec.json`` can replay. ``executor`` pins the
+    fan-out backend for such replays (overridable with ``--backend``;
+    applied by the runner — library callers pass it to
+    ``DesignSession(backend=...)``); backends never change reports, only
+    wall-clock.
     """
 
     name: str = "design-sweep"
@@ -349,6 +368,7 @@ class DesignSweepSpec:
     op_precisions: tuple[tuple[int, int], ...] = DEFAULT_OP_PRECISIONS
     samples: int = 384
     rng: int = 41
+    executor: ExecutorSpec | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "designs", tuple(
@@ -359,6 +379,8 @@ class DesignSweepSpec:
             p if isinstance(p, PrecisionPoint) else PrecisionPoint.from_dict(p)
             for p in self.precisions))
         object.__setattr__(self, "op_precisions", _as_op_precisions(self.op_precisions))
+        if self.executor is not None and not isinstance(self.executor, ExecutorSpec):
+            object.__setattr__(self, "executor", ExecutorSpec.from_dict(self.executor))
         if not self.tiles:
             raise ValueError("DesignSweepSpec needs at least one tile")
         if self.samples < 1:
@@ -391,6 +413,7 @@ class DesignSweepSpec:
             "op_precisions": [list(p) for p in self.op_precisions],
             "samples": self.samples,
             "rng": self.rng,
+            "executor": None if self.executor is None else self.executor.to_dict(),
         }
 
     @classmethod

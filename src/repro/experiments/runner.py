@@ -8,6 +8,7 @@ Usage::
     python -m repro.experiments.runner --all --quick --json timings.json
     python -m repro.experiments.runner --spec examples/specs/fig3_quick.json
     python -m repro.experiments.runner --spec spec.json --workers 4
+    python -m repro.experiments.runner --spec spec.json --backend process --workers 8
     python -m repro.experiments.runner --design-spec examples/specs/design_pareto.json
 """
 
@@ -89,7 +90,18 @@ EXPERIMENTS = {
 }
 
 
-def _run_spec(path: str, workers: int | None) -> str:
+def _session_executor(spec_executor, backend: str | None, workers: int | None):
+    """Resolve a replay's backend: CLI flags override the spec's executor."""
+    from repro.api import ExecutorSpec
+
+    spec = ExecutorSpec() if spec_executor is None else spec_executor
+    if backend is None and workers is not None and spec.backend == "serial":
+        # historical CLI convention: bare --workers N means threads
+        backend = "thread"
+    return spec.merged(backend=backend, workers=workers)
+
+
+def _run_spec(path: str, workers: int | None, backend: str | None = None) -> str:
     """Replay a declarative RunSpec JSON through an emulation session."""
     from repro.api import EmulationSession, RunSpec, render_sweep
 
@@ -97,12 +109,13 @@ def _run_spec(path: str, workers: int | None) -> str:
         spec = RunSpec.from_json(path)
     except (OSError, ValueError, KeyError, TypeError) as exc:
         raise SystemExit(f"cannot load spec {path!r}: {exc}")
-    with EmulationSession(workers=workers) as session:
+    executor = _session_executor(spec.executor, backend, workers)
+    with EmulationSession(backend=executor) as session:
         sweep = session.sweep(spec)
     return render_sweep(sweep, title=spec.name)
 
 
-def _run_design_spec(path: str, workers: int | None) -> str:
+def _run_design_spec(path: str, workers: int | None, backend: str | None = None) -> str:
     """Replay a DesignSweepSpec JSON through a design session."""
     from repro.api import DesignSession, DesignSweepSpec, render_design_reports
 
@@ -110,7 +123,8 @@ def _run_design_spec(path: str, workers: int | None) -> str:
         spec = DesignSweepSpec.from_json(path)
     except (OSError, ValueError, KeyError, TypeError) as exc:
         raise SystemExit(f"cannot load design spec {path!r}: {exc}")
-    with DesignSession(workers=workers) as session:
+    executor = _session_executor(spec.executor, backend, workers)
+    with DesignSession(backend=executor) as session:
         reports = session.sweep(spec)
     return render_design_reports(reports, title=spec.name)
 
@@ -131,7 +145,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="run a declarative DesignSweepSpec JSON through a "
                              "DesignSession (joint accuracy x efficiency report)")
     parser.add_argument("--workers", type=int, default=None,
-                        help="session worker threads for --spec/--design-spec runs")
+                        help="session workers for --spec/--design-spec runs")
+    parser.add_argument("--backend", choices=("serial", "thread", "process"),
+                        default=None,
+                        help="execution backend for --spec/--design-spec runs "
+                             "(overrides the spec's executor field; results "
+                             "are bit-identical across backends)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -140,6 +159,9 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.spec is not None and args.design_spec is not None:
         print("--spec and --design-spec are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.backend is not None and args.spec is None and args.design_spec is None:
+        print("--backend only applies to --spec/--design-spec runs", file=sys.stderr)
         return 2
     if args.spec is not None or args.design_spec is not None:
         if args.experiments or args.all:
@@ -150,7 +172,7 @@ def main(argv: list[str] | None = None) -> int:
         runner = _run_spec if args.spec is not None else _run_design_spec
         start = time.time()
         try:
-            output = runner(path, args.workers)
+            output = runner(path, args.workers, args.backend)
         except SystemExit as exc:
             print(exc, file=sys.stderr)
             return 2

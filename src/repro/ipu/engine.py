@@ -59,11 +59,22 @@ __all__ = [
     "fp_ip_packed",
     "fp_ip_points",
     "DEFAULT_CHUNK_ELEMENTS",
+    "default_chunk_rows",
 ]
 
 # Per-chunk work buffers are (rows, n) in int32/int64; 64Ki elements keeps
-# the handful of live buffers comfortably inside a shared L2 slice.
+# the handful of live buffers comfortably inside a shared L2 slice. This is
+# the one chunk-sizing knob: the in-memory path (fp_ip_points), the session
+# streaming iterator, and the executor task splitter all derive their row
+# blocks from it through default_chunk_rows (microbenchmarked in
+# benchmarks/report.py: chunk_block).
 DEFAULT_CHUNK_ELEMENTS = 1 << 16
+
+
+def default_chunk_rows(n: int) -> int:
+    """Result rows per work chunk so one chunk holds DEFAULT_CHUNK_ELEMENTS
+    lane elements. Every chunked consumer sizes its blocks from this."""
+    return max(1, DEFAULT_CHUNK_ELEMENTS // max(n, 1))
 
 
 @dataclass
@@ -184,6 +195,50 @@ class PackedOperands:
             self.nibbles.reshape(shape + (self.k_total,)),
         )
 
+    # -- compact codec (process-backend transport) ---------------------------
+
+    def to_buffers(self) -> tuple[dict, list[np.ndarray]]:
+        """``(meta, buffers)``: a JSON-safe descriptor plus the plan's three
+        arrays as contiguous buffers.
+
+        The inverse, :meth:`from_buffers`, reconstructs the plan as zero-copy
+        views into whatever memory the buffers were copied to — this is how
+        the process execution backend ships plans through
+        ``multiprocessing.shared_memory`` without re-pickling the (much
+        larger) decoded planes per task.
+        """
+        sign = np.ascontiguousarray(self.sign)
+        exp = np.ascontiguousarray(self.exp)
+        nib = np.ascontiguousarray(self.nibbles)
+        meta = {
+            "fmt": self.fmt.name,
+            "fields": [
+                ("sign", sign.shape, sign.dtype.str),
+                ("exp", exp.shape, exp.dtype.str),
+                ("nibbles", nib.shape, nib.dtype.str),
+            ],
+        }
+        return meta, [sign, exp, nib]
+
+    @classmethod
+    def from_buffers(cls, meta: dict, buffers) -> "PackedOperands":
+        """Rebuild a plan from :meth:`to_buffers` output without copying.
+
+        ``buffers`` are three buffer-protocol objects (bytes, memoryviews,
+        shared-memory slices) holding the sign/exp/nibble planes; the arrays
+        of the returned plan are views into them. The format is resolved by
+        name through :mod:`repro.fp.registry`, so custom registered formats
+        survive the trip as long as the receiving process shares the registry
+        (fork start method, or re-registration).
+        """
+        from repro.fp.registry import parse_format
+
+        arrays = [
+            np.frombuffer(buf, dtype=np.dtype(dstr)).reshape(shape)
+            for buf, (_, shape, dstr) in zip(buffers, meta["fields"])
+        ]
+        return cls(parse_format(meta["fmt"]), *arrays)
+
 
 def pack_operands(values: np.ndarray, fmt: FPFormat = FP16) -> PackedOperands:
     """Cast ``values`` into ``fmt`` and build its :class:`PackedOperands`."""
@@ -271,7 +326,7 @@ def fp_ip_points(
     dim0 = shape[0]
     inner = rows // dim0 if dim0 else 0
     if chunk_rows is None:
-        chunk_rows = max(1, DEFAULT_CHUNK_ELEMENTS // max(n, 1))
+        chunk_rows = default_chunk_rows(n)
     block = max(1, chunk_rows // max(inner, 1))
 
     for start in range(0, dim0, block):

@@ -72,7 +72,7 @@ class TestPlanCache:
         s = EmulationSession(workers=2)
         s.inner_product(a, b, 16)
         s.close()
-        assert not s._plans and s._pool is None
+        assert not s._plans and s.executor._pool is None
 
 
 class TestKernels:
@@ -137,24 +137,28 @@ class TestKernels:
 
 
 class TestParallel:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
     @pytest.mark.parametrize("workers", [2, 3])
-    def test_parallel_bit_exact(self, workers):
+    def test_parallel_bit_exact(self, workers, backend):
         a, b = operands(batch=6000, n=8, seed=3)
         points = [PrecisionPoint(12), PrecisionPoint(16),
                   PrecisionPoint(12, 28, True)]
         serial = EmulationSession().inner_products(a, b, points)
-        with EmulationSession(workers=workers) as par:
+        with EmulationSession(workers=workers, backend=backend) as par:
             parallel = par.inner_products(a, b, points)
             assert par.stats.parallel_batches == 1
+            assert par.stats.backend == backend
+            assert par.stats.tasks_dispatched == workers
         for s_res, p_res in zip(serial, parallel):
             assert_results_equal(s_res, p_res)
 
-    def test_parallel_broadcast_weight_row(self):
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_parallel_broadcast_weight_row(self, backend):
         """A single weight plan row broadcast against a parallel batch."""
         a, b = operands(batch=5000, n=8, seed=4)
         w = b[:1]
         serial = EmulationSession().inner_product(a, w, 16)
-        with EmulationSession(workers=4) as par:
+        with EmulationSession(workers=4, backend=backend) as par:
             parallel = par.inner_product(a, w, 16)
         assert_results_equal(serial, parallel)
 
@@ -163,11 +167,17 @@ class TestParallel:
         with EmulationSession(workers=4) as s:
             s.inner_product(a, b, 16)
             assert s.stats.parallel_batches == 0
-            assert s._pool is None
+            assert s.executor._pool is None
 
     def test_rejects_bad_workers(self):
         with pytest.raises(ValueError):
             EmulationSession(workers=0)
+
+    def test_workers_default_to_thread_backend(self):
+        with EmulationSession(workers=2) as s:
+            assert s.stats.backend == "thread"
+        with EmulationSession() as s:
+            assert s.stats.backend == "serial"
 
 
 class TestSweep:
