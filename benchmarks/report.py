@@ -14,8 +14,11 @@ Outputs:
   session-vs-direct-engine overhead row, serial-vs-thread-vs-process
   backend scaling rows for emulation *and* design sweeps (with session
   stats proving the pools engaged; ``cpus`` recorded honestly), the
-  chunk-size scan behind ``DEFAULT_CHUNK_ELEMENTS``, and the cold-vs-warm
-  ``DesignSession.sweep`` design-space row (Table-1 grid)
+  chunk-size scan behind ``DEFAULT_CHUNK_ELEMENTS``, the cold-vs-warm
+  ``DesignSession.sweep`` design-space row (Table-1 grid), the
+  ``store_cold``/``store_warm`` persistent-store rows (store engagement
+  asserted via its hit/miss stats), and the HTTP service round-trip row
+  (cold submit vs store-served resubmit through ``repro.service``)
 - ``BENCH_fig3.json``     — the quick Figure-3 sweep (same config as
   ``benchmarks/test_bench_fig3.py``)
 - ``BENCH_accuracy.json`` — the quick §3.1 accuracy run (same config as
@@ -28,6 +31,8 @@ import argparse
 import json
 import os
 import platform
+import shutil
+import tempfile
 import time
 from pathlib import Path
 
@@ -306,9 +311,116 @@ def bench_design_space(repeats):
     return out
 
 
+def bench_store(repeats):
+    """Cold vs warm sweeps through the persistent on-disk result store.
+
+    ``store_cold`` runs the quick Figure-3 grid against an empty store
+    (full compute + payload writes); ``store_warm`` re-runs it in a *fresh
+    session on a fresh store handle* over the same directory — the
+    cross-process replay path, where every source is served from disk.
+    Engagement is asserted via the store's own hit/miss stats, and all
+    paths must be bit-identical to a store-less sweep.
+    """
+    from repro.store import ResultStore
+
+    spec = RunSpec.grid(
+        precisions=FIG3_CONFIG["precisions"], accumulators=("fp16", "fp32"),
+        sources=FIG3_CONFIG["sources"], batch=FIG3_CONFIG["batch"],
+        chunks=FIG3_CONFIG["chunks"], seed=0,
+    )
+
+    def run(store=None):
+        with EmulationSession(store=store) as session:
+            return session.sweep(spec), (None if store is None
+                                         else session.store.stats.as_dict())
+
+    base_s, (base, _) = _best_of(lambda: run(None), repeats)
+    root = Path(tempfile.mkdtemp(prefix="bench-store-"))
+    try:
+        def cold():
+            return run(tempfile.mkdtemp(dir=root))  # empty store every repeat
+
+        cold_s, (cold_res, cold_stats) = _best_of(cold, repeats)
+        warm_dir = root / "warm"
+        run(str(warm_dir))  # populate once
+        warm_s, (warm_res, warm_stats) = _best_of(lambda: run(str(warm_dir)),
+                                                  repeats)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    engaged = (warm_stats["hits"] >= len(spec.sources)
+               and cold_stats["puts"] > 0)
+    assert engaged, f"store did not engage: cold {cold_stats}, warm {warm_stats}"
+    identical = bool(base.points == cold_res.points == warm_res.points)
+    return {
+        "store_cold": {
+            "points": len(spec.points), "sources": len(spec.sources),
+            "batch": spec.batch * spec.chunks, "cpus": os.cpu_count() or 1,
+            "no_store_seconds": round(base_s, 4),
+            "seconds": round(cold_s, 4),
+            "write_overhead_pct": round(100 * (cold_s / base_s - 1), 2),
+            "puts": cold_stats["puts"], "bytes": cold_stats["bytes"],
+            "identical": identical,
+        },
+        "store_warm": {
+            "points": len(spec.points), "sources": len(spec.sources),
+            "batch": spec.batch * spec.chunks, "cpus": os.cpu_count() or 1,
+            "cold_seconds": round(cold_s, 4),
+            "seconds": round(warm_s, 4),
+            "speedup": round(cold_s / warm_s, 2),
+            "hits": warm_stats["hits"], "store_engaged": bool(engaged),
+            "identical": identical,
+        },
+    }
+
+
+def bench_service(repeats):
+    """HTTP round trips through the sweep service (repro.service).
+
+    ``first_seconds`` is one cold submit+wait (compute included);
+    ``seconds`` is the best warm resubmission — the request rides the
+    service's persistent store, so the row measures the full network round
+    trip of a served-from-disk result. Store engagement is asserted via
+    ``GET /v1/stats``, and the warm payload must equal the cold one.
+    """
+    from repro.service import ServiceClient, ServiceServer
+
+    store_dir = tempfile.mkdtemp(prefix="bench-service-")
+    try:
+        with ServiceServer(port=0, store=store_dir) as server:
+            client = ServiceClient(server.url)
+            spec = RunSpec.grid(
+                precisions=FIG3_CONFIG["precisions"],
+                accumulators=("fp16", "fp32"), sources=FIG3_CONFIG["sources"],
+                batch=FIG3_CONFIG["batch"], chunks=FIG3_CONFIG["chunks"], seed=0,
+            )
+            t0 = time.perf_counter()
+            first = client.run(spec)
+            first_s = time.perf_counter() - t0
+            warm_s, warm = _best_of(lambda: client.run(spec), repeats)
+            stats = client.stats()
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+    engaged = stats["store"]["hits"] >= len(spec.sources)
+    assert engaged, f"service store did not engage: {stats['store']}"
+    return {
+        "service_round_trip": {
+            "points": len(spec.points), "sources": len(spec.sources),
+            "batch": spec.batch * spec.chunks, "cpus": os.cpu_count() or 1,
+            "first_seconds": round(first_s, 4),
+            "seconds": round(warm_s, 4),
+            "speedup": round(first_s / warm_s, 2),
+            "jobs": stats["jobs"]["total"], "coalesced": stats["coalesced"],
+            "store_hits": stats["store"]["hits"],
+            "store_engaged": bool(engaged),
+            "identical": bool(warm == first),
+        },
+    }
+
+
 def bench_kernels_and_session(repeats):
     return {**bench_kernels(repeats), **bench_session(repeats),
-            **bench_chunk_block(repeats), **bench_design_space(repeats)}
+            **bench_chunk_block(repeats), **bench_design_space(repeats),
+            **bench_store(repeats), **bench_service(repeats)}
 
 
 def bench_fig3(repeats):
@@ -389,6 +501,18 @@ def main(argv=None) -> int:
             elif "overhead_pct" in r:
                 print(f"  engine {r['engine_seconds']}s -> session {r['session_seconds']}s "
                       f"({r['overhead_pct']:+.2f}% overhead, results {mark})")
+            elif "write_overhead_pct" in r:
+                print(f"  store cold: no-store {r['no_store_seconds']}s -> "
+                      f"cold-store {r['seconds']}s "
+                      f"({r['write_overhead_pct']:+.2f}% write overhead, results {mark})")
+            elif "store_hits" in r:
+                print(f"  service round trip: first {r['first_seconds']}s -> "
+                      f"warm {r['seconds']}s ({r['speedup']}x, "
+                      f"{r['store_hits']} store hits, results {mark})")
+            elif "hits" in r and "seconds" in r:
+                print(f"  store warm: cold {r['cold_seconds']}s -> "
+                      f"warm {r['seconds']}s ({r['speedup']}x, "
+                      f"{r['hits']} store hits, results {mark})")
             elif "cold_seconds" in r:
                 print(f"  cold sweep {r['cold_seconds']}s -> warm {r['warm_seconds']}s "
                       f"({r['speedup']}x, {r['points']} design points, results {mark})")

@@ -1,0 +1,61 @@
+"""Service demo: submit one sweep twice, watch coalescing + the store work.
+
+Starts the HTTP sweep service in-process (ephemeral port, temporary result
+store), submits the committed quick Figure-3 spec twice *concurrently* (the
+second rides the first's in-flight job) and then once more after completion
+(served from the persistent store), printing the service's own stats after
+each step. The same flow works against a standalone server::
+
+    python -m repro.experiments.runner --serve --port 8731 --store results/
+    python -m repro.experiments.runner --submit examples/specs/fig3_quick.json \
+        --url http://127.0.0.1:8731
+"""
+
+import tempfile
+import threading
+from pathlib import Path
+
+from repro.service import ServiceClient, ServiceServer
+
+SPEC = Path(__file__).resolve().parent / "specs" / "fig3_quick.json"
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as store_dir, \
+            ServiceServer(port=0, store=store_dir) as server:
+        client = ServiceClient(server.url)
+        print(f"service up at {server.url} (store: {store_dir})\n")
+
+        # two concurrent submissions of one spec -> one computation
+        tickets = [None, None]
+        def submit(i):
+            tickets[i] = client.submit(SPEC)
+        threads = [threading.Thread(target=submit, args=(i,)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        results = [client.result(t["job"]) for t in tickets]
+        stats = client.stats()
+        print(f"submitted twice concurrently: jobs "
+              f"{sorted({t['job'] for t in tickets})}")
+        print(f"  coalesced requests: {stats['coalesced']}")
+        print(f"  identical payloads: {results[0] == results[1]}")
+
+        # a third submission after completion is served from the store
+        third = client.run(SPEC)
+        stats = client.stats()
+        print("\nresubmitted after completion:")
+        print(f"  store hits: {stats['store']['hits']} "
+              f"(puts: {stats['store']['puts']}, "
+              f"bytes: {stats['store']['bytes']})")
+        print(f"  still identical: {third == results[0]}")
+
+        print(f"\njobs total: {stats['jobs']['total']}, "
+              f"errors: {stats['jobs']['error']}")
+        print("\nfirst lines of the rendered sweep:")
+        print("\n".join(third["rendered"].splitlines()[:6]))
+
+
+if __name__ == "__main__":
+    main()

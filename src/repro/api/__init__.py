@@ -71,9 +71,11 @@ from repro.hw.registry import (
     register_tile,
     tile_names,
 )
+from repro.store import ResultStore, StoreStats
 
 __all__ = [
     "EmulationSession", "SessionStats", "render_sweep",
+    "ResultStore", "StoreStats",
     "ExecutorSpec", "make_executor",
     "DEFAULT_SOURCES", "PrecisionPoint", "RunSpec",
     "DesignSession", "DesignSessionStats", "DesignReport", "pareto_frontier",

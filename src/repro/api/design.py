@@ -44,11 +44,17 @@ from repro.hw.efficiency import (
 from repro.hw.registry import parse_design, parse_tile
 from repro.hw.tile_cost import TileCost, tile_cost
 from repro.nn.zoo import WORKLOADS
+from repro.store import ResultStore
+from repro.store.fingerprint import fingerprint as _result_key
 from repro.tile.config import SMALL_TILE, TileConfig
 from repro.tile.simulator import FP16_ITERATIONS, NetworkPerf, simulate_network
 
 from repro.api.executor import make_executor
-from repro.api.session import EmulationSession
+from repro.api.session import (
+    EmulationSession,
+    sweep_points_from_dicts,
+    sweep_points_to_dicts,
+)
 from repro.api.spec import DesignPoint, DesignSweepSpec, PrecisionPoint, RunSpec
 
 __all__ = ["DesignSession", "DesignSessionStats", "DesignReport",
@@ -167,12 +173,26 @@ class DesignReport:
             "power_fp_w": self.power_fp_w,
             "alignment_factor": self.alignment_factor,
             "efficiency": [None if e is None else asdict(e) for e in self.efficiency],
-            "accuracy": [
-                {"source": p.source, "acc_fmt": p.acc_fmt, "precision": p.precision,
-                 "stats": asdict(p.stats)}
-                for p in self.accuracy
-            ],
+            "accuracy": sweep_points_to_dicts(self.accuracy),
         }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "DesignReport":
+        """Inverse of :meth:`to_dict` — reconstructed reports compare equal
+        to the originals (JSON floats round-trip exactly), which is what
+        lets :class:`repro.store.ResultStore` serve them across processes."""
+        return cls(
+            point=DesignPoint.from_dict(d["point"]),
+            design=d["design"],
+            area_mm2=d["area_mm2"],
+            power_int_w=d["power_int_w"],
+            power_fp_w=d["power_fp_w"],
+            alignment_factor=d["alignment_factor"],
+            efficiency=tuple(
+                None if e is None else EfficiencyPoint(**e) for e in d["efficiency"]
+            ),
+            accuracy=tuple(sweep_points_from_dicts(d["accuracy"])),
+        )
 
 
 def _metric_getter(metric):
@@ -290,6 +310,14 @@ class DesignSession:
         The process backend evaluates points in per-worker sessions —
         caches are per process, but every computation is deterministic, so
         reports are identical to a serial sweep.
+    store:
+        A :class:`repro.store.ResultStore` (or a directory path) persisting
+        whole :class:`DesignReport`\\ s across processes, keyed by the
+        design point's fingerprint plus this session's accuracy protocol.
+        Warm replays of a design grid (``table1``-style sweeps) skip every
+        simulation; pool sweeps dispatch only the missing points. Also
+        forwarded to an owned embedded :class:`EmulationSession`, so the
+        numerics half resumes chunk-by-chunk too.
     """
 
     def __init__(
@@ -298,9 +326,11 @@ class DesignSession:
         emulation: EmulationSession | None = None,
         accuracy: RunSpec | None = None,
         backend=None,
+        store=None,
     ):
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        self.store = ResultStore.coerce(store)
         self.executor = make_executor(backend, workers)
         self.workers = self.executor.workers
         self.accuracy_spec = accuracy if accuracy is not None else DEFAULT_ACCURACY_SPEC
@@ -322,7 +352,8 @@ class DesignSession:
             raise RuntimeError("session is closed")
         with self._lock:  # parallel sweeps must share one instance
             if self._emulation is None:
-                self._emulation = EmulationSession(workers=self.workers)
+                self._emulation = EmulationSession(workers=self.workers,
+                                                   store=self.store)
             return self._emulation
 
     def close(self) -> None:
@@ -502,6 +533,33 @@ class DesignSession:
 
         return self._memoized("accuracy", key, compute)
 
+    # -- persistent store --------------------------------------------------
+
+    def _report_fingerprint(self, point: DesignPoint) -> str:
+        """Store key for one report: the point plus the accuracy protocol
+        (minus its ignored ``points``/``name``/``executor`` fields)."""
+        accuracy = self.accuracy_spec.to_dict()
+        for field_ in ("name", "executor", "points"):
+            accuracy.pop(field_, None)
+        return _result_key({"design_report": point.fingerprint(),
+                            "accuracy": accuracy})
+
+    def _load_report(self, point: DesignPoint) -> DesignReport | None:
+        if self.store is None:
+            return None
+        payload = self.store.get_json("design-report", self._report_fingerprint(point))
+        if payload is None:
+            self.stats.note("report", hit=False)
+            return None
+        report = DesignReport.from_dict(payload)
+        self.stats.note("report", hit=True)
+        return report
+
+    def _save_report(self, point: DesignPoint, report: DesignReport) -> None:
+        if self.store is not None:
+            self.store.put_json("design-report", self._report_fingerprint(point),
+                                report.to_dict())
+
     # -- the front door ----------------------------------------------------
 
     def evaluate(self, point: DesignPoint | str) -> DesignReport:
@@ -509,11 +567,20 @@ class DesignSession:
 
         Accepts a full :class:`DesignPoint` or any design registry string
         (evaluated on the default small tile). All expensive pieces come
-        from (and populate) the session caches.
+        from (and populate) the session caches — and, when the session has
+        a ``store``, finished reports persist across processes.
         """
         if self._closed:
             raise RuntimeError("session is closed")
         point = DesignPoint.from_dict(point)
+        stored = self._load_report(point)
+        if stored is not None:
+            return stored
+        return self._evaluate_fresh(point)
+
+    def _evaluate_fresh(self, point: DesignPoint) -> DesignReport:
+        """Compute + persist one report, skipping the store lookup (the
+        caller — :meth:`evaluate` or a :meth:`sweep` prefetch — did it)."""
         design = point.design.resolve()
         base_tile = point.tile.resolve()
         pinned = re.search(r"@(\d+)b?", point.tile.name)
@@ -545,7 +612,7 @@ class DesignSession:
         )
         precision = point.resolved_precision()
         accuracy = () if precision is None else self.accuracy(precision)
-        return DesignReport(
+        report = DesignReport(
             point=point,
             design=design.name,
             area_mm2=design_area_mm2(design, areas=areas),
@@ -556,6 +623,8 @@ class DesignSession:
             efficiency=efficiency,
             accuracy=accuracy,
         )
+        self._save_report(point, report)
+        return report
 
     def sweep(self, spec: DesignSweepSpec | list) -> list[DesignReport]:
         """Evaluate a :class:`DesignSweepSpec` (or an explicit point list).
@@ -575,11 +644,23 @@ class DesignSession:
             return [self.evaluate(p) for p in points]
         if self._closed:
             raise RuntimeError("session is closed")
-        if self.executor.name == "process":
-            accuracy_dict = self.accuracy_spec.to_dict()
-            payloads = [(p.to_dict(), accuracy_dict) for p in points]
-            reports = self.executor.map_tasks(_evaluate_design_task, payloads)
-        else:
-            reports = self.executor.map(self.evaluate, points)
+        # serve store hits up front so the pool only sees the missing points
+        reports: list[DesignReport | None] = [self._load_report(p) for p in points]
+        missing = [i for i, r in enumerate(reports) if r is None]
+        if missing:
+            todo = [points[i] for i in missing]
+            if self.executor.name == "process":
+                accuracy_dict = self.accuracy_spec.to_dict()
+                payloads = [(p.to_dict(), accuracy_dict) for p in todo]
+                fresh = self.executor.map_tasks(_evaluate_design_task, payloads)
+                for i, report in zip(missing, fresh):
+                    # worker sessions have no store; persist from the parent
+                    self._save_report(points[i], report)
+            else:
+                # the prefetch above already consulted the store once per
+                # point; dispatch the compute half only
+                fresh = self.executor.map(self._evaluate_fresh, todo)
+            for i, report in zip(missing, fresh):
+                reports[i] = report
         self.stats.tasks_dispatched = self.executor.tasks_dispatched
         return reports

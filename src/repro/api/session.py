@@ -32,7 +32,7 @@ from dataclasses import asdict, dataclass
 
 import numpy as np
 
-from repro.analysis.error import error_stats
+from repro.analysis.error import ErrorStats, error_stats
 from repro.analysis.sweeps import PrecisionSweep, SweepPoint, _operands_for
 from repro.fp.formats import FPFormat, np_float_dtype
 from repro.fp.registry import parse_accumulator, parse_format
@@ -44,6 +44,8 @@ from repro.ipu.engine import (
     pack_operands,
 )
 from repro.ipu.reference import cpu_fp32_dot_batch
+from repro.store import ResultStore
+from repro.store.fingerprint import fingerprint as _result_key
 from repro.utils.rng import as_generator
 
 from repro.api.executor import _slab, make_executor
@@ -97,6 +99,25 @@ def _plan_nbytes(plan: PackedOperands) -> int:
     return plan.sign.nbytes + plan.exp.nbytes + plan.nibbles.nbytes
 
 
+def sweep_points_to_dicts(points) -> list[dict]:
+    """JSON-safe encoding of :class:`SweepPoint` lists (store/service wire)."""
+    return [
+        {"source": p.source, "acc_fmt": p.acc_fmt, "precision": p.precision,
+         "stats": asdict(p.stats)}
+        for p in points
+    ]
+
+
+def sweep_points_from_dicts(dicts) -> list[SweepPoint]:
+    """Inverse of :func:`sweep_points_to_dicts` (bit-exact: JSON floats
+    round-trip float64 exactly)."""
+    return [
+        SweepPoint(d["source"], d["acc_fmt"], d["precision"],
+                   ErrorStats(**d["stats"]))
+        for d in dicts
+    ]
+
+
 def _dedup_kernels(points) -> tuple[list[KernelPoint], dict]:
     """Unique kernel configurations (first-appearance order) + key index.
 
@@ -134,6 +155,14 @@ class EmulationSession:
         :class:`repro.api.executor.ExecutorSpec`, or a spec dict. ``None``
         keeps the historical convention — threads when ``workers > 1``,
         serial otherwise.
+    store:
+        A :class:`repro.store.ResultStore` (or a directory path) persisting
+        :meth:`sweep` results across processes: completed per-source results
+        and per-chunk kernel values are written as the sweep streams, so a
+        killed sweep resumes computing only the missing chunks and a warm
+        replay is near-free. Stored payloads are bit-identical to a fresh
+        computation (float64 round-trips exactly through both codecs);
+        ``None`` disables persistence.
     """
 
     def __init__(
@@ -142,9 +171,11 @@ class EmulationSession:
         plan_cache_bytes: int = 256 << 20,
         chunk_rows: int | None = None,
         backend=None,
+        store=None,
     ):
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        self.store = ResultStore.coerce(store)
         self.executor = make_executor(backend, workers)
         self.workers = self.executor.workers
         self.plan_cache_bytes = plan_cache_bytes
@@ -352,15 +383,18 @@ class EmulationSession:
         if self._closed:
             raise RuntimeError("session is closed")
         shape = self._pair_shape(pa, pb)
+        for start, stop in self._block_spans(shape, chunk_rows):
+            yield start, stop, self._run_points(
+                _slab(pa, shape, start, stop), _slab(pb, shape, start, stop), kernels)
+
+    def _block_spans(self, shape, chunk_rows: int | None = None) -> list[tuple[int, int]]:
+        """The streaming block boundaries over a pair shape's leading axis."""
         dim0, n = shape[0], shape[-1]
         inner = int(np.prod(shape[1:-1], dtype=np.int64))
         rows_per_block = chunk_rows or self.chunk_rows or default_chunk_rows(n)
         # one block per pool task keeps streaming and parallelism composable
         step = max(1, (rows_per_block // max(inner, 1)) * max(self.executor.workers, 1))
-        for start in range(0, dim0, step):
-            stop = min(start + step, dim0)
-            yield start, stop, self._run_points(
-                _slab(pa, shape, start, stop), _slab(pb, shape, start, stop), kernels)
+        return [(start, min(start + step, dim0)) for start in range(0, dim0, step)]
 
     def fp_ip_points_iter(self, a, b, points, fmt: str | FPFormat = "fp16",
                           chunk_rows: int | None = None):
@@ -410,7 +444,7 @@ class EmulationSession:
 
     # -- declarative sweeps ------------------------------------------------
 
-    def sweep(self, spec: RunSpec, rng=None) -> PrecisionSweep:
+    def sweep(self, spec: RunSpec, rng=None, store=None) -> PrecisionSweep:
         """Run a :class:`RunSpec` grid (the Figure-3 protocol), streamed.
 
         Per source: sample ``batch * chunks`` operand pairs, compute the
@@ -425,15 +459,55 @@ class EmulationSession:
 
         ``rng`` overrides ``spec.seed`` (for callers that thread one
         generator through several runs); JSON replays leave it ``None``.
+
+        ``store`` (or the session's ``store=``) persists results across
+        processes: finished sources are stored whole and every computed
+        chunk's exact register values are stored as the sweep streams, both
+        keyed by the spec's stable fingerprint. A killed sweep re-run
+        against the same store replays only the missing chunks; a warm
+        re-run skips kernels entirely. An explicit ``rng`` disables
+        persistence (generator state has no stable fingerprint). Results
+        are bit-identical with and without a store: operands are always
+        re-sampled (keeping the cross-source generator state exact) and
+        float64 values round-trip the codecs exactly.
         """
+        if self._closed:
+            raise RuntimeError("session is closed")
         if not spec.points:
             raise ValueError("RunSpec has no precision points")
+        store = self.store if store is None else ResultStore.coerce(store)
+        cacheable = store is not None and rng is None
         fmt = parse_format(spec.operand_format)
         dtype = np_float_dtype(fmt)
         rng = as_generator(spec.seed if rng is None else rng)
+        spec_fp = spec.fingerprint() if cacheable else None
+        # chunk entries are keyed below the *kernel* grid (accumulator-only
+        # point variants share them), so drop the fields they don't depend on
+        if cacheable:
+            operand_dict = spec.to_dict()
+            for field in ("name", "executor", "points"):
+                operand_dict.pop(field, None)
+        kernels, index = _dedup_kernels(spec.points)
+        # the stored chunk payloads are exact register values, which are
+        # accumulator-independent (write-back happens after the store), so
+        # the chunk key must not mention acc_fmt — else two accumulator-only
+        # spec variants would store byte-identical payloads twice
+        kernel_descs = [[k.adder_width, k.software_precision, k.multi_cycle]
+                        for k in kernels]
         result = PrecisionSweep()
-        for source in spec.sources:
+        for src_index, source in enumerate(spec.sources):
+            # always sample (even on a store hit): sources share one
+            # generator, so skipping would shift every later source's operands
             a, b = _operands_for(source, spec.batch * spec.chunks, spec.n, rng)
+            if cacheable:
+                source_fp = _result_key({"sweep_source": spec_fp,
+                                         "index": src_index, "source": source})
+                hit = store.get_json("sweep-source", source_fp)
+                if hit is not None:
+                    result.points.extend(sweep_points_from_dicts(hit["points"]))
+                    continue
+                operands_fp = _result_key({"sweep_operands": operand_dict,
+                                           "index": src_index, "source": source})
             # quantize operands into the operand format once so the
             # reference sees the same bits the IPU does
             aq = np.asarray(a, dtype).astype(np.float64)
@@ -442,11 +516,26 @@ class EmulationSession:
             if spec.chunks > 1:
                 ref = ref.reshape(spec.batch, spec.chunks).sum(axis=1)
             pa, pb = self.pack(aq, fmt), self.pack(bq, fmt)
-            kernels, index = _dedup_kernels(spec.points)
+            shape = self._pair_shape(pa, pb)
             values = [np.empty(spec.batch * spec.chunks) for _ in kernels]
-            for start, stop, chunk in self._stream_kernels(pa, pb, kernels):
+            for start, stop in self._block_spans(shape):
+                if cacheable:
+                    chunk_fp = _result_key({"sweep_chunk": operands_fp,
+                                            "kernels": kernel_descs,
+                                            "span": [start, stop]})
+                    arrays = store.get_arrays("sweep-chunk", chunk_fp)
+                    if arrays is not None and len(arrays) == len(kernels):
+                        for k, buf in enumerate(values):
+                            buf[start:stop] = arrays[f"k{k}"]
+                        continue
+                chunk = self._run_points(_slab(pa, shape, start, stop),
+                                         _slab(pb, shape, start, stop), kernels)
                 for buf, res in zip(values, chunk):
                     buf[start:stop] = res.values
+                if cacheable:
+                    store.put_arrays("sweep-chunk", chunk_fp, {
+                        f"k{k}": res.values for k, res in enumerate(chunk)})
+            source_points = []
             for p in spec.points:
                 acc = p.acc
                 approx = values[index[p.kernel_key()]]
@@ -456,8 +545,12 @@ class EmulationSession:
                 ref_cast = ref
                 if acc.kind == "float" and acc.fmt_name == "fp16":
                     ref_cast = ref.astype(np.float16).astype(np.float64)
-                result.points.append(SweepPoint(
+                source_points.append(SweepPoint(
                     source, acc.name, p.adder_width,
                     error_stats(approx, ref_cast, acc.error_format),
                 ))
+            if cacheable:
+                store.put_json("sweep-source", source_fp,
+                               {"points": sweep_points_to_dicts(source_points)})
+            result.points.extend(source_points)
         return result

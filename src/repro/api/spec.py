@@ -23,6 +23,7 @@ from repro.fp.registry import AccumulatorSpec, parse_accumulator, parse_format
 from repro.hw.designs import TABLE1_PRECISIONS, Design
 from repro.hw.registry import format_tile, parse_design, parse_tile, register_design
 from repro.ipu.engine import KernelPoint
+from repro.store.fingerprint import fingerprint as _fingerprint
 from repro.tile.config import TileConfig
 
 from repro.api.executor import ExecutorSpec
@@ -48,6 +49,17 @@ def _load_spec_json(source: str | Path) -> dict:
     if isinstance(source, Path) or (isinstance(source, str) and source.lstrip()[:1] != "{"):
         source = Path(source).read_text()
     return json.loads(source)
+
+
+def _result_fingerprint(tag: str, d: dict) -> str:
+    """Stable result key for a spec dict: drops the fields that never change
+    results (``name`` labels output, ``executor`` only changes wall-clock),
+    so replays of one grid land on one store entry / one coalesced request
+    regardless of presentation or backend choice."""
+    d = dict(d)
+    d.pop("name", None)
+    d.pop("executor", None)
+    return _fingerprint({tag: d})
 
 
 @dataclass(frozen=True)
@@ -163,6 +175,17 @@ class RunSpec:
 
     def with_points(self, points) -> "RunSpec":
         return replace(self, points=tuple(points))
+
+    def fingerprint(self) -> str:
+        """Stable cross-process result key (code-version salted).
+
+        Identical for every spelling of one sweep — ``name`` and
+        ``executor`` are excluded because they never change results — and
+        stable across processes/machines. :mod:`repro.store` keys stored
+        sweep results on it and :mod:`repro.service` coalesces identical
+        in-flight requests by it.
+        """
+        return _result_fingerprint("run_spec", self.to_dict())
 
     # -- JSON round trip ---------------------------------------------------
 
@@ -345,6 +368,20 @@ class DesignPoint:
             return cls(design=DesignSpec(d))
         return cls(**d)
 
+    def fingerprint(self) -> str:
+        """Stable cross-process result key for this joint coordinate
+        (code-version salted — see :meth:`RunSpec.fingerprint`).
+
+        Keys on the *resolved* design/tile parameters, not just their
+        registry names: a custom name re-registered with different
+        geometry in a later process must miss, never be served the old
+        geometry's stored report.
+        """
+        d = self.to_dict()
+        d["design_resolved"] = asdict(self.design.resolve())
+        d["tile_resolved"] = asdict(self.tile.resolve())
+        return _result_fingerprint("design_point", d)
+
 
 @dataclass(frozen=True)
 class DesignSweepSpec:
@@ -401,6 +438,11 @@ class DesignSweepSpec:
             for t in self.tiles
             for p in (self.precisions or (None,))
         )
+
+    def fingerprint(self) -> str:
+        """Stable cross-process result key for the whole grid (``name`` and
+        ``executor`` excluded — see :meth:`RunSpec.fingerprint`)."""
+        return _result_fingerprint("design_sweep_spec", self.to_dict())
 
     # -- JSON round trip ---------------------------------------------------
 

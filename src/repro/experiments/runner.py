@@ -9,7 +9,10 @@ Usage::
     python -m repro.experiments.runner --spec examples/specs/fig3_quick.json
     python -m repro.experiments.runner --spec spec.json --workers 4
     python -m repro.experiments.runner --spec spec.json --backend process --workers 8
+    python -m repro.experiments.runner --spec spec.json --store results/
     python -m repro.experiments.runner --design-spec examples/specs/design_pareto.json
+    python -m repro.experiments.runner --serve --port 8731 --store results/
+    python -m repro.experiments.runner --submit spec.json --url http://127.0.0.1:8731
 """
 
 from __future__ import annotations
@@ -101,7 +104,8 @@ def _session_executor(spec_executor, backend: str | None, workers: int | None):
     return spec.merged(backend=backend, workers=workers)
 
 
-def _run_spec(path: str, workers: int | None, backend: str | None = None) -> str:
+def _run_spec(path: str, workers: int | None, backend: str | None = None,
+              store: str | None = None) -> str:
     """Replay a declarative RunSpec JSON through an emulation session."""
     from repro.api import EmulationSession, RunSpec, render_sweep
 
@@ -110,12 +114,13 @@ def _run_spec(path: str, workers: int | None, backend: str | None = None) -> str
     except (OSError, ValueError, KeyError, TypeError) as exc:
         raise SystemExit(f"cannot load spec {path!r}: {exc}")
     executor = _session_executor(spec.executor, backend, workers)
-    with EmulationSession(backend=executor) as session:
+    with EmulationSession(backend=executor, store=store) as session:
         sweep = session.sweep(spec)
     return render_sweep(sweep, title=spec.name)
 
 
-def _run_design_spec(path: str, workers: int | None, backend: str | None = None) -> str:
+def _run_design_spec(path: str, workers: int | None, backend: str | None = None,
+                     store: str | None = None) -> str:
     """Replay a DesignSweepSpec JSON through a design session."""
     from repro.api import DesignSession, DesignSweepSpec, render_design_reports
 
@@ -124,9 +129,62 @@ def _run_design_spec(path: str, workers: int | None, backend: str | None = None)
     except (OSError, ValueError, KeyError, TypeError) as exc:
         raise SystemExit(f"cannot load design spec {path!r}: {exc}")
     executor = _session_executor(spec.executor, backend, workers)
-    with DesignSession(backend=executor) as session:
+    with DesignSession(backend=executor, store=store) as session:
         reports = session.sweep(spec)
     return render_design_reports(reports, title=spec.name)
+
+
+def _serve(args) -> int:
+    """Run the sweep service until ``POST /v1/shutdown`` or a signal."""
+    import signal
+    import threading
+
+    from repro.service import ServiceServer
+
+    port = 8731 if args.port is None else args.port
+    server = ServiceServer(port=port, store=args.store,
+                           backend=args.backend, workers=args.workers)
+
+    def stop(signum, frame):
+        # shutdown() joins the serve loop, so it must run off-signal-stack
+        threading.Thread(target=server.httpd.shutdown, daemon=True).start()
+
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(sig, stop)
+    print(f"serving on {server.url} "
+          f"(store: {args.store or 'none'}) — POST /v1/shutdown to stop",
+          flush=True)
+    server.serve_forever()
+    print("service stopped cleanly", flush=True)
+    return 0
+
+
+def _submit(args) -> int:
+    """Submit a spec file to a running service and print its result."""
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url or "http://127.0.0.1:8731")
+    start = time.time()
+    try:
+        ticket = client.submit(args.submit)
+        result = client.result(ticket["job"], timeout=600.0)
+    except (OSError, ValueError) as exc:  # unreadable file or malformed JSON
+        print(f"cannot load spec {args.submit!r}: {exc}", file=sys.stderr)
+        return 2
+    except ServiceError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 2
+    print(result["rendered"])
+    elapsed = round(time.time() - start, 3)
+    print(f"[submit {args.submit} job {ticket['job']} "
+          f"coalesced={str(ticket.get('coalesced', False)).lower()} "
+          f"done in {elapsed:.1f}s]")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"submit": args.submit, "job": ticket["job"],
+                       "seconds": {"submit": elapsed}}, fh, indent=2)
+            fh.write("\n")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -145,34 +203,69 @@ def main(argv: list[str] | None = None) -> int:
                         help="run a declarative DesignSweepSpec JSON through a "
                              "DesignSession (joint accuracy x efficiency report)")
     parser.add_argument("--workers", type=int, default=None,
-                        help="session workers for --spec/--design-spec runs")
+                        help="session workers for --spec/--design-spec/--serve runs")
     parser.add_argument("--backend", choices=("serial", "thread", "process"),
                         default=None,
-                        help="execution backend for --spec/--design-spec runs "
-                             "(overrides the spec's executor field; results "
+                        help="execution backend for --spec/--design-spec/--serve "
+                             "runs (overrides the spec's executor field; results "
                              "are bit-identical across backends)")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="persistent result store directory for --spec/"
+                             "--design-spec/--serve runs (warm replays are "
+                             "served from disk; interrupted sweeps resume)")
+    parser.add_argument("--serve", action="store_true",
+                        help="run the HTTP sweep service (repro.service) over "
+                             "one shared session pair until POST /v1/shutdown")
+    parser.add_argument("--port", type=int, default=None,
+                        help="--serve listen port (0 = ephemeral; default 8731)")
+    parser.add_argument("--submit", metavar="PATH", default=None,
+                        help="submit a RunSpec/DesignSweepSpec JSON to a running "
+                             "service (kind auto-detected) and print its result")
+    parser.add_argument("--url", metavar="URL", default=None,
+                        help="service URL for --submit "
+                             "(default http://127.0.0.1:8731)")
     args = parser.parse_args(argv)
 
     if args.list:
         for name, (_, desc) in EXPERIMENTS.items():
             print(f"{name:10s} {desc}")
         return 0
-    if args.spec is not None and args.design_spec is not None:
-        print("--spec and --design-spec are mutually exclusive", file=sys.stderr)
+    modes = [flag for flag, on in (("--spec", args.spec is not None),
+                                   ("--design-spec", args.design_spec is not None),
+                                   ("--serve", args.serve),
+                                   ("--submit", args.submit is not None)) if on]
+    if len(modes) > 1:
+        print(f"{' and '.join(modes)} are mutually exclusive", file=sys.stderr)
         return 2
-    if args.backend is not None and args.spec is None and args.design_spec is None:
-        print("--backend only applies to --spec/--design-spec runs", file=sys.stderr)
+    if modes and (args.experiments or args.all):
+        print(f"{modes[0]} cannot be combined with named experiments", file=sys.stderr)
         return 2
-    if args.spec is not None or args.design_spec is not None:
-        if args.experiments or args.all:
-            flag = "--spec" if args.spec is not None else "--design-spec"
-            print(f"{flag} cannot be combined with named experiments", file=sys.stderr)
+    session_modes = {"--spec", "--design-spec", "--serve"}
+    for flag, on, needs in (
+        ("--backend", args.backend is not None, session_modes),
+        ("--workers", args.workers is not None, session_modes),
+        ("--store", args.store is not None, session_modes),
+        ("--port", args.port is not None, {"--serve"}),
+        ("--url", args.url is not None, {"--submit"}),
+    ):
+        if on and not (modes and modes[0] in needs):
+            print(f"{flag} only applies to {'/'.join(sorted(needs))} runs",
+                  file=sys.stderr)
             return 2
+    if args.json is not None and args.serve:
+        print("--json does not apply to --serve (use GET /v1/stats)",
+              file=sys.stderr)
+        return 2
+    if args.serve:
+        return _serve(args)
+    if args.submit is not None:
+        return _submit(args)
+    if args.spec is not None or args.design_spec is not None:
         path = args.spec if args.spec is not None else args.design_spec
         runner = _run_spec if args.spec is not None else _run_design_spec
         start = time.time()
         try:
-            output = runner(path, args.workers, args.backend)
+            output = runner(path, args.workers, args.backend, args.store)
         except SystemExit as exc:
             print(exc, file=sys.stderr)
             return 2

@@ -1,0 +1,12 @@
+"""Network front door: HTTP sweep service + thin stdlib client.
+
+Serve with ``python -m repro.experiments.runner --serve [--port N]
+[--store DIR]``; submit with ``runner --submit spec.json --url URL`` or
+:class:`repro.service.client.ServiceClient`. See ``docs/service.md``.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import Job, ServiceServer, SweepService
+
+__all__ = ["ServiceClient", "ServiceError", "Job", "ServiceServer",
+           "SweepService"]

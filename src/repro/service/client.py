@@ -1,0 +1,130 @@
+"""Thin stdlib client for the sweep service (see :mod:`repro.service.server`).
+
+Speaks the service's JSON API over :mod:`urllib.request` — no dependency
+beyond the standard library, so any consumer (CI, a notebook, another
+service) can submit sweeps without importing the emulation stack::
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8731")
+    result = client.run("examples/specs/fig3_quick.json")  # submit + wait
+    print(result["rendered"])            # byte-identical to `runner --spec`
+    print(client.stats()["coalesced"])   # service-side observability
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An HTTP-level or job-level failure, carrying the server's payload."""
+
+    def __init__(self, message: str, status: int | None = None, payload=None):
+        super().__init__(message)
+        self.status = status
+        self.payload = payload
+
+
+def _as_spec_dict(spec) -> dict:
+    """A request body from a spec object, dict, JSON string, or file path."""
+    if hasattr(spec, "to_dict"):
+        return spec.to_dict()
+    if isinstance(spec, dict):
+        return spec
+    if isinstance(spec, (str, Path)):
+        text = str(spec)
+        if text.lstrip()[:1] != "{":
+            text = Path(spec).read_text()
+        return json.loads(text)
+    raise TypeError(f"cannot build a spec body from {type(spec).__name__}")
+
+
+def spec_kind(spec_dict: dict) -> str:
+    """``"design-sweep"`` for design grids, ``"sweep"`` for precision grids
+    (the two spec schemas are disjoint: only design specs carry ``designs``)."""
+    return "design-sweep" if "designs" in spec_dict else "sweep"
+
+
+class ServiceClient:
+    """See module docstring.
+
+    ``timeout`` bounds each HTTP round trip (long-poll requests add their
+    wait on top); job-completion timeouts are per call (:meth:`result`).
+    """
+
+    def __init__(self, url: str, timeout: float = 30.0):
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(self, method: str, path: str, payload=None,
+                 timeout: float | None = None) -> dict:
+        body = None if payload is None else (json.dumps(payload) + "\n").encode()
+        req = urllib.request.Request(
+            self.url + path, data=body, method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=timeout or self.timeout) as resp:
+                return json.loads(resp.read().decode())
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode())
+            except Exception:
+                detail = None
+            message = (detail or {}).get("error", str(exc))
+            raise ServiceError(message, status=exc.code, payload=detail) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"cannot reach service at {self.url}: "
+                               f"{exc.reason}") from exc
+
+    # -- the API -----------------------------------------------------------
+
+    def submit(self, spec, kind: str | None = None) -> dict:
+        """POST a spec; returns the job ticket (``job``/``status``/
+        ``coalesced``/``fingerprint``). ``kind`` is auto-detected from the
+        spec body unless given."""
+        spec_dict = _as_spec_dict(spec)
+        kind = kind or spec_kind(spec_dict)
+        return self._request("POST", f"/v1/{kind}", spec_dict)
+
+    def job(self, job_id: str, wait: float = 0.0) -> dict:
+        """GET one job's status (``wait`` long-polls server-side)."""
+        suffix = f"?wait={wait:g}" if wait > 0 else ""
+        return self._request("GET", f"/v1/jobs/{job_id}{suffix}",
+                             timeout=self.timeout + wait)
+
+    def result(self, job_id: str, timeout: float = 600.0) -> dict:
+        """Long-poll a job to completion and return its ``result`` payload
+        (raises :class:`ServiceError` on job failure or timeout)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServiceError(f"job {job_id!r} did not finish in {timeout}s")
+            job = self.job(job_id, wait=min(remaining, 10.0))
+            if job["status"] == "done":
+                return job["result"]
+            if job["status"] == "error":
+                raise ServiceError(f"job {job_id!r} failed: {job.get('error')}",
+                                   payload=job)
+
+    def run(self, spec, kind: str | None = None, timeout: float = 600.0) -> dict:
+        """Submit + wait: the one-call client path (``runner --submit``)."""
+        ticket = self.submit(spec, kind=kind)
+        return self.result(ticket["job"], timeout=timeout)
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def shutdown(self) -> dict:
+        """Ask the service to stop; returns its final stats snapshot."""
+        return self._request("POST", "/v1/shutdown")

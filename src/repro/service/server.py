@@ -1,0 +1,367 @@
+"""Sweep service: a stdlib HTTP front door over one shared session pair.
+
+The service turns the library's sessions into something network clients can
+share: one :class:`~repro.api.EmulationSession` + one
+:class:`~repro.api.DesignSession` (plan caches, value-keyed memos, and an
+optional persistent :class:`~repro.store.ResultStore`) behind a JSON API::
+
+    POST /v1/sweep          body: RunSpec JSON         -> {"job": ..., ...}
+    POST /v1/design-sweep   body: DesignSweepSpec JSON -> {"job": ..., ...}
+    GET  /v1/jobs/<id>[?wait=SECONDS]                  -> job status/result
+    GET  /v1/stats                                     -> service + store stats
+    POST /v1/shutdown                                  -> drain and stop
+
+Jobs run on a single worker thread (the queue serializes computation onto
+the shared sessions; HTTP handler threads only enqueue and wait), and
+identical in-flight requests **coalesce**: two clients posting specs with
+the same result fingerprint share one queued job — the second POST returns
+the first's job id with ``"coalesced": true``. Completed results stay
+addressable by job id until the process exits; with a store they also
+persist on disk, so a rebooted service answers warm.
+
+The pure-stdlib choice (``http.server.ThreadingHTTPServer``) is deliberate:
+no dependency beyond NumPy enters the repo, and the paper's workload —
+thousands of repeated accuracy x efficiency queries over the same grids —
+is compute-bound on the sessions, not on HTTP parsing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.api import (
+    DesignSession,
+    DesignSweepSpec,
+    EmulationSession,
+    RunSpec,
+    render_design_reports,
+    render_sweep,
+)
+from repro.api.session import sweep_points_to_dicts
+from repro.store import ResultStore
+
+__all__ = ["SweepService", "ServiceServer", "Job"]
+
+# Cap one long-poll's server-side wait; clients loop for longer timeouts.
+MAX_WAIT_SECONDS = 60.0
+
+# Finished jobs retained for GET /v1/jobs/<id>; beyond this the oldest
+# finished jobs (and their result payloads) are dropped, so a long-lived
+# service holds bounded memory no matter how many specs it has served.
+MAX_FINISHED_JOBS = 1024
+
+
+@dataclass
+class Job:
+    """One queued/running/finished computation (see module docstring)."""
+
+    id: str
+    kind: str  # "sweep" | "design-sweep"
+    fingerprint: str
+    spec: RunSpec | DesignSweepSpec
+    status: str = "queued"  # -> "running" -> "done" | "error"
+    result: dict | None = None
+    error: str | None = None
+    created: float = 0.0
+    started: float | None = None
+    finished: float | None = None
+    done: threading.Event = field(default_factory=threading.Event)
+
+    def as_dict(self, include_result: bool = True) -> dict:
+        d = {
+            "job": self.id, "kind": self.kind, "fingerprint": self.fingerprint,
+            "name": self.spec.name, "status": self.status,
+            "created": self.created, "started": self.started,
+            "finished": self.finished,
+        }
+        if self.error is not None:
+            d["error"] = self.error
+        if include_result and self.result is not None:
+            d["result"] = self.result
+        return d
+
+
+class SweepService:
+    """Job queue + coalescer over one shared session pair and store.
+
+    The HTTP layer delegates everything here, so the service is fully
+    usable in-process too (the test suite and the benchmark harness drive
+    it both ways).
+    """
+
+    def __init__(self, store=None, backend=None, workers: int | None = None,
+                 max_finished_jobs: int = MAX_FINISHED_JOBS):
+        self.max_finished_jobs = max_finished_jobs
+        self.store = ResultStore.coerce(store)
+        self.emulation = EmulationSession(workers=workers, backend=backend,
+                                          store=self.store)
+        self.design = DesignSession(workers=workers, backend=backend,
+                                    emulation=self.emulation, store=self.store)
+        self.started_at = time.time()
+        self.coalesced = 0
+        self._jobs: dict[str, Job] = {}
+        self._inflight: dict[tuple[str, str], Job] = {}
+        self._queue: queue.Queue[Job | None] = queue.Queue()
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._closed = False
+        self._worker = threading.Thread(target=self._run_jobs,
+                                        name="sweep-service-worker", daemon=True)
+        self._worker.start()
+
+    # -- submission --------------------------------------------------------
+
+    @staticmethod
+    def parse_spec(kind: str, spec_dict: dict) -> RunSpec | DesignSweepSpec:
+        """Validate a request body into a spec (raises on malformed input)."""
+        if not isinstance(spec_dict, dict):
+            raise ValueError(f"spec body must be a JSON object, got "
+                             f"{type(spec_dict).__name__}")
+        if kind == "sweep":
+            return RunSpec.from_dict(spec_dict)
+        if kind == "design-sweep":
+            return DesignSweepSpec.from_dict(spec_dict)
+        raise ValueError(f"unknown job kind {kind!r}")
+
+    def submit(self, kind: str, spec_dict: dict) -> tuple[Job, bool]:
+        """Queue a spec (validated eagerly) or coalesce onto an in-flight
+        twin; returns ``(job, coalesced)``."""
+        if self._closed:
+            raise RuntimeError("service is closed")
+        spec = self.parse_spec(kind, spec_dict)
+        fingerprint = spec.fingerprint()
+        with self._lock:
+            twin = self._inflight.get((kind, fingerprint))
+            if twin is not None:
+                self.coalesced += 1
+                return twin, True
+            job = Job(id=f"job-{next(self._ids)}-{fingerprint[:8]}", kind=kind,
+                      fingerprint=fingerprint, spec=spec, created=time.time())
+            self._jobs[job.id] = job
+            self._inflight[(kind, fingerprint)] = job
+        self._queue.put(job)
+        return job, False
+
+    def job(self, job_id: str, wait: float = 0.0) -> Job | None:
+        """Look a job up, optionally long-polling until it finishes."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is not None and wait > 0:
+            job.done.wait(min(wait, MAX_WAIT_SECONDS))
+        return job
+
+    # -- the worker --------------------------------------------------------
+
+    def _run_jobs(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            job.status = "running"
+            job.started = time.time()
+            try:
+                job.result = self._compute(job)
+                job.status = "done"
+            except Exception as exc:  # job errors must not kill the worker
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.status = "error"
+            finally:
+                job.finished = time.time()
+                with self._lock:
+                    self._inflight.pop((job.kind, job.fingerprint), None)
+                    self._prune_finished()
+                job.done.set()
+
+    def _prune_finished(self) -> None:
+        """Drop the oldest finished jobs beyond the retention cap (held lock).
+
+        ``_jobs`` is insertion-ordered, so the first finished entries are
+        the oldest; queued/running jobs are never dropped.
+        """
+        finished = [j for j in self._jobs.values() if j.status in ("done", "error")]
+        for job in finished[:max(0, len(finished) - self.max_finished_jobs)]:
+            del self._jobs[job.id]
+
+    def _compute(self, job: Job) -> dict:
+        base = {"kind": job.kind, "name": job.spec.name,
+                "fingerprint": job.fingerprint}
+        if job.kind == "sweep":
+            sweep = self.emulation.sweep(job.spec)
+            return {**base,
+                    "points": sweep_points_to_dicts(sweep.points),
+                    "rendered": render_sweep(sweep, title=job.spec.name)}
+        reports = self.design.sweep(job.spec)
+        return {**base,
+                "reports": [r.to_dict() for r in reports],
+                "rendered": render_design_reports(reports, title=job.spec.name)}
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            jobs = list(self._jobs.values())
+        counts = {"total": len(jobs)}
+        for status in ("queued", "running", "done", "error"):
+            counts[status] = sum(1 for j in jobs if j.status == status)
+        return {
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "jobs": counts,
+            "coalesced": self.coalesced,
+            "store": None if self.store is None else self.store.stats.as_dict(),
+            "emulation": self.emulation.stats.as_dict(),
+            "design": self.design.stats.as_dict(),
+        }
+
+    def close(self) -> None:
+        """Drain the queue, stop the worker, close the sessions.
+
+        Genuinely drains: already-accepted jobs (running *and* queued)
+        finish before the sessions close, however long they take — a
+        shutdown must not turn an accepted job into a mid-compute error.
+        New submissions are refused as soon as close begins.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(None)
+        self._worker.join()
+        self.design.close()  # does not own the shared emulation session
+        self.emulation.close()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-sweep-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, fmt, *args):  # keep CI logs quiet
+        pass
+
+    @property
+    def service(self) -> SweepService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def _send(self, code: int, payload: dict) -> None:
+        body = (json.dumps(payload) + "\n").encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        return json.loads(self.rfile.read(length).decode() or "null")
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server convention)
+        url = urlsplit(self.path)
+        if url.path == "/v1/stats":
+            self._send(200, self.service.stats())
+            return
+        if url.path.startswith("/v1/jobs/"):
+            job_id = url.path[len("/v1/jobs/"):]
+            try:
+                wait = float((parse_qs(url.query).get("wait") or ["0"])[0])
+            except ValueError:
+                self._send(400, {"error": "wait must be a number of seconds"})
+                return
+            job = self.service.job(job_id, wait=wait)
+            if job is None:
+                self._send(404, {"error": f"unknown job {job_id!r}"})
+            else:
+                self._send(200, job.as_dict())
+            return
+        self._send(404, {"error": f"unknown path {url.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        url = urlsplit(self.path)
+        if url.path == "/v1/shutdown":
+            self._send(200, {"ok": True, "stats": self.service.stats()})
+            # shutdown() joins the serve loop; must not run on a handler
+            # thread's critical path before the response is flushed
+            threading.Thread(target=self.server.shutdown, daemon=True).start()
+            return
+        kinds = {"/v1/sweep": "sweep", "/v1/design-sweep": "design-sweep"}
+        kind = kinds.get(url.path)
+        if kind is None:
+            self._send(404, {"error": f"unknown path {url.path!r}"})
+            return
+        try:
+            spec_dict = self._read_body()
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._send(400, {"error": f"request body is not JSON: {exc}"})
+            return
+        try:
+            job, coalesced = self.service.submit(kind, spec_dict)
+        except (ValueError, KeyError, TypeError) as exc:
+            self._send(400, {"error": f"invalid {kind} spec: {exc}"})
+            return
+        self._send(202, {**job.as_dict(include_result=False),
+                         "coalesced": coalesced})
+
+
+class ServiceServer:
+    """The HTTP server owning a :class:`SweepService`.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`url` reports the
+    bound address either way. Use :meth:`serve_forever` to block (the
+    runner's ``--serve``) or :meth:`start` for a background thread
+    (examples, tests, benchmarks); both end via the ``/v1/shutdown``
+    endpoint or :meth:`shutdown`.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 store=None, backend=None, workers: int | None = None):
+        self.service = SweepService(store=store, backend=backend, workers=workers)
+        self.httpd = ThreadingHTTPServer((host, port), _Handler)
+        self.httpd.daemon_threads = True
+        self.httpd.service = self.service  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self.httpd.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`shutdown` or a ``POST /v1/shutdown``."""
+        try:
+            self.httpd.serve_forever(poll_interval=0.1)
+        finally:
+            self.close()
+
+    def start(self) -> "ServiceServer":
+        """Serve on a background thread (returns immediately)."""
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever, kwargs={"poll_interval": 0.1},
+            name="sweep-service-http", daemon=True)
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop the serve loop (idempotent), then release all resources."""
+        self.httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=60)
+            self._thread = None
+        self.close()
+
+    def close(self) -> None:
+        self.httpd.server_close()
+        self.service.close()
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -1,0 +1,15 @@
+"""Persistent result store: fingerprints + content-addressed disk cache.
+
+``ResultStore`` persists computed sweep/design results across processes
+under an LRU byte budget; fingerprints are the stable, code-version-salted
+keys the :mod:`repro.api` sessions compute for their specs. Pass a store
+(or a directory path) as ``EmulationSession(store=...)`` /
+``DesignSession(store=...)`` to make sweeps resumable and warm re-runs
+near-free, or point the service at one (``runner --serve --store DIR``).
+"""
+
+from repro.store.fingerprint import CODE_VERSION, canonical_json, fingerprint
+from repro.store.store import ResultStore, StoreStats
+
+__all__ = ["CODE_VERSION", "canonical_json", "fingerprint",
+           "ResultStore", "StoreStats"]

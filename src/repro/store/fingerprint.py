@@ -1,0 +1,44 @@
+"""Stable content fingerprints for persistent result keys.
+
+A fingerprint is a hex digest of a *canonical JSON* encoding (sorted keys,
+minimal separators) salted with :data:`CODE_VERSION`, so keys are
+
+- stable across processes and machines (no ``PYTHONHASHSEED`` dependence,
+  no ``repr`` formatting drift), and
+- invalidated wholesale when the result-producing code changes semantics
+  (bump the salt; every old entry becomes an ordinary cache miss and is
+  eventually evicted by the byte budget).
+
+Specs expose these via :meth:`repro.api.spec.RunSpec.fingerprint` /
+:meth:`DesignPoint.fingerprint` / :meth:`DesignSweepSpec.fingerprint`;
+:mod:`repro.store` and :mod:`repro.service` key every stored payload and
+coalesced request on them. This module is dependency-light on purpose —
+spec code imports it, so it must not import :mod:`repro.api` back.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+__all__ = ["CODE_VERSION", "canonical_json", "fingerprint"]
+
+# Bump when emulation/design results change meaning: old store entries
+# (and coalescer keys) must not be served for the new code's answers.
+CODE_VERSION = "repro-results-v1"
+
+
+def canonical_json(payload) -> str:
+    """Deterministic JSON text for ``payload`` (sorted keys, no whitespace).
+
+    ``payload`` must be JSON-serializable; ``allow_nan`` stays on so error
+    metrics that legitimately produce NaN still fingerprint (Python's
+    ``NaN``/``Infinity`` tokens are themselves deterministic).
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def fingerprint(payload, salt: str = CODE_VERSION) -> str:
+    """32-hex-char blake2b digest of ``payload`` under ``salt``."""
+    blob = salt.encode() + b"\x00" + canonical_json(payload).encode()
+    return hashlib.blake2b(blob, digest_size=16).hexdigest()

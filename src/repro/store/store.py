@@ -1,0 +1,215 @@
+"""Content-addressed, on-disk result store with an LRU byte budget.
+
+A :class:`ResultStore` persists computed results across processes, keyed by
+the stable fingerprints of :mod:`repro.store.fingerprint`. Payloads are
+either JSON documents (sweep points, design reports) or npz bundles of
+NumPy arrays (per-chunk kernel values for resumable sweeps); both live
+under one root::
+
+    root/<kind>/<ab>/<fingerprint>.json|.npz
+
+where ``<ab>`` is the fingerprint's first two hex chars (keeps directories
+small at scale). Guarantees:
+
+- **atomic writes** — payloads are staged to a same-directory temp file,
+  fsynced, then :func:`os.replace`d into place, so a reader (or a crash)
+  never observes a partial entry; a corrupt entry (torn by an unclean
+  filesystem) is treated as a miss and deleted rather than served;
+- **last-writer-wins concurrency** — entries are content-addressed, so
+  concurrent writers of one key are writing identical bytes and the race
+  is benign; no cross-process locks are taken;
+- **LRU byte budget** — reads bump an entry's mtime; when a write pushes
+  the store past ``max_bytes``, oldest-read entries are deleted until it
+  fits (stale temp files from crashed writers are swept too);
+- **hit/miss stats** — :attr:`stats` counts hits, misses, puts, evictions
+  and the current byte estimate, and feeds the service's ``/v1/stats``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import tempfile
+import threading
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["ResultStore", "StoreStats"]
+
+# Temp files older than this are presumed crashed writers and swept.
+_STALE_TMP_SECONDS = 3600.0
+
+
+@dataclass
+class StoreStats:
+    """Store counters (the service surfaces these via ``/v1/stats``)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    bytes: int = 0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+class ResultStore:
+    """See module docstring.
+
+    Parameters
+    ----------
+    root:
+        Directory for the store (created if missing).
+    max_bytes:
+        LRU byte budget. Writes that push past it evict least-recently-read
+        entries; a single payload larger than the budget is still stored
+        (and evicted by the next write).
+    """
+
+    def __init__(self, root: str | Path, max_bytes: int = 1 << 30):
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self.stats = StoreStats()
+        self._lock = threading.Lock()
+        self.stats.bytes = sum(size for _, size, _ in self._scan())
+
+    @classmethod
+    def coerce(cls, store) -> "ResultStore | None":
+        """``None`` | store | path -> an open store (sessions' ``store=``)."""
+        if store is None or isinstance(store, ResultStore):
+            return store
+        return cls(store)
+
+    # -- paths -------------------------------------------------------------
+
+    def _path(self, kind: str, fp: str, suffix: str) -> Path:
+        if not fp or any(c not in "0123456789abcdef" for c in fp):
+            raise ValueError(f"fingerprint must be lowercase hex, got {fp!r}")
+        return self.root / kind / fp[:2] / f"{fp}{suffix}"
+
+    def _scan(self):
+        """All committed entries as ``(mtime, size, path)`` (temp files skipped)."""
+        entries = []
+        for path in self.root.rglob("*"):
+            if not path.is_file():
+                continue
+            if path.suffix not in (".json", ".npz"):
+                continue
+            try:
+                st = path.stat()
+            except OSError:  # concurrently evicted
+                continue
+            entries.append((st.st_mtime, st.st_size, path))
+        return entries
+
+    # -- read side ---------------------------------------------------------
+
+    def _read(self, kind: str, fp: str, suffix: str, decode):
+        path = self._path(kind, fp, suffix)
+        try:
+            raw = path.read_bytes()
+            payload = decode(raw)
+        except FileNotFoundError:
+            payload = None
+        except Exception:
+            # torn/corrupt entry (e.g. unclean shutdown mid-sector): never
+            # serve it — drop it and report a miss so the caller recomputes
+            path.unlink(missing_ok=True)
+            payload = None
+        with self._lock:
+            if payload is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+        if payload is not None:
+            try:
+                os.utime(path)  # bump LRU recency
+            except OSError:
+                pass
+        return payload
+
+    def get_json(self, kind: str, fp: str):
+        """The JSON payload stored under ``(kind, fp)``, or ``None``."""
+        return self._read(kind, fp, ".json", lambda raw: json.loads(raw.decode()))
+
+    def get_arrays(self, kind: str, fp: str) -> dict | None:
+        """The npz array bundle stored under ``(kind, fp)``, or ``None``."""
+        def decode(raw):
+            with np.load(io.BytesIO(raw)) as bundle:
+                return {name: bundle[name] for name in bundle.files}
+        return self._read(kind, fp, ".npz", decode)
+
+    def contains(self, kind: str, fp: str) -> bool:
+        """Entry presence without touching recency or hit/miss counters."""
+        return (self._path(kind, fp, ".json").exists()
+                or self._path(kind, fp, ".npz").exists())
+
+    # -- write side --------------------------------------------------------
+
+    def _write(self, kind: str, fp: str, suffix: str, blob: bytes) -> None:
+        path = self._path(kind, fp, suffix)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{fp[:8]}-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            Path(tmp).unlink(missing_ok=True)
+            raise
+        with self._lock:
+            self.stats.puts += 1
+            self.stats.bytes += len(blob)
+            over = self.stats.bytes > self.max_bytes
+        if over:
+            self._evict()
+
+    def put_json(self, kind: str, fp: str, payload) -> None:
+        """Store a JSON-serializable payload under ``(kind, fp)`` atomically."""
+        self._write(kind, fp, ".json",
+                    (json.dumps(payload, separators=(",", ":")) + "\n").encode())
+
+    def put_arrays(self, kind: str, fp: str, arrays: dict) -> None:
+        """Store a ``{name: ndarray}`` bundle under ``(kind, fp)`` atomically."""
+        buf = io.BytesIO()
+        np.savez(buf, **arrays)
+        self._write(kind, fp, ".npz", buf.getvalue())
+
+    # -- eviction ----------------------------------------------------------
+
+    def _evict(self) -> None:
+        """Delete least-recently-read entries until the budget fits.
+
+        Works from a fresh directory scan (the byte counter is an estimate
+        once other processes share the root) and sweeps stale temp files
+        left by crashed writers.
+        """
+        now = time.time()
+        for path in self.root.rglob("*.tmp"):
+            try:
+                if now - path.stat().st_mtime > _STALE_TMP_SECONDS:
+                    path.unlink(missing_ok=True)
+            except OSError:
+                pass
+        entries = sorted(self._scan())
+        total = sum(size for _, size, _ in entries)
+        evicted = 0
+        for _, size, path in entries[:-1]:  # the newest entry always survives
+            if total <= self.max_bytes:
+                break
+            path.unlink(missing_ok=True)
+            total -= size
+            evicted += 1
+        with self._lock:
+            self.stats.bytes = total
+            self.stats.evictions += evicted

@@ -21,7 +21,8 @@ def run_example(name: str, *args: str, timeout: int = 600) -> str:
 def test_examples_directory_complete():
     names = {p.name for p in EXAMPLES.glob("*.py")}
     assert {"quickstart.py", "accuracy_sweep.py", "design_space.py",
-            "mixed_precision_inference.py", "custom_formats.py"} <= names
+            "mixed_precision_inference.py", "custom_formats.py",
+            "sweep_service.py"} <= names
 
 
 def test_quickstart_runs():
@@ -33,6 +34,14 @@ def test_quickstart_runs():
 def test_custom_formats_runs():
     out = run_example("custom_formats.py")
     assert "bfloat16" in out and "tf32" in out
+
+
+def test_sweep_service_runs():
+    out = run_example("sweep_service.py")
+    assert "service up at http://" in out
+    assert "identical payloads: True" in out
+    assert "still identical: True" in out
+    assert "errors: 0" in out
 
 
 @pytest.mark.slow

@@ -1,0 +1,272 @@
+"""repro.service: HTTP round trips, coalescing, store engagement, runner CLI."""
+
+import json
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.api import (
+    DesignSession,
+    DesignSweepSpec,
+    EmulationSession,
+    PrecisionPoint,
+    RunSpec,
+    render_design_reports,
+    render_sweep,
+)
+from repro.api.session import sweep_points_from_dicts
+from repro.service import ServiceClient, ServiceError, ServiceServer, SweepService
+
+SPEC = RunSpec(name="svc-spec", sources=("laplace",),
+               points=(PrecisionPoint(12), PrecisionPoint(16)),
+               batch=500, n=8, seed=5)
+DESIGN_SPEC = DesignSweepSpec.grid(name="svc-designs",
+                                   designs=("MC-IPU4", "INT8"),
+                                   tiles=("small",), samples=24, rng=41)
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    with ServiceServer(port=0, store=tmp_path_factory.mktemp("store")) as srv:
+        yield srv
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ServiceClient(server.url)
+
+
+class TestHTTPRoundTrips:
+    def test_sweep_matches_direct_session(self, client):
+        result = client.run(SPEC)
+        with EmulationSession() as session:
+            sweep = session.sweep(SPEC)
+        assert result["rendered"] == render_sweep(sweep, title=SPEC.name)
+        assert sweep_points_from_dicts(result["points"]) == sweep.points
+        assert result["fingerprint"] == SPEC.fingerprint()
+
+    def test_design_sweep_matches_direct_session(self, client):
+        result = client.run(DESIGN_SPEC)
+        with DesignSession() as session:
+            reports = session.sweep(DESIGN_SPEC)
+        assert result["rendered"] == render_design_reports(
+            reports, title=DESIGN_SPEC.name)
+        assert [r.to_dict() for r in reports] == json.loads(
+            json.dumps(result["reports"]))
+
+    def test_resubmission_is_served_from_the_store(self, client):
+        before = client.stats()["store"]
+        result = client.run(SPEC)
+        after = client.stats()["store"]
+        assert after["hits"] >= before["hits"] + len(SPEC.sources)
+        with EmulationSession() as session:
+            assert result["rendered"] == render_sweep(session.sweep(SPEC),
+                                                      title=SPEC.name)
+
+    def test_job_endpoint_reports_metadata(self, client):
+        ticket = client.submit(SPEC)
+        assert ticket["kind"] == "sweep" and ticket["name"] == SPEC.name
+        job = client.job(ticket["job"], wait=30)
+        assert job["status"] == "done"
+        assert job["finished"] >= job["started"] >= job["created"] > 0
+
+    def test_stats_shape(self, client):
+        stats = client.stats()
+        assert stats["jobs"]["total"] >= 1 and stats["jobs"]["error"] == 0
+        assert {"queued", "running", "done"} <= set(stats["jobs"])
+        assert stats["store"]["puts"] > 0
+        assert "plan_hits" in stats["emulation"] and "hits" in stats["design"]
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.job("job-999-deadbeef")
+        assert err.value.status == 404
+
+    def test_unknown_path_is_404(self, client):
+        with pytest.raises(ServiceError) as err:
+            client._request("GET", "/v2/nothing")
+        assert err.value.status == 404
+
+    def test_malformed_spec_is_400(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.submit({"batch": -3}, kind="sweep")
+        assert err.value.status == 400
+        assert "invalid sweep spec" in str(err.value)
+
+    def test_failing_job_reports_error_status(self, client):
+        # an empty grid parses but fails at run time -> job status "error"
+        ticket = client.submit(RunSpec(name="empty", sources=("laplace",)))
+        with pytest.raises(ServiceError) as err:
+            client.result(ticket["job"], timeout=30)
+        assert "no precision points" in str(err.value)
+
+
+class TestCoalescing:
+    def test_identical_inflight_specs_share_one_job(self):
+        """Deterministic coalescing: block the worker, then submit twice."""
+        service = SweepService()
+        release, started = threading.Event(), threading.Event()
+        real_sweep = service.emulation.sweep
+
+        def gated_sweep(spec, **kwargs):
+            started.set()
+            assert release.wait(30)
+            return real_sweep(spec, **kwargs)
+
+        service.emulation.sweep = gated_sweep
+        try:
+            blocker, coalesced = service.submit(
+                "sweep", {**SPEC.to_dict(), "seed": 99})
+            assert not coalesced and started.wait(30)  # worker is now gated
+            first, c1 = service.submit("sweep", SPEC.to_dict())
+            twin, c2 = service.submit(
+                "sweep", {**SPEC.to_dict(), "name": "same-grid-other-name"})
+            assert first.id != blocker.id  # different grid, separate job
+            assert not c1 and c2  # the twin coalesced onto the queued job
+            assert twin is first
+            # a running job keeps absorbing identical requests too
+            running_twin, c3 = service.submit("sweep",
+                                              {**SPEC.to_dict(), "seed": 99})
+            assert c3 and running_twin is blocker
+            assert service.coalesced == 2
+            release.set()
+            assert twin.done.wait(60) and twin.status == "done"
+            assert service.stats()["jobs"]["total"] == 2
+        finally:
+            release.set()
+            service.close()
+
+    def test_close_drains_a_running_job_instead_of_killing_it(self):
+        """Shutdown must let an accepted job finish, however long it runs."""
+        service = SweepService()
+        release, started = threading.Event(), threading.Event()
+        real_sweep = service.emulation.sweep
+
+        def gated_sweep(spec, **kwargs):
+            started.set()
+            assert release.wait(30)
+            return real_sweep(spec, **kwargs)
+
+        service.emulation.sweep = gated_sweep
+        try:
+            job, _ = service.submit("sweep", SPEC.to_dict())
+            assert started.wait(30)  # the job is mid-compute
+            closer = threading.Thread(target=service.close)
+            closer.start()
+            release.set()  # close() must still be waiting on the worker
+            closer.join(timeout=60)
+            assert not closer.is_alive()
+            assert job.status == "done" and job.result is not None
+        finally:
+            release.set()
+            service.close()
+
+    def test_finished_jobs_are_pruned_beyond_the_retention_cap(self):
+        service = SweepService(max_finished_jobs=1)
+        try:
+            first, _ = service.submit("sweep", SPEC.to_dict())
+            assert first.done.wait(60)
+            second, _ = service.submit("sweep", {**SPEC.to_dict(), "seed": 9})
+            assert second.done.wait(60)
+            assert service.job(first.id) is None  # result memory is bounded
+            assert service.job(second.id) is second
+            assert service.stats()["jobs"]["total"] == 1
+        finally:
+            service.close()
+
+    def test_finished_jobs_do_not_coalesce(self):
+        service = SweepService()
+        try:
+            first, _ = service.submit("sweep", SPEC.to_dict())
+            assert first.done.wait(60)
+            second, coalesced = service.submit("sweep", SPEC.to_dict())
+            assert not coalesced and second.id != first.id
+            assert second.done.wait(60)
+            assert second.result["points"] == first.result["points"]
+        finally:
+            service.close()
+
+
+class TestRunnerCLI:
+    REPO = Path(__file__).resolve().parents[2]
+
+    def test_workers_requires_a_session_mode(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["--workers", "2"]) == 2
+        assert main(["fig3", "--workers", "2"]) == 2
+        err = capsys.readouterr().err
+        assert "--workers only applies to" in err
+
+    def test_store_and_port_and_url_flag_validation(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["fig3", "--store", "x"]) == 2
+        assert main(["--submit", "x.json", "--port", "1"]) == 2
+        assert main(["--spec", "x.json", "--url", "http://x"]) == 2
+        assert main(["--spec", "a.json", "--serve"]) == 2
+        assert main(["--serve", "--all"]) == 2
+        assert main(["--serve", "--json", "out.json"]) == 2
+        capsys.readouterr()
+
+    def test_submit_malformed_spec_file_exits_2(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["--submit", str(path), "--url", "http://127.0.0.1:9"]) == 2
+        assert "cannot load spec" in capsys.readouterr().err
+
+    def test_submit_against_unreachable_service_exits_2(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        path = tmp_path / "spec.json"
+        SPEC.to_json(path)
+        assert main(["--submit", str(path), "--url", "http://127.0.0.1:9"]) == 2
+        assert "service error" in capsys.readouterr().err
+
+    def test_spec_replay_with_store_warm_identical(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        path = tmp_path / "spec.json"
+        SPEC.to_json(path)
+        store = tmp_path / "store"
+        assert main(["--spec", str(path), "--store", str(store)]) == 0
+        cold = capsys.readouterr().out
+        assert main(["--spec", str(path), "--store", str(store)]) == 0
+        warm = capsys.readouterr().out
+        strip = lambda out: [l for l in out.splitlines()
+                             if not l.startswith("[spec ")]
+        assert strip(cold) == strip(warm)
+        assert store.is_dir()
+
+    def test_submit_output_matches_spec_replay(self, server, tmp_path, capsys):
+        """The CI contract: --submit output is byte-identical to --spec."""
+        from repro.experiments.runner import main
+
+        path = tmp_path / "spec.json"
+        SPEC.to_json(path)
+        assert main(["--spec", str(path)]) == 0
+        direct = capsys.readouterr().out
+        assert main(["--submit", str(path), "--url", server.url]) == 0
+        via_http = capsys.readouterr().out
+        strip = lambda out: [l for l in out.splitlines()
+                             if not l.startswith("[")]
+        assert strip(direct) == strip(via_http)
+        assert any(l.startswith("[submit ") for l in via_http.splitlines())
+
+
+class TestServeLifecycle:
+    def test_shutdown_endpoint_stops_a_blocking_server(self, tmp_path):
+        server = ServiceServer(port=0, store=tmp_path / "s")
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        client = ServiceClient(server.url)
+        assert client.run(SPEC)["rendered"]
+        final = client.shutdown()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert final["ok"] and final["stats"]["jobs"]["done"] == 1
+        with pytest.raises(ServiceError):
+            client.stats()  # the socket is really gone

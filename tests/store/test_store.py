@@ -1,0 +1,338 @@
+"""repro.store: fingerprints, atomicity, LRU budget, resumable sweeps."""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    DesignPoint,
+    DesignSession,
+    DesignSweepSpec,
+    EmulationSession,
+    ExecutorSpec,
+    PrecisionPoint,
+    RunSpec,
+)
+from repro.api.design import DesignReport
+from repro.store import ResultStore, fingerprint
+
+
+SPEC = RunSpec(name="store-spec", sources=("laplace", "normal"),
+               points=(PrecisionPoint(12), PrecisionPoint(16),
+                       PrecisionPoint(16, accumulator="fp16")),
+               batch=600, n=8, seed=7)
+
+
+# -- fingerprints ------------------------------------------------------------
+
+
+class TestFingerprints:
+    def test_stable_across_processes(self):
+        """Keys must not depend on PYTHONHASHSEED or process state."""
+        code = (
+            "from repro.api import RunSpec, PrecisionPoint, DesignPoint\n"
+            "spec = RunSpec(name='store-spec', sources=('laplace', 'normal'),"
+            " points=(PrecisionPoint(12), PrecisionPoint(16),"
+            " PrecisionPoint(16, accumulator='fp16')), batch=600, n=8, seed=7)\n"
+            "print(spec.fingerprint())\n"
+            "print(DesignPoint.from_dict('MC-IPU4').fingerprint())\n"
+        )
+        env = dict(os.environ, PYTHONHASHSEED="12345")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p)
+        out = subprocess.run([sys.executable, "-c", code], env=env,
+                             capture_output=True, text=True, check=True)
+        run_fp, point_fp = out.stdout.split()
+        assert run_fp == SPEC.fingerprint()
+        assert point_fp == DesignPoint.from_dict("MC-IPU4").fingerprint()
+
+    def test_name_and_executor_never_change_results_nor_keys(self):
+        renamed = RunSpec.from_dict({**SPEC.to_dict(), "name": "other"})
+        threaded = RunSpec.from_dict(
+            {**SPEC.to_dict(), "executor": ExecutorSpec("thread", 2)})
+        assert renamed.fingerprint() == SPEC.fingerprint()
+        assert threaded.fingerprint() == SPEC.fingerprint()
+
+    def test_result_fields_change_keys(self):
+        for change in ({"seed": 8}, {"batch": 601}, {"sources": ["laplace"]},
+                       {"points": [PrecisionPoint(12).to_dict()]}):
+            other = RunSpec.from_dict({**SPEC.to_dict(), **change})
+            assert other.fingerprint() != SPEC.fingerprint(), change
+
+    def test_design_sweep_fingerprint(self):
+        spec = DesignSweepSpec.grid(designs=("MC-IPU4", "INT8"), samples=24)
+        again = DesignSweepSpec.from_dict({**spec.to_dict(), "name": "x"})
+        assert spec.fingerprint() == again.fingerprint()
+        assert spec.fingerprint() != DesignSweepSpec.grid(
+            designs=("MC-IPU4",), samples=24).fingerprint()
+
+    def test_salt_invalidates(self):
+        assert fingerprint({"a": 1}) != fingerprint({"a": 1}, salt="v2")
+
+    def test_custom_design_fingerprint_keys_on_geometry_not_name(self):
+        """Re-registering a custom name with different geometry in another
+        process must miss the store, never inherit the old report."""
+        code = (
+            "from repro.hw.designs import Design\n"
+            "from repro.api import DesignPoint, register_design\n"
+            "register_design(Design('custom-fp', 8, 4, {width}, 'temporal', 4))\n"
+            "print(DesignPoint.from_dict('custom-fp').fingerprint())\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p)
+
+        def run(width):
+            out = subprocess.run([sys.executable, "-c", code.format(width=width)],
+                                 env=env, capture_output=True, text=True,
+                                 check=True)
+            return out.stdout.strip()
+
+        assert run(24) == run(24)  # same geometry: stable key
+        assert run(24) != run(20)  # same name, new geometry: a miss
+
+
+# -- the store itself --------------------------------------------------------
+
+
+FP = "ab" + "0" * 30
+FP2 = "cd" + "1" * 30
+
+
+class TestResultStore:
+    def test_json_round_trip_and_stats(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get_json("kind", FP) is None
+        store.put_json("kind", FP, {"x": [1.5, float("nan")]})
+        got = store.get_json("kind", FP)
+        assert got["x"][0] == 1.5 and np.isnan(got["x"][1])
+        assert store.stats.hits == 1 and store.stats.misses == 1
+        assert store.stats.puts == 1 and store.stats.bytes > 0
+
+    def test_arrays_round_trip_bit_exact(self, tmp_path):
+        store = ResultStore(tmp_path)
+        values = np.random.default_rng(0).standard_normal(257)
+        store.put_arrays("chunks", FP, {"k0": values, "k1": values[::-1].copy()})
+        got = store.get_arrays("chunks", FP)
+        assert got["k0"].dtype == np.float64
+        assert np.array_equal(got["k0"], values)
+        assert np.array_equal(got["k1"], values[::-1])
+
+    def test_rejects_non_hex_fingerprints(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.get_json("kind", "../../etc/passwd")
+
+    def test_partial_file_never_served(self, tmp_path):
+        """A torn entry (crash mid-sector) is a miss, not garbage data."""
+        store = ResultStore(tmp_path)
+        store.put_json("kind", FP, {"x": 1})
+        path = store._path("kind", FP, ".json")
+        path.write_bytes(path.read_bytes()[:-4])  # tear the tail off
+        assert ResultStore(tmp_path).get_json("kind", FP) is None
+        assert not path.exists()  # corrupt entries are dropped
+        store.put_arrays("kind", FP2, {"k0": np.arange(4.0)})
+        npz = store._path("kind", FP2, ".npz")
+        npz.write_bytes(npz.read_bytes()[: npz.stat().st_size // 2])
+        assert ResultStore(tmp_path).get_arrays("kind", FP2) is None
+
+    def test_crashed_writer_tmp_file_invisible(self, tmp_path):
+        store = ResultStore(tmp_path)
+        stale = tmp_path / "kind" / FP[:2] / f".{FP[:8]}-dead.tmp"
+        stale.parent.mkdir(parents=True)
+        stale.write_bytes(b'{"x": 1')  # a writer died mid-write
+        assert store.get_json("kind", FP) is None
+        old = time.time() - 7200
+        os.utime(stale, (old, old))
+        store.max_bytes = 1
+        store.put_json("kind", FP2, {"y": 2})  # triggers eviction + sweep
+        assert not stale.exists()
+
+    def test_lru_eviction_at_byte_budget(self, tmp_path):
+        store = ResultStore(tmp_path)
+        payload = {"data": "z" * 200}
+        now = time.time()
+        for i, fp in enumerate((FP, FP2)):
+            store.put_json("kind", fp, payload)
+            # entry mtimes order the LRU scan; make the order unambiguous
+            os.utime(store._path("kind", fp, ".json"),
+                     (now - 200 + i, now - 200 + i))
+        store.max_bytes = 1
+        store.put_json("kind", "ee" + "2" * 30, payload)
+        assert store.stats.evictions == 2
+        assert not store.contains("kind", FP)
+        assert not store.contains("kind", FP2)
+        # the newest entry survives even when it alone exceeds the budget
+        assert store.contains("kind", "ee" + "2" * 30)
+
+    def test_read_bumps_lru_recency(self, tmp_path):
+        store = ResultStore(tmp_path, max_bytes=500)
+        payload = {"data": "z" * 200}
+        now = time.time()
+        for i, fp in enumerate((FP, FP2)):
+            store.put_json("kind", fp, payload)
+            os.utime(store._path("kind", fp, ".json"),
+                     (now - 100 + i, now - 100 + i))
+        assert store.get_json("kind", FP) is not None  # FP is now most recent
+        store.put_json("kind", "ee" + "2" * 30, payload)  # evicts one entry
+        assert store.contains("kind", FP)
+        assert not store.contains("kind", FP2)
+
+    def test_concurrent_writers_and_readers(self, tmp_path):
+        store = ResultStore(tmp_path)
+        errors = []
+
+        def work(seed):
+            try:
+                rng = np.random.default_rng(seed % 4)  # contended keys
+                fp = f"{seed % 4:02d}" + "a" * 30
+                payload = {"values": list(rng.standard_normal(8))}
+                for _ in range(20):
+                    store.put_json("race", fp, payload)
+                    got = store.get_json("race", fp)
+                    assert got is None or got == payload
+            except Exception as exc:  # noqa: BLE001 - surface in main thread
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for seed in range(4):
+            assert store.get_json("race", f"{seed:02d}" + "a" * 30) is not None
+
+
+# -- session integration -----------------------------------------------------
+
+
+class TestStoreBackedSweeps:
+    @pytest.fixture(scope="class")
+    def reference(self):
+        with EmulationSession() as session:
+            return session.sweep(SPEC)
+
+    def test_cold_and_warm_bit_identical(self, tmp_path, reference):
+        with EmulationSession(store=tmp_path / "s") as session:
+            cold = session.sweep(SPEC)
+        with EmulationSession(store=tmp_path / "s") as session:
+            warm = session.sweep(SPEC)
+            store = session.store
+        assert cold.points == reference.points
+        assert warm.points == reference.points
+        assert store.stats.hits >= len(SPEC.sources)
+
+    def test_explicit_rng_disables_persistence(self, tmp_path, reference):
+        store = ResultStore(tmp_path / "rng")
+        with EmulationSession(store=store) as session:
+            got = session.sweep(SPEC, rng=SPEC.seed)
+        assert got.points == reference.points
+        assert store.stats.puts == 0
+
+    def test_interrupted_sweep_resumes_only_missing_chunks(self, tmp_path):
+        spec = RunSpec(name="resume", sources=("laplace",),
+                       points=(PrecisionPoint(12), PrecisionPoint(16)),
+                       batch=1000, n=8, seed=11)
+        store_dir = tmp_path / "resume"
+
+        def counting_session(fail_after=None):
+            session = EmulationSession(store=store_dir, chunk_rows=200)
+            real = session._run_points
+            calls = []
+
+            def wrapper(*args, **kwargs):
+                if fail_after is not None and len(calls) >= fail_after:
+                    raise KeyboardInterrupt("simulated kill")
+                calls.append(1)
+                return real(*args, **kwargs)
+
+            session._run_points = wrapper
+            return session, calls
+
+        session, calls = counting_session()
+        total_blocks = len(session._block_spans((spec.batch, spec.n)))
+        assert total_blocks == 5
+        session.close()
+
+        session, calls = counting_session(fail_after=2)
+        with pytest.raises(KeyboardInterrupt):
+            session.sweep(spec)
+        assert len(calls) == 2  # two chunks computed, then the "kill"
+        session.close()
+
+        session, calls = counting_session()
+        resumed = session.sweep(spec)
+        assert len(calls) == total_blocks - 2  # only the missing chunks ran
+        session.close()
+
+        with EmulationSession() as session:
+            fresh = session.sweep(spec)
+        assert resumed.points == fresh.points
+
+    def test_store_shared_across_accumulator_variants(self, tmp_path):
+        """Chunk entries are keyed below the kernel grid: accumulator-only
+        point variants reuse every stored chunk, regardless of which
+        accumulator a spec's kernel dedup happened to see first."""
+        base = RunSpec(name="a", sources=("laplace",),
+                       points=(PrecisionPoint(16),), batch=800, n=8, seed=2)
+        extended = base.with_points((PrecisionPoint(16),
+                                     PrecisionPoint(16, accumulator="fp16")))
+        fp16_first = base.with_points((PrecisionPoint(16, accumulator="fp16"),))
+        store = ResultStore(tmp_path / "shared")
+        with EmulationSession(store=store, chunk_rows=200) as session:
+            session.sweep(base)
+            session._run_points = None  # any kernel execution would crash now
+            got = session.sweep(extended)
+            got_fp16 = session.sweep(fp16_first)
+        with EmulationSession() as session:
+            want = session.sweep(extended)
+            want_fp16 = session.sweep(fp16_first)
+        assert got.points == want.points
+        assert got_fp16.points == want_fp16.points
+
+    def test_closed_session_rejects_sweeps_even_when_warm(self, tmp_path):
+        session = EmulationSession(store=tmp_path / "closed")
+        session.sweep(SPEC)
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.sweep(SPEC)
+
+
+class TestStoreBackedDesignSession:
+    SPEC = DesignSweepSpec.grid(name="grid", designs=("MC-IPU4", "INT8"),
+                                tiles=("small",), samples=24, rng=41)
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        with DesignSession() as session:
+            return session.sweep(self.SPEC)
+
+    def test_report_json_round_trip(self, reference):
+        for report in reference:
+            clone = DesignReport.from_dict(
+                json.loads(json.dumps(report.to_dict())))
+            assert clone == report
+
+    def test_cold_warm_and_pool_hits(self, tmp_path, reference):
+        with DesignSession(store=tmp_path / "d") as session:
+            assert session.sweep(self.SPEC) == reference
+        with DesignSession(store=tmp_path / "d", workers=2) as session:
+            assert session.sweep(self.SPEC) == reference
+            assert session.stats.hits.get("report") == len(self.SPEC.points())
+            assert session.stats.tasks_dispatched == 0  # nothing left to pool
+
+    def test_cold_pool_sweep_consults_store_once_per_point(self, tmp_path,
+                                                           reference):
+        with DesignSession(store=tmp_path / "once", workers=2) as session:
+            assert session.sweep(self.SPEC) == reference
+            # one store consultation per point — the pool dispatch must not
+            # repeat the prefetch's lookup (would double-count every miss)
+            assert session.stats.misses.get("report") == len(self.SPEC.points())
+            assert session.stats.hits.get("report") is None
