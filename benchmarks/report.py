@@ -11,9 +11,12 @@ tracked across PRs. Run from the repo root::
 Outputs:
 
 - ``BENCH_kernels.json``  — kernel microbenchmarks (single + MC), the
+  fused-vs-unfused / MC-pairing / forced-int64 engine-mode rows, the
   session-vs-direct-engine overhead row, serial-vs-thread-vs-process
   backend scaling rows for emulation *and* design sweeps (with session
-  stats proving the pools engaged; ``cpus`` recorded honestly), the
+  stats proving the pools engaged; ``cpus`` recorded honestly per row
+  from the scheduler affinity mask, and sub-1x pool rows flagged — not
+  failed — on hosts without enough cores to win), the
   chunk-size scan behind ``DEFAULT_CHUNK_ELEMENTS``, the cold-vs-warm
   ``DesignSession.sweep`` design-space row (Table-1 grid), the
   ``store_cold``/``store_warm`` persistent-store rows (store engagement
@@ -56,6 +59,14 @@ FIG3_CONFIG = dict(
 )
 ACCURACY_CONFIG = dict(precisions=(8, 12), n_eval=32, style="plain", batch_size=32)
 KERNEL_BATCH = 20000
+
+
+def _cpus() -> int:
+    """CPUs this process may actually use (affinity mask, not machine size)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
 
 
 def _best_of(fn, repeats):
@@ -158,7 +169,7 @@ def bench_kernels(repeats):
             and np.array_equal(seed_res.total_cycles, eng_res.total_cycles)
         )
         out[name] = {
-            "batch": KERNEL_BATCH, "n": 16, **kw,
+            "batch": KERNEL_BATCH, "n": 16, "cpus": _cpus(), **kw,
             "seed_seconds": round(seed_s, 4),
             "engine_seconds": round(eng_s, 4),
             "speedup": round(seed_s / eng_s, 2),
@@ -185,7 +196,7 @@ def bench_session(repeats):
     ses_s, ses_res = _best_of(lambda: _session_once(a, b, 16), repeats)
     out = {
         "single_thread_overhead": {
-            "batch": KERNEL_BATCH, "n": 16, "adder_width": 16,
+            "batch": KERNEL_BATCH, "n": 16, "adder_width": 16, "cpus": _cpus(),
             "engine_seconds": round(eng_s, 4),
             "session_seconds": round(ses_s, 4),
             "overhead_pct": round(100 * (ses_s / eng_s - 1), 2),
@@ -203,7 +214,7 @@ def bench_session(repeats):
             return results, session.stats.as_dict()
 
     serial_s, (serial_res, _) = _best_of(lambda: run_with("serial", 1), repeats)
-    cpus = os.cpu_count() or 1
+    cpus = _cpus()
     workers = max(2, min(4, cpus))  # exercise the pools even on 1-core hosts
     for backend, row in (("thread", "worker_pool_sweep"),
                          ("process", "process_pool_sweep")):
@@ -214,18 +225,89 @@ def bench_session(repeats):
         )
         engaged = stats["tasks_dispatched"] > 0 and (
             backend != "process" or stats["shm_bytes"] > 0)
+        speedup = round(serial_s / par_s, 2)
         out[row] = {
             "batch": 120000, "n": 16, "points": [p.adder_width for p in points],
             "backend": backend, "workers": workers, "cpus": cpus,
             "serial_seconds": round(serial_s, 4),
             "parallel_seconds": round(par_s, 4),
-            "speedup": round(serial_s / par_s, 2),
+            "speedup": speedup,
+            # sub-1x with more workers than cores is pool overhead, not a
+            # regression: flagged for the reader, never failed
+            "subscale": bool(speedup < 1.0),
             "tasks_dispatched": stats["tasks_dispatched"],
             "shm_bytes": stats["shm_bytes"],
             "pool_engaged": bool(engaged),
             "identical": bool(identical),
         }
         assert engaged, f"{backend} pool did not engage"
+    return out
+
+
+def bench_engine_modes(repeats):
+    """Engine-mode rows: where kernel fusion and int64 packing pay off.
+
+    ``fused_vs_unfused`` replays the full Figure-3 precision ladder (one
+    packed operand pair, all single-cycle widths) through the fused and
+    unfused numpy engines; ``mc_pairing`` does the same for multi-cycle
+    points, where the fused path also packs two 4-bit cycles into one
+    int64 lane whenever the adder-tree words provably fit;
+    ``int64_vs_int32`` pins the cost of forcing the wide work dtype on a
+    point the engine would otherwise run in int32 (why auto-selection
+    matters). Every pair of timings must be bit-identical.
+    """
+    rng = np.random.default_rng(3)
+    pa = pack_operands(rng.laplace(0, 1, (KERNEL_BATCH, 16)), FP16)
+    pb = pack_operands(rng.laplace(0, 1, (KERNEL_BATCH, 16)), FP16)
+
+    def run(points, engine=None, work_dtype=None):
+        return fp_ip_points(pa, pb, points, work_dtype=work_dtype, engine=engine)
+
+    def identical(xs, ys):
+        return bool(all(
+            np.array_equal(x.values, y.values)
+            and np.array_equal(x.rounded, y.rounded)
+            and np.array_equal(x.total_cycles, y.total_cycles)
+            for x, y in zip(xs, ys)
+        ))
+
+    out = {}
+    fig3_points = [KernelPoint(w) for w in FIG3_CONFIG["precisions"]]
+    fused_s, fused = _best_of(lambda: run(fig3_points), repeats)
+    unfused_s, unfused = _best_of(lambda: run(fig3_points, "numpy-unfused"),
+                                  repeats)
+    out["fused_vs_unfused"] = {
+        "batch": KERNEL_BATCH, "n": 16, "cpus": _cpus(),
+        "points": [p.adder_width for p in fig3_points],
+        "unfused_seconds": round(unfused_s, 4),
+        "fused_seconds": round(fused_s, 4),
+        "speedup": round(unfused_s / fused_s, 2),
+        "identical": identical(fused, unfused),
+    }
+
+    mc_points = [KernelPoint(w, 28, multi_cycle=True) for w in (10, 12, 16, 20)]
+    mcf_s, mcf = _best_of(lambda: run(mc_points), repeats)
+    mcu_s, mcu = _best_of(lambda: run(mc_points, "numpy-unfused"), repeats)
+    out["mc_pairing"] = {
+        "batch": KERNEL_BATCH, "n": 16, "cpus": _cpus(),
+        "points": [p.adder_width for p in mc_points],
+        "software_precision": 28, "multi_cycle": True,
+        "unfused_seconds": round(mcu_s, 4),
+        "fused_seconds": round(mcf_s, 4),
+        "speedup": round(mcu_s / mcf_s, 2),
+        "identical": identical(mcf, mcu),
+    }
+
+    w16 = [KernelPoint(16)]
+    i32_s, i32 = _best_of(lambda: run(w16), repeats)
+    i64_s, i64 = _best_of(lambda: run(w16, work_dtype=np.int64), repeats)
+    out["int64_vs_int32"] = {
+        "batch": KERNEL_BATCH, "n": 16, "adder_width": 16, "cpus": _cpus(),
+        "int32_seconds": round(i32_s, 4),
+        "int64_seconds": round(i64_s, 4),
+        "int64_cost": round(i64_s / i32_s, 2),
+        "identical": identical(i32, i64),
+    }
     return out
 
 
@@ -284,7 +366,7 @@ def bench_design_space(repeats):
     out = {
         "design_space_sweep": {
             "designs": len(spec.designs), "points": len(spec.points()),
-            "samples": spec.samples, "cpus": os.cpu_count() or 1,
+            "samples": spec.samples, "cpus": _cpus(),
             "cold_seconds": round(cold_s, 4),
             "warm_seconds": round(warm_s, 4),
             "speedup": round(cold_s / warm_s, 2),
@@ -292,17 +374,19 @@ def bench_design_space(repeats):
             "identical": bool(cold_reports == warm_reports),
         }
     }
-    cpus = os.cpu_count() or 1
+    cpus = _cpus()
     workers = max(2, min(4, cpus))
     for backend in ("thread", "process"):
         par_s, (par_reports, stats) = _best_of(
             lambda: cold(backend, workers), repeats)
+        speedup = round(cold_s / par_s, 2)
         out[f"design_sweep_{backend}"] = {
             "points": len(spec.points()), "samples": spec.samples,
             "backend": backend, "workers": workers, "cpus": cpus,
             "serial_seconds": round(cold_s, 4),
             "parallel_seconds": round(par_s, 4),
-            "speedup": round(cold_s / par_s, 2),
+            "speedup": speedup,
+            "subscale": bool(speedup < 1.0),
             "tasks_dispatched": stats["tasks_dispatched"],
             "shm_bytes": stats["shm_bytes"],
             "pool_engaged": stats["tasks_dispatched"] > 0,
@@ -354,7 +438,7 @@ def bench_store(repeats):
     return {
         "store_cold": {
             "points": len(spec.points), "sources": len(spec.sources),
-            "batch": spec.batch * spec.chunks, "cpus": os.cpu_count() or 1,
+            "batch": spec.batch * spec.chunks, "cpus": _cpus(),
             "no_store_seconds": round(base_s, 4),
             "seconds": round(cold_s, 4),
             "write_overhead_pct": round(100 * (cold_s / base_s - 1), 2),
@@ -363,7 +447,7 @@ def bench_store(repeats):
         },
         "store_warm": {
             "points": len(spec.points), "sources": len(spec.sources),
-            "batch": spec.batch * spec.chunks, "cpus": os.cpu_count() or 1,
+            "batch": spec.batch * spec.chunks, "cpus": _cpus(),
             "cold_seconds": round(cold_s, 4),
             "seconds": round(warm_s, 4),
             "speedup": round(cold_s / warm_s, 2),
@@ -405,7 +489,7 @@ def bench_service(repeats):
     return {
         "service_round_trip": {
             "points": len(spec.points), "sources": len(spec.sources),
-            "batch": spec.batch * spec.chunks, "cpus": os.cpu_count() or 1,
+            "batch": spec.batch * spec.chunks, "cpus": _cpus(),
             "first_seconds": round(first_s, 4),
             "seconds": round(warm_s, 4),
             "speedup": round(first_s / warm_s, 2),
@@ -418,9 +502,10 @@ def bench_service(repeats):
 
 
 def bench_kernels_and_session(repeats):
-    return {**bench_kernels(repeats), **bench_session(repeats),
-            **bench_chunk_block(repeats), **bench_design_space(repeats),
-            **bench_store(repeats), **bench_service(repeats)}
+    return {**bench_kernels(repeats), **bench_engine_modes(repeats),
+            **bench_session(repeats), **bench_chunk_block(repeats),
+            **bench_design_space(repeats), **bench_store(repeats),
+            **bench_service(repeats)}
 
 
 def bench_fig3(repeats):
@@ -498,6 +583,13 @@ def main(argv=None) -> int:
             if "seed_seconds" in r:
                 print(f"  seed {r['seed_seconds']}s -> engine {r['engine_seconds']}s "
                       f"({r['speedup']}x, results {mark})")
+            elif "unfused_seconds" in r:
+                print(f"  unfused {r['unfused_seconds']}s -> fused "
+                      f"{r['fused_seconds']}s ({r['speedup']}x, results {mark})")
+            elif "int32_seconds" in r:
+                print(f"  int32 {r['int32_seconds']}s -> forced int64 "
+                      f"{r['int64_seconds']}s ({r['int64_cost']}x cost, "
+                      f"results {mark})")
             elif "overhead_pct" in r:
                 print(f"  engine {r['engine_seconds']}s -> session {r['session_seconds']}s "
                       f"({r['overhead_pct']:+.2f}% overhead, results {mark})")
@@ -517,9 +609,12 @@ def main(argv=None) -> int:
                 print(f"  cold sweep {r['cold_seconds']}s -> warm {r['warm_seconds']}s "
                       f"({r['speedup']}x, {r['points']} design points, results {mark})")
             else:
+                flag = (f" [flagged: sub-1x with {r['workers']} workers on a "
+                        f"{r['cpus']}-cpu host]" if r.get("subscale") else "")
                 print(f"  serial {r['serial_seconds']}s -> {r['workers']} "
                       f"{r.get('backend', 'thread')} workers "
-                      f"{r['parallel_seconds']}s ({r['speedup']}x, results {mark})")
+                      f"{r['parallel_seconds']}s ({r['speedup']}x, "
+                      f"results {mark}){flag}")
             failed |= not r.get("identical")
         path = out_dir / filename
         with open(path, "w") as fh:

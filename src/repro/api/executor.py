@@ -22,9 +22,16 @@ truly million-sample sweeps can use real processes:
     ``multiprocessing.shared_memory`` via the
     :meth:`~repro.ipu.engine.PackedOperands.to_buffers` codec, and workers
     reconstruct zero-copy views (:meth:`from_buffers`) before running their
-    span. Segments are unlinked as soon as the call completes; the
-    ``live_segments`` property and the cleanup test pin that no segment
-    outlives :meth:`close`.
+    span. Kernel *results* are zero-copy too, symmetric with the operand
+    path: the parent preallocates one shared block (a file in ``/dev/shm``)
+    laid out per :func:`_result_layout`, workers write their span's exact
+    register values straight into it through ``fp_ip_points(out=...)`` and
+    return ``None``, and the parent wraps views — no kernel output is ever
+    pickled (``results_pickled`` stays 0). ``shm_bytes`` splits into
+    ``shm_bytes_tx`` (operand segments out) and ``shm_bytes_rx`` (result
+    blocks back). Segments and result files are unlinked as soon as the
+    call completes; the ``live_segments``/``live_result_files`` properties
+    and the cleanup tests pin that neither outlives :meth:`close`.
 
 Task splitting is **chunk-granular**: spans along the leading batch axis are
 aligned to the engine's cache-sized row blocks
@@ -41,6 +48,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import tempfile
 import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import contextmanager
@@ -49,6 +57,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro.fp.formats import np_float_dtype
 from repro.ipu.engine import (
     FPIPBatchResult,
     PackedOperands,
@@ -181,9 +190,12 @@ class SerialExecutor:
         self.workers = 1
         self.tasks_dispatched = 0
         self.shm_bytes = 0
+        self.shm_bytes_tx = 0
+        self.shm_bytes_rx = 0
+        self.results_pickled = 0
 
-    def run_points(self, pa, pb, points, shape, chunk_rows=None):
-        return fp_ip_points(pa, pb, points, chunk_rows=chunk_rows)
+    def run_points(self, pa, pb, points, shape, chunk_rows=None, engine=None):
+        return fp_ip_points(pa, pb, points, chunk_rows=chunk_rows, engine=engine)
 
     def map(self, fn, items) -> list:
         return [fn(item) for item in items]
@@ -209,6 +221,9 @@ class ThreadExecutor:
         self.workers = max(1, int(workers))
         self.tasks_dispatched = 0
         self.shm_bytes = 0
+        self.shm_bytes_tx = 0
+        self.shm_bytes_rx = 0
+        self.results_pickled = 0
         self._pool: ThreadPoolExecutor | None = None
         self._lock = threading.Lock()
 
@@ -219,16 +234,17 @@ class ThreadExecutor:
                     max_workers=self.workers, thread_name_prefix="repro-exec")
             return self._pool
 
-    def run_points(self, pa, pb, points, shape, chunk_rows=None):
+    def run_points(self, pa, pb, points, shape, chunk_rows=None, engine=None):
         dim0 = shape[0]
         inner = int(np.prod(shape[1:-1], dtype=np.int64))
         spans = chunk_spans(dim0, inner, shape[-1], self.workers, chunk_rows)
         if len(spans) <= 1:
-            return fp_ip_points(pa, pb, points, chunk_rows=chunk_rows)
+            return fp_ip_points(pa, pb, points, chunk_rows=chunk_rows, engine=engine)
         pool = self._ensure_pool()
         futures = [
             pool.submit(fp_ip_points, _slab(pa, shape, lo, hi),
-                        _slab(pb, shape, lo, hi), points, chunk_rows)
+                        _slab(pb, shape, lo, hi), points, chunk_rows,
+                        None, engine)
             for lo, hi in spans
         ]
         with self._lock:
@@ -260,6 +276,56 @@ class ThreadExecutor:
 
 
 # -- process backend ----------------------------------------------------------
+
+# Result blocks live as plain files in /dev/shm (tmpfs) rather than
+# multiprocessing.shared_memory segments: a file + mmap needs no resource
+# tracker bookkeeping in either process, and the parent can unlink it the
+# moment the futures resolve while its mapped views stay valid.
+_RESULT_DIR = "/dev/shm" if os.path.isdir("/dev/shm") else None
+
+
+def _result_layout(points, rows: int) -> tuple[list, int]:
+    """Field layout of one result block: per point, five row-length arrays
+    (values, rounded, max_exp, alignment_cycles, total_cycles), each
+    16-byte aligned — the result-side mirror of :func:`_export_plan`."""
+    layout, total = [], 0
+    for p in points:
+        fields = []
+        for dstr in ("<f8", np.dtype(np_float_dtype(p.acc_fmt)).str,
+                     "<i8", "<i8", "<i8"):
+            total = -(-total // 16) * 16
+            fields.append((total, dstr))
+            total += rows * np.dtype(dstr).itemsize
+        layout.append(fields)
+    return layout, max(total, 1)
+
+
+def _create_result_file(nbytes: int) -> str:
+    """Preallocate a result block; returns its path (parent unlinks it)."""
+    fd, path = tempfile.mkstemp(prefix="repro-result-", dir=_RESULT_DIR)
+    try:
+        os.ftruncate(fd, nbytes)
+    finally:
+        os.close(fd)
+    return path
+
+
+def _result_views(mm, layout, rows: int) -> list[tuple[np.ndarray, ...]]:
+    """Per-point 5-tuples of flat row-length views into a mapped block."""
+    return [
+        tuple(np.frombuffer(mm, np.dtype(dstr), count=rows, offset=off)
+              for off, dstr in fields)
+        for fields in layout
+    ]
+
+
+def _close_memmap(mm) -> None:
+    """Drop a worker's result mapping; tolerate lingering view exports."""
+    try:
+        mm._mmap.close()  # noqa: SLF001
+    except (BufferError, AttributeError):
+        pass
+
 
 def _export_plan(plan: PackedOperands) -> tuple[shared_memory.SharedMemory, dict]:
     """Copy a plan's planes into one shared-memory segment.
@@ -325,25 +391,46 @@ def _release_plan(shm: shared_memory.SharedMemory) -> None:
         pass
 
 
-def _kernel_task(desc_a, desc_b, shape, lo, hi, points, chunk_rows, own_tracker):
-    """One span of fp_ip_points against shared-memory operand plans."""
+def _kernel_task(desc_a, desc_b, shape, lo, hi, points, chunk_rows, own_tracker,
+                 engine, result):
+    """One span of fp_ip_points against shared-memory operand plans.
+
+    ``result`` describes the parent's preallocated result block; the span's
+    outputs are written straight into its ``[lo, hi)`` rows and nothing is
+    returned — the kernel output never crosses the process boundary as a
+    pickle.
+    """
     shape = tuple(shape)
     shm_a, pa = _attach_plan(desc_a, own_tracker)
     shm_b, pb = _attach_plan(desc_b, own_tracker)
+    mm = None
     try:
         slab_a = _slab(pa, shape, lo, hi)
         slab_b = _slab(pb, shape, lo, hi)
-        results = fp_ip_points(slab_a, slab_b, points, chunk_rows=chunk_rows)
-        return [(r.values, r.rounded, r.max_exp, r.alignment_cycles, r.total_cycles)
-                for r in results]
+        inner = int(np.prod(shape[1:-1], dtype=np.int64))
+        mm = np.memmap(result["path"], dtype=np.uint8, mode="r+",
+                       shape=(result["total"],))
+        slots = [
+            tuple(a[lo * inner:hi * inner] for a in slot)
+            for slot in _result_views(mm, result["layout"], result["rows"])
+        ]
+        fp_ip_points(slab_a, slab_b, points, chunk_rows=chunk_rows,
+                     engine=engine, out=slots)
+        return None
     finally:
         del pa, pb
         try:
             del slab_a, slab_b
         except NameError:
             pass
+        try:
+            del slots
+        except NameError:
+            pass
         _release_plan(shm_a)
         _release_plan(shm_b)
+        if mm is not None:
+            _close_memmap(mm)
 
 
 class ProcessExecutor:
@@ -361,11 +448,18 @@ class ProcessExecutor:
         self.workers = max(1, int(workers))
         self.tasks_dispatched = 0
         self.shm_bytes = 0
+        self.shm_bytes_tx = 0
+        self.shm_bytes_rx = 0
+        # kernel-output tuples returned through pickling; the zero-copy
+        # result path keeps this at 0 (pinned by the session stats test)
+        self.results_pickled = 0
         self.last_segments: list[str] = []
+        self.last_result_files: list[str] = []
         self._start_method = ("fork" if "fork" in multiprocessing.get_all_start_methods()
                               else multiprocessing.get_start_method(allow_none=False))
         self._pool: ProcessPoolExecutor | None = None
         self._live: dict[str, shared_memory.SharedMemory] = {}
+        self._live_results: list[str] = []
         self._scope_depth = 0
         # id(plan) -> (plan, descriptor); the plan reference pins the id so
         # it cannot be recycled onto a different object mid-scope
@@ -377,6 +471,12 @@ class ProcessExecutor:
         """Names of shared-memory segments currently owned (not yet unlinked)."""
         with self._lock:
             return sorted(self._live)
+
+    @property
+    def live_result_files(self) -> list[str]:
+        """Result-block paths currently on disk (not yet unlinked)."""
+        with self._lock:
+            return sorted(self._live_results)
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         with self._lock:
@@ -410,6 +510,7 @@ class ProcessExecutor:
     def _register(self, shm: shared_memory.SharedMemory) -> None:
         self._live[shm.name] = shm
         self.shm_bytes += shm.size
+        self.shm_bytes_tx += shm.size
         self.last_segments.append(shm.name)
 
     def _export(self, plan: PackedOperands) -> tuple[dict, bool]:
@@ -446,18 +547,33 @@ class ProcessExecutor:
                 except FileNotFoundError:
                     pass
 
-    def run_points(self, pa, pb, points, shape, chunk_rows=None):
+    def _unlink_result(self, path: str) -> None:
+        """Unlink a result block; the parent's mapped views stay valid."""
+        with self._lock:
+            if path in self._live_results:
+                self._live_results.remove(path)
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            pass
+
+    def run_points(self, pa, pb, points, shape, chunk_rows=None, engine=None):
         dim0 = shape[0]
         inner = int(np.prod(shape[1:-1], dtype=np.int64))
         spans = chunk_spans(dim0, inner, shape[-1], self.workers, chunk_rows)
         if len(spans) <= 1:
-            return fp_ip_points(pa, pb, points, chunk_rows=chunk_rows)
+            return fp_ip_points(pa, pb, points, chunk_rows=chunk_rows, engine=engine)
         pool = self._ensure_pool()
         with self._lock:
             if self._scope_depth == 0:
                 self.last_segments = []
+            self.last_result_files = []
         own_tracker = self._start_method != "fork"
+        rows = dim0 * inner
+        lead = tuple(shape[:-1])
+        layout, total = _result_layout(points, rows)
         exported: list[tuple[dict, bool]] = []
+        path = None
         try:  # exports inside the try so a failed second export still cleans up
             desc_a, defer_a = self._export(pa)
             exported.append((desc_a, defer_a))
@@ -466,20 +582,35 @@ class ProcessExecutor:
             else:
                 desc_b, defer_b = self._export(pb)
                 exported.append((desc_b, defer_b))
+            path = _create_result_file(total)
+            with self._lock:
+                self._live_results.append(path)
+                self.last_result_files.append(path)
+                self.shm_bytes += total
+                self.shm_bytes_rx += total
+            mm = np.memmap(path, dtype=np.uint8, mode="r+", shape=(total,))
+            result_desc = {"path": path, "total": total,
+                           "layout": layout, "rows": rows}
             futures = [
                 pool.submit(_kernel_task, desc_a, desc_b, tuple(shape),
-                            lo, hi, points, chunk_rows, own_tracker)
+                            lo, hi, points, chunk_rows, own_tracker,
+                            engine, result_desc)
                 for lo, hi in spans
             ]
             with self._lock:
                 self.tasks_dispatched += len(futures)
-            slabs = [
-                [FPIPBatchResult(*arrays) for arrays in f.result()]
-                for f in futures
-            ]
+            for f in futures:
+                if f.result() is not None:  # pragma: no cover - defensive
+                    self.results_pickled += 1
+            slots = _result_views(mm, layout, rows)
         finally:
             self._unlink([desc["name"] for desc, defer in exported if not defer])
-        return _concat_results(slabs)
+            if path is not None:
+                self._unlink_result(path)
+        return [
+            FPIPBatchResult(*(a.reshape(lead) for a in slot))
+            for slot in slots
+        ]
 
     def map(self, fn, items) -> list:
         raise TypeError(
@@ -501,11 +632,17 @@ class ProcessExecutor:
         with self._lock:
             pool, self._pool = self._pool, None
             live, self._live = dict(self._live), {}
+            live_results, self._live_results = list(self._live_results), []
             self._scope_exports = {}
         for shm in live.values():
             _release_plan(shm)
             try:
                 shm.unlink()
+            except FileNotFoundError:
+                pass
+        for path in live_results:
+            try:
+                os.unlink(path)
             except FileNotFoundError:
                 pass
         if pool is not None:

@@ -42,6 +42,7 @@ from repro.ipu.engine import (
     default_chunk_rows,
     fp_ip_points,
     pack_operands,
+    resolve_engine,
 )
 from repro.ipu.reference import cpu_fp32_dot_batch
 from repro.store import ResultStore
@@ -61,10 +62,14 @@ MIN_PARALLEL_ROWS = 4096
 class SessionStats:
     """Plan-cache and executor counters (observability for sizing decisions).
 
-    ``backend``/``workers`` describe the execution backend;
-    ``tasks_dispatched`` counts tasks actually handed to a pool and
-    ``shm_bytes`` the cumulative shared-memory traffic (process backend
-    only) — benchmark JSON asserts on these to prove the pool engaged.
+    ``backend``/``workers`` describe the execution backend and ``engine``
+    the resolved kernel engine; ``tasks_dispatched`` counts tasks actually
+    handed to a pool and ``shm_bytes`` the cumulative shared-memory traffic
+    (process backend only), split into ``shm_bytes_tx`` (operand plans out)
+    and ``shm_bytes_rx`` (result blocks back). ``results_pickled`` counts
+    kernel outputs that crossed the process boundary as pickles — the
+    zero-copy result path keeps it at 0 (asserted by the parity tests).
+    Benchmark JSON asserts on these to prove the pool engaged.
     """
 
     plan_hits: int = 0
@@ -75,8 +80,12 @@ class SessionStats:
     parallel_batches: int = 0
     backend: str = "serial"
     workers: int = 1
+    engine: str = "numpy"
     tasks_dispatched: int = 0
     shm_bytes: int = 0
+    shm_bytes_tx: int = 0
+    shm_bytes_rx: int = 0
+    results_pickled: int = 0
 
     def as_dict(self) -> dict:
         return asdict(self)
@@ -155,6 +164,13 @@ class EmulationSession:
         :class:`repro.api.executor.ExecutorSpec`, or a spec dict. ``None``
         keeps the historical convention — threads when ``workers > 1``,
         serial otherwise.
+    engine:
+        Kernel engine for every emulation this session runs
+        (:data:`repro.ipu.engine.ENGINES`): ``"numpy"`` (fused, default),
+        ``"numpy-unfused"`` (the reference kernels), or ``"compiled"``
+        (numba-jitted; falls back to ``"numpy"`` when numba is absent).
+        ``None`` honors the ``REPRO_ENGINE`` environment variable. Engines
+        are bit-identical — this changes wall-clock only.
     store:
         A :class:`repro.store.ResultStore` (or a directory path) persisting
         :meth:`sweep` results across processes: completed per-source results
@@ -172,6 +188,7 @@ class EmulationSession:
         chunk_rows: int | None = None,
         backend=None,
         store=None,
+        engine: str | None = None,
     ):
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -180,8 +197,10 @@ class EmulationSession:
         self.workers = self.executor.workers
         self.plan_cache_bytes = plan_cache_bytes
         self.chunk_rows = chunk_rows
+        self.engine = engine
         self.stats = SessionStats(backend=self.executor.name,
-                                  workers=self.executor.workers)
+                                  workers=self.executor.workers,
+                                  engine=resolve_engine(engine))
         self._plans: OrderedDict[tuple, PackedOperands] = OrderedDict()
         self._plan_lock = threading.Lock()  # callers may share one session
         self._weight_plans: dict = {}
@@ -201,6 +220,9 @@ class EmulationSession:
     def _sync_executor_stats(self) -> None:
         self.stats.tasks_dispatched = self.executor.tasks_dispatched
         self.stats.shm_bytes = self.executor.shm_bytes
+        self.stats.shm_bytes_tx = getattr(self.executor, "shm_bytes_tx", 0)
+        self.stats.shm_bytes_rx = getattr(self.executor, "shm_bytes_rx", 0)
+        self.stats.results_pickled = getattr(self.executor, "results_pickled", 0)
 
     def __enter__(self) -> "EmulationSession":
         return self
@@ -343,19 +365,22 @@ class EmulationSession:
         return self.executor.plan_scope()
 
     def _run_points(self, pa: PackedOperands, pb: PackedOperands,
-                    points: list[KernelPoint]):
+                    points: list[KernelPoint], engine: str | None = None):
         """fp_ip_points through the execution backend when profitable."""
         if self._closed:
             raise RuntimeError("session is closed")
+        engine = self.engine if engine is None else engine
         shape = self._pair_shape(pa, pb)
         rows = int(np.prod(shape[:-1], dtype=np.int64))
         self.stats.kernel_rows += rows * len(points)
         if (self.executor.workers <= 1 or shape[0] <= 1
                 or rows < MIN_PARALLEL_ROWS):
-            return fp_ip_points(pa, pb, points, chunk_rows=self.chunk_rows)
+            return fp_ip_points(pa, pb, points, chunk_rows=self.chunk_rows,
+                                engine=engine)
         self.stats.parallel_batches += 1
         results = self.executor.run_points(pa, pb, points, shape,
-                                           chunk_rows=self.chunk_rows)
+                                           chunk_rows=self.chunk_rows,
+                                           engine=engine)
         self._sync_executor_stats()
         return results
 
@@ -370,7 +395,8 @@ class EmulationSession:
     # -- streaming ----------------------------------------------------------
 
     def _stream_kernels(self, pa: PackedOperands, pb: PackedOperands,
-                        kernels: list[KernelPoint], chunk_rows: int | None = None):
+                        kernels: list[KernelPoint], chunk_rows: int | None = None,
+                        engine: str | None = None):
         """Yield ``(start, stop, results)`` per leading-axis block.
 
         The raw streaming core: no accumulator write-back, results carry the
@@ -385,7 +411,8 @@ class EmulationSession:
         shape = self._pair_shape(pa, pb)
         for start, stop in self._block_spans(shape, chunk_rows):
             yield start, stop, self._run_points(
-                _slab(pa, shape, start, stop), _slab(pb, shape, start, stop), kernels)
+                _slab(pa, shape, start, stop), _slab(pb, shape, start, stop),
+                kernels, engine)
 
     def _block_spans(self, shape, chunk_rows: int | None = None) -> list[tuple[int, int]]:
         """The streaming block boundaries over a pair shape's leading axis."""
@@ -485,7 +512,7 @@ class EmulationSession:
         # point variants share them), so drop the fields they don't depend on
         if cacheable:
             operand_dict = spec.to_dict()
-            for field in ("name", "executor", "points"):
+            for field in ("name", "executor", "engine", "points"):
                 operand_dict.pop(field, None)
         kernels, index = _dedup_kernels(spec.points)
         # the stored chunk payloads are exact register values, which are
@@ -529,7 +556,8 @@ class EmulationSession:
                             buf[start:stop] = arrays[f"k{k}"]
                         continue
                 chunk = self._run_points(_slab(pa, shape, start, stop),
-                                         _slab(pb, shape, start, stop), kernels)
+                                         _slab(pb, shape, start, stop), kernels,
+                                         spec.engine)
                 for buf, res in zip(values, chunk):
                     buf[start:stop] = res.values
                 if cacheable:

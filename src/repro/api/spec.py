@@ -22,7 +22,7 @@ from pathlib import Path
 from repro.fp.registry import AccumulatorSpec, parse_accumulator, parse_format
 from repro.hw.designs import TABLE1_PRECISIONS, Design
 from repro.hw.registry import format_tile, parse_design, parse_tile, register_design
-from repro.ipu.engine import KernelPoint
+from repro.ipu.engine import ENGINES, KernelPoint
 from repro.store.fingerprint import fingerprint as _fingerprint
 from repro.tile.config import TileConfig
 
@@ -53,12 +53,14 @@ def _load_spec_json(source: str | Path) -> dict:
 
 def _result_fingerprint(tag: str, d: dict) -> str:
     """Stable result key for a spec dict: drops the fields that never change
-    results (``name`` labels output, ``executor`` only changes wall-clock),
-    so replays of one grid land on one store entry / one coalesced request
-    regardless of presentation or backend choice."""
+    results (``name`` labels output, ``executor`` and ``engine`` only change
+    wall-clock — all kernel engines are bit-identical), so replays of one
+    grid land on one store entry / one coalesced request regardless of
+    presentation or backend/engine choice."""
     d = dict(d)
     d.pop("name", None)
     d.pop("executor", None)
+    d.pop("engine", None)
     return _fingerprint({tag: d})
 
 
@@ -130,6 +132,14 @@ class RunSpec:
     ``session.sweep`` runs on the session's backend regardless (pass
     ``EmulationSession(backend=spec.executor)`` to honor it). The backend
     never changes results — only wall-clock.
+
+    ``engine`` optionally pins the kernel engine
+    (:data:`repro.ipu.engine.ENGINES`: ``"numpy"`` / ``"numpy-unfused"`` /
+    ``"compiled"``). Unlike ``executor``, this field *is* honored by
+    ``session.sweep`` directly (overriding the session's engine) — engines
+    are bit-identical, so like the backend it never changes results, and
+    both are excluded from the result fingerprint. ``"compiled"`` falls
+    back to ``"numpy"`` when numba is absent.
     """
 
     name: str = "sweep"
@@ -141,6 +151,7 @@ class RunSpec:
     chunks: int = 1
     seed: int = 0
     executor: ExecutorSpec | None = None
+    engine: str | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "sources", tuple(self.sources))
@@ -150,6 +161,9 @@ class RunSpec:
         ))
         if self.executor is not None and not isinstance(self.executor, ExecutorSpec):
             object.__setattr__(self, "executor", ExecutorSpec.from_dict(self.executor))
+        if self.engine is not None and self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}")
         fmt = parse_format(self.operand_format)
         if fmt.name not in ("fp16", "fp32"):
             # the vectorized engine decodes through native NumPy dtypes only

@@ -105,14 +105,18 @@ def _session_executor(spec_executor, backend: str | None, workers: int | None):
 
 
 def _run_spec(path: str, workers: int | None, backend: str | None = None,
-              store: str | None = None) -> str:
+              store: str | None = None, engine: str | None = None) -> str:
     """Replay a declarative RunSpec JSON through an emulation session."""
+    from dataclasses import replace
+
     from repro.api import EmulationSession, RunSpec, render_sweep
 
     try:  # bad files/specs exit cleanly; sweep bugs must keep their traceback
         spec = RunSpec.from_json(path)
     except (OSError, ValueError, KeyError, TypeError) as exc:
         raise SystemExit(f"cannot load spec {path!r}: {exc}")
+    if engine is not None:  # CLI overrides the spec's pinned engine
+        spec = replace(spec, engine=engine)
     executor = _session_executor(spec.executor, backend, workers)
     with EmulationSession(backend=executor, store=store) as session:
         sweep = session.sweep(spec)
@@ -209,6 +213,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="execution backend for --spec/--design-spec/--serve "
                              "runs (overrides the spec's executor field; results "
                              "are bit-identical across backends)")
+    parser.add_argument("--engine", choices=("numpy", "numpy-unfused", "compiled"),
+                        default=None,
+                        help="kernel engine for --spec runs (overrides the "
+                             "spec's engine field; engines are bit-identical — "
+                             "'compiled' needs numba and falls back to numpy)")
     parser.add_argument("--store", metavar="DIR", default=None,
                         help="persistent result store directory for --spec/"
                              "--design-spec/--serve runs (warm replays are "
@@ -244,6 +253,7 @@ def main(argv: list[str] | None = None) -> int:
     for flag, on, needs in (
         ("--backend", args.backend is not None, session_modes),
         ("--workers", args.workers is not None, session_modes),
+        ("--engine", args.engine is not None, {"--spec"}),
         ("--store", args.store is not None, session_modes),
         ("--port", args.port is not None, {"--serve"}),
         ("--url", args.url is not None, {"--submit"}),
@@ -262,10 +272,14 @@ def main(argv: list[str] | None = None) -> int:
         return _submit(args)
     if args.spec is not None or args.design_spec is not None:
         path = args.spec if args.spec is not None else args.design_spec
-        runner = _run_spec if args.spec is not None else _run_design_spec
         start = time.time()
         try:
-            output = runner(path, args.workers, args.backend, args.store)
+            if args.spec is not None:
+                output = _run_spec(path, args.workers, args.backend, args.store,
+                                   args.engine)
+            else:
+                output = _run_design_spec(path, args.workers, args.backend,
+                                          args.store)
         except SystemExit as exc:
             print(exc, file=sys.stderr)
             return 2

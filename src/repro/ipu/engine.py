@@ -1,4 +1,4 @@
-"""Prepacked IPU emulation engine: decode-once plans + diagonal nibble kernels.
+"""Prepacked IPU emulation engine: decode-once plans + fused diagonal kernels.
 
 The seed emulation (:func:`repro.ipu.vectorized.fp_ip_batch`) re-decodes and
 re-nibbles its operands on every call, which makes large sweeps pay the FP
@@ -20,25 +20,45 @@ decode (~half the runtime) once per *sweep point* instead of once per
     sums, alignment shifts) is computed once and shared by all points, and
     each point then runs the nibble kernel while the chunk is hot in cache.
 
-The kernel itself is restructured around the identity that the accumulator
-register shift of nibble pass ``(i, j)`` depends only on the diagonal
-``d = i + j``: passes are iterated in 2K-1 diagonal groups and, whenever the
-register shift is a left shift (exact), the group's adder-tree results are
-summed before a single register update. When the register shift is a right
-shift the golden model floors *per pass*, so the kernel does too — grouping
-is applied exactly where it is bit-neutral, keeping the engine bit-identical
-to the scalar golden model in :mod:`repro.ipu.ipu`.
+Three engines implement the kernel (selected by the ``engine`` argument or
+the ``REPRO_ENGINE`` environment variable; see :func:`resolve_engine`):
 
-Two further mechanical wins: the nibble operands are pre-shifted by the safe
-precision once per point instead of shifting every product, and the whole
+``numpy`` (default) — the **fused** kernels. One work tensor of shape
+    ``(K, K, rows, n)`` holds every nibble pass of a chunk with the pass
+    axes outermost, so each numpy op streams long contiguous lanes instead
+    of 9 short strided passes. All single-cycle points of one work dtype
+    share a single product tensor computed at the *highest* safe precision
+    of the group; each lower precision is derived by one scalar in-place
+    shift, which is exact because nested floors compose
+    (``floor(floor(x/2^a)/2^b) == floor(x/2^(a+b))``). Per-point lane
+    masking folds into the reduction (``einsum("ijkl,kl->ijk")``), so no
+    masked temporary is ever materialized. The MC serve loop hoists the
+    product out of the cycle loop and, when the adder-tree words provably
+    fit (see ``_pair_headroom``), serves two cycles per numpy op by scaling
+    the earlier cycle's words into the high bits of the shared lanes
+    (int64 multi-nibble packing). One buffer pool is reused across all
+    chunks and points of a call.
+
+``numpy-unfused`` — the previous per-pass kernels, kept as the reference
+    implementation and the baseline for the fused-vs-unfused benchmark rows.
+
+``compiled`` — optional numba-jitted scalar core
+    (:mod:`repro.ipu.engine_compiled`); falls back to ``numpy`` when numba
+    is not installed. Bit-identical by the parity suite.
+
+Every engine is bit-identical to the scalar golden model in
+:mod:`repro.ipu.ipu`: register shifts of nibble pass ``(i, j)`` depend only
+on the diagonal ``d = i + j``; left register shifts (exact) may group a
+diagonal's adder-tree results before one register update, while right
+shifts floor *per pass* exactly as the golden accumulator does. The whole
 chunk pipeline runs in int32 whenever the adder-tree words provably fit
 (``n * 225 * 2**sp < 2**31``), halving memory traffic for the common
-precisions. Both paths produce identical bits; the int32 gate only selects
-the storage width.
+precisions; the int32 gate only selects the storage width.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -47,7 +67,7 @@ from repro.fp.formats import FP16, FP32, FPFormat, np_float_dtype
 from repro.fp.vecfloat import decode_array
 from repro.ipu.accumulator import ACC_FRACTION_BITS
 from repro.ipu.ehu import serve_cycles
-from repro.ipu.theory import MAX_FP16_PRODUCT_SHIFT, safe_precision
+from repro.ipu.theory import MAX_FP16_PRODUCT_SHIFT, PRODUCT_MAGNITUDE_BITS, safe_precision
 from repro.nibble.decompose import NIBBLE_BITS, fp_magnitude_nibbles_vec, fp_nibble_weight_exp
 
 __all__ = [
@@ -60,6 +80,11 @@ __all__ = [
     "fp_ip_points",
     "DEFAULT_CHUNK_ELEMENTS",
     "default_chunk_rows",
+    "ENGINES",
+    "DEFAULT_ENGINE",
+    "resolve_engine",
+    "available_engines",
+    "compiled_available",
 ]
 
 # Per-chunk work buffers are (rows, n) in int32/int64; 64Ki elements keeps
@@ -70,11 +95,51 @@ __all__ = [
 # benchmarks/report.py: chunk_block).
 DEFAULT_CHUNK_ELEMENTS = 1 << 16
 
+# Largest |product| of two 5-bit signed nibble operands (-16*15 or 15*15).
+_PRODUCT_MAG = (1 << (PRODUCT_MAGNITUDE_BITS - 1)) - 31  # 225
+
 
 def default_chunk_rows(n: int) -> int:
     """Result rows per work chunk so one chunk holds DEFAULT_CHUNK_ELEMENTS
     lane elements. Every chunked consumer sizes its blocks from this."""
     return max(1, DEFAULT_CHUNK_ELEMENTS // max(n, 1))
+
+
+# -- engine selection ---------------------------------------------------------
+
+ENGINES = ("numpy", "numpy-unfused", "compiled")
+DEFAULT_ENGINE = "numpy"
+
+
+def compiled_available() -> bool:
+    """True when the numba-compiled kernel core can actually run."""
+    from repro.ipu import engine_compiled
+
+    return engine_compiled.available()
+
+
+def available_engines() -> tuple[str, ...]:
+    """The engine names that will run on this host (no silent fallback)."""
+    names = ["numpy", "numpy-unfused"]
+    if compiled_available():
+        names.append("compiled")
+    return tuple(names)
+
+
+def resolve_engine(engine: str | None = None) -> str:
+    """Resolve an engine request to a runnable engine name.
+
+    ``None`` consults ``REPRO_ENGINE`` and falls back to the default.
+    Requesting ``compiled`` without numba resolves to ``numpy`` (graceful
+    fallback — the engines are bit-identical, so this never changes
+    results, only speed). Unknown names raise.
+    """
+    name = engine if engine is not None else (os.environ.get("REPRO_ENGINE") or DEFAULT_ENGINE)
+    if name not in ENGINES:
+        raise ValueError(f"unknown engine {name!r}; expected one of {ENGINES}")
+    if name == "compiled" and not compiled_available():
+        return DEFAULT_ENGINE
+    return name
 
 
 @dataclass
@@ -144,7 +209,7 @@ class _ResolvedPoint:
         ``|word| <= 225 << up`` and the int32 path clamps dead shifts at 31,
         which is only floor-equivalent while ``9 + up <= 31``.
         """
-        if self.up <= 22 and (n * 225) << self.up < 2**31:
+        if self.up <= 22 and (n * _PRODUCT_MAG) << self.up < 2**31:
             return np.int32
         return np.int64
 
@@ -281,10 +346,11 @@ def fp_ip_packed(
     acc_fmt: FPFormat = FP32,
     multi_cycle: bool = False,
     chunk_rows: int | None = None,
+    engine: str | None = None,
 ) -> FPIPBatchResult:
     """Emulate one kernel configuration over a packed operand pair."""
     point = KernelPoint(adder_width, software_precision, multi_cycle, acc_fmt)
-    return fp_ip_points(pa, pb, [point], chunk_rows=chunk_rows)[0]
+    return fp_ip_points(pa, pb, [point], chunk_rows=chunk_rows, engine=engine)[0]
 
 
 def fp_ip_points(
@@ -293,16 +359,27 @@ def fp_ip_points(
     points: list[KernelPoint],
     chunk_rows: int | None = None,
     work_dtype=None,
+    engine: str | None = None,
+    out: list[tuple[np.ndarray, ...]] | None = None,
 ) -> list[FPIPBatchResult]:
     """Run every kernel point against one operand pair, chunk by chunk.
 
     ``pa``/``pb`` broadcast against each other over their leading axes (a
     single weight plan row against a batch of activation plans, say); the
     results carry the broadcast leading shape. ``work_dtype`` overrides the
-    int32/int64 selection (testing hook).
+    int32/int64 selection (testing hook). ``engine`` picks the kernel
+    implementation (:func:`resolve_engine`).
+
+    ``out``, when given, is one 5-tuple of preallocated flat arrays per
+    point — ``(values, rounded, max_exp, alignment_cycles, total_cycles)``,
+    each of length ``rows`` — and the kernel writes results directly into
+    them (the returned results are views). This is the zero-copy result
+    path of the process execution backend: workers write into
+    shared-memory views and nothing is pickled back.
     """
     if pa.fmt.name != pb.fmt.name:
         raise ValueError(f"operand formats differ: {pa.fmt.name} vs {pb.fmt.name}")
+    engine_name = resolve_engine(engine)
     fmt = pa.fmt
     k_total = pa.k_total
     frac = -2 * fp_nibble_weight_exp(fmt, 0)
@@ -318,47 +395,102 @@ def fp_ip_points(
     a_sign, a_exp, a_nib = _broadcast_plan(pa, shape)
     b_sign, b_exp, b_nib = _broadcast_plan(pb, shape)
 
-    values = [np.empty(rows) for _ in resolved]
-    rounded = [np.empty(rows, np_float_dtype(r.point.acc_fmt)) for r in resolved]
-    max_exps = [np.empty(rows, np.int64) for _ in resolved]
-    aligns = [np.empty(rows, np.int64) for _ in resolved]
+    if out is None:
+        values = [np.empty(rows) for _ in resolved]
+        rounded = [np.empty(rows, np_float_dtype(r.point.acc_fmt)) for r in resolved]
+        max_exps = [np.empty(rows, np.int64) for _ in resolved]
+        aligns = [np.empty(rows, np.int64) for _ in resolved]
+        totals = None
+    else:
+        if len(out) != len(resolved):
+            raise ValueError(f"out holds {len(out)} slots for {len(resolved)} points")
+        for slot, r in zip(out, resolved):
+            if len(slot) != 5 or any(a.shape != (rows,) for a in slot):
+                raise ValueError("each out slot must be 5 flat arrays of length rows")
+            if slot[1].dtype != np_float_dtype(r.point.acc_fmt):
+                raise ValueError(
+                    f"out rounded dtype {slot[1].dtype} != {np_float_dtype(r.point.acc_fmt)}")
+        values = [slot[0] for slot in out]
+        rounded = [slot[1] for slot in out]
+        max_exps = [slot[2] for slot in out]
+        aligns = [slot[3] for slot in out]
+        totals = [slot[4] for slot in out]
 
     dim0 = shape[0]
     inner = rows // dim0 if dim0 else 0
     if chunk_rows is None:
         chunk_rows = default_chunk_rows(n)
     block = max(1, chunk_rows // max(inner, 1))
+    bufs = _ChunkBuffers()
 
     for start in range(0, dim0, block):
         stop = min(start + block, dim0)
         r0, r1 = start * inner, stop * inner
         sa = np.ascontiguousarray(a_sign[start:stop]).reshape(-1, n)
         sb = np.ascontiguousarray(b_sign[start:stop]).reshape(-1, n)
-        na = np.ascontiguousarray(a_nib[start:stop]).reshape(-1, n, k_total).astype(np.int32)
-        nb = np.ascontiguousarray(b_nib[start:stop]).reshape(-1, n, k_total).astype(np.int32)
+        cb = sa.shape[0]
         exps = (
             np.ascontiguousarray(a_exp[start:stop]).reshape(-1, n).astype(np.int64)
             + np.ascontiguousarray(b_exp[start:stop]).reshape(-1, n)
         )
         neg = sa ^ sb                                  # product signs
-        np.negative(na, out=na, where=neg[:, :, None])
         max_exp = exps.max(axis=1)                     # (cb,)
         shifts = max_exp[:, None] - exps               # (cb, n) >= 0
         # FP16 alignment shifts are <= 58; clamp defensively below int64's
         # shift limit (masked lanes are zeroed regardless of the shift).
         safe_shift = np.minimum(shifts, MAX_FP16_PRODUCT_SHIFT)
 
-        for idx, r in enumerate(resolved):
-            dtype = work_dtype or r.work_dtype(n)
-            if r.multi_cycle:
-                register, n_align = _mc_chunk(
-                    na, nb, shifts, safe_shift, r, frac, k_total, dtype
-                )
+        regs: list[np.ndarray | None] = [None] * len(resolved)
+        n_aligns: list[np.ndarray | None] = [None] * len(resolved)
+
+        if engine_name == "numpy-unfused":
+            na = np.ascontiguousarray(a_nib[start:stop]).reshape(-1, n, k_total).astype(np.int32)
+            nb = np.ascontiguousarray(b_nib[start:stop]).reshape(-1, n, k_total).astype(np.int32)
+            np.negative(na, out=na, where=neg[:, :, None])
+            for idx, r in enumerate(resolved):
+                dtype = _as_dtype(work_dtype) or r.work_dtype(n)
+                if r.multi_cycle:
+                    regs[idx], n_aligns[idx] = _mc_chunk(
+                        na, nb, shifts, safe_shift, r, frac, k_total, dtype)
+                else:
+                    regs[idx] = _single_cycle_chunk(
+                        na, nb, shifts, safe_shift, r, frac, k_total, dtype)
+        else:
+            # plane layout (K, cb, n): every nibble pass is a long
+            # contiguous lane run, which is what the fused ops stream
+            na_p = np.ascontiguousarray(
+                a_nib[start:stop].reshape(-1, n, k_total).transpose(2, 0, 1),
+                dtype=np.int32)
+            nb_p = np.ascontiguousarray(
+                b_nib[start:stop].reshape(-1, n, k_total).transpose(2, 0, 1),
+                dtype=np.int32)
+            np.negative(na_p, out=na_p, where=neg[None, :, :])
+            if engine_name == "compiled":
+                from repro.ipu import engine_compiled
+
+                engine_compiled.chunk_registers(
+                    na_p, nb_p, shifts, safe_shift, resolved, frac, k_total,
+                    regs, n_aligns)
             else:
-                register = _single_cycle_chunk(
-                    na, nb, shifts, safe_shift, r, frac, k_total, dtype
-                )
-                n_align = np.ones(register.shape[0], dtype=np.int64)
+                groups: dict[type, list[tuple[int, _ResolvedPoint]]] = {}
+                for idx, r in enumerate(resolved):
+                    dtype = _as_dtype(work_dtype) or r.work_dtype(n)
+                    if r.multi_cycle:
+                        regs[idx], n_aligns[idx] = _mc_fused(
+                            na_p, nb_p, shifts, safe_shift, r, frac, k_total,
+                            dtype, bufs)
+                    else:
+                        groups.setdefault(dtype, []).append((idx, r))
+                for dtype, members in groups.items():
+                    _single_cycle_fused(
+                        na_p, nb_p, shifts, safe_shift, members, frac, k_total,
+                        dtype, bufs, regs)
+
+        for idx, r in enumerate(resolved):
+            register = regs[idx]
+            n_align = n_aligns[idx]
+            if n_align is None:
+                n_align = np.ones(cb, dtype=np.int64)
             vals = register.astype(np.float64) * np.exp2(
                 (max_exp - ACC_FRACTION_BITS).astype(np.float64)
             )
@@ -366,6 +498,8 @@ def fp_ip_points(
             rounded[idx][r0:r1] = vals.astype(rounded[idx].dtype)
             max_exps[idx][r0:r1] = max_exp
             aligns[idx][r0:r1] = n_align
+            if totals is not None:
+                totals[idx][r0:r1] = n_align * (k_total * k_total)
 
     iterations = k_total * k_total
     return [
@@ -374,10 +508,18 @@ def fp_ip_points(
             rounded=rounded[i].reshape(lead),
             max_exp=max_exps[i].reshape(lead),
             alignment_cycles=aligns[i].reshape(lead),
-            total_cycles=(aligns[i] * iterations).reshape(lead),
+            total_cycles=(totals[i] if totals is not None
+                          else aligns[i] * iterations).reshape(lead),
         )
         for i in range(len(resolved))
     ]
+
+
+def _as_dtype(work_dtype):
+    """Normalize the ``work_dtype`` testing hook to a scalar type or None."""
+    if work_dtype is None:
+        return None
+    return np.dtype(work_dtype).type
 
 
 def _broadcast_plan(plan: PackedOperands, shape: tuple[int, ...]):
@@ -399,6 +541,203 @@ def _broadcast_plan(plan: PackedOperands, shape: tuple[int, ...]):
 def _diagonal_pairs(d: int, k_total: int):
     return [(i, d - i) for i in range(max(0, d - k_total + 1), min(d, k_total - 1) + 1)]
 
+
+# -- fused numpy kernels ------------------------------------------------------
+
+class _ChunkBuffers:
+    """Work-buffer pool shared across all chunks and points of one call.
+
+    Keyed by (shape, dtype, tag) so the product tensor, its scratch twin,
+    and the tree accumulator each persist across iterations instead of
+    being reallocated per pass (the unfused engine's biggest fixed cost).
+    Buffers are handed out as-is — every consumer fully overwrites what it
+    reads — so reuse cannot alias into results.
+    """
+
+    __slots__ = ("_pool",)
+
+    def __init__(self):
+        self._pool: dict = {}
+
+    def get(self, shape, dtype, tag=0) -> np.ndarray:
+        key = (shape, np.dtype(dtype), tag)
+        buf = self._pool.get(key)
+        if buf is None:
+            buf = self._pool[key] = np.empty(shape, dtype)
+        return buf
+
+
+def _register_from_trees(trees, k_total, frac, sp, coarse, register):
+    """Accumulate adder-tree results (``trees[i, j]`` per pass) into the
+    register: diagonals with a left (exact) register shift are grouped into
+    one update, right shifts floor per pass like the golden model."""
+    for d in range(2 * k_total - 1):
+        shift_left = 4 * d - frac - sp - coarse + ACC_FRACTION_BITS
+        tree_d = None
+        for i, j in _diagonal_pairs(d, k_total):
+            tree = trees[i, j]
+            if shift_left >= 0:
+                tree_d = tree.astype(np.int64) if tree_d is None else tree_d + tree
+            else:
+                register += tree.astype(np.int64) >> (-shift_left)
+        if tree_d is not None:
+            register += tree_d << shift_left
+
+
+def _single_cycle_fused(na_p, nb_p, shifts, safe_shift, members, frac, k_total,
+                        dtype, bufs, out_regs):
+    """All single-cycle points of one work dtype from one product tensor.
+
+    The product is formed once at the group's highest safe precision
+    (operand pre-shift by ``up_top``, then the per-lane alignment shift);
+    each member is then one scalar in-place shift away — exact, because
+    nested floors compose. Lane masks (``shifts >= sw``) are folded into
+    the einsum reduction, so masking costs one (cb, n) cast, not a pass
+    over the work tensor.
+    """
+    cb, n = shifts.shape
+    members = sorted(members, key=lambda m: -m[1].sp)
+    sp_top = members[0][1].sp
+    up_top, down_top = max(sp_top, 0), max(-sp_top, 0)
+    cap = 31 if dtype is np.int32 else 63
+
+    na_g = bufs.get((k_total, cb, n), dtype)
+    np.copyto(na_g, na_p, casting="unsafe")
+    if up_top:
+        na_g <<= up_top
+    nb_g = nb_p
+    if nb_p.dtype != np.dtype(dtype):
+        nb_g = bufs.get((k_total, cb, n), dtype, tag=1)
+        np.copyto(nb_g, nb_p, casting="unsafe")
+    prod = bufs.get((k_total, k_total, cb, n), dtype)
+    np.multiply(na_g[:, None], nb_g[None, :], out=prod)
+    # dead shifts (>= 9 + up) all floor to 0/-1; clamping at the dtype's
+    # shift limit keeps the count defined without changing any result bit
+    rs = np.minimum(safe_shift + down_top, cap).astype(dtype)
+    np.right_shift(prod, rs[None, None], out=prod)
+
+    trees = bufs.get((k_total, k_total, cb), dtype)
+    sp_cur = sp_top
+    for idx, r in members:
+        delta = min(sp_cur - r.sp, cap)
+        if delta:
+            prod >>= delta
+            sp_cur = r.sp
+        masked = shifts >= r.software_precision
+        if masked.any():
+            np.einsum("ijkl,kl->ijk", prod, (~masked).astype(dtype), out=trees)
+        else:
+            np.einsum("ijkl->ijk", prod, out=trees)
+        register = np.zeros(cb, dtype=np.int64)
+        _register_from_trees(trees, k_total, frac, r.sp, 0, register)
+        out_regs[idx] = register
+
+
+def _pair_headroom(up: int, sp: int, dtype) -> bool:
+    """True when two serve cycles can share one lane word: scaling the
+    earlier cycle's adder-tree words by ``2**sp`` must provably fit the
+    work dtype (the int32 fast-path proof, extended by ``sp`` bits)."""
+    cap_bits, bound = (22, 2**31) if dtype is np.int32 else (53, 2**63)
+    return up + sp <= cap_bits and (_PRODUCT_MAG << (up + sp)) < bound
+
+
+def _mc_fused(na_p, nb_p, shifts, safe_shift, r, frac, k_total, dtype, bufs):
+    """Fused MC serve-loop kernel: product hoisted out of the cycle loop,
+    two cycles per numpy op when the packed words fit (``_pair_headroom``).
+
+    In a paired step the earlier cycle's words are left-shifted by ``sp``
+    into the high bits of the shared lanes, so one reduction yields
+    ``T_all = tree_c * 2**sp + tree_next`` per pass. Diagonals whose
+    register shifts are exact for both cycles update straight from
+    ``T_all``; flooring diagonals recover the per-cycle trees exactly
+    (``tree_next`` by a masked per-pass reduction, ``tree_c`` by
+    subtraction — both integer-exact) and floor per pass per cycle like
+    the golden model. Pairing is skipped when a pair would floor more
+    than one pass (measured: the recovery cost outweighs the fused op).
+    """
+    cb, n = shifts.shape
+    sw, sp, up = r.software_precision, r.sp, r.up
+    cap = 31 if dtype is np.int32 else 63
+    masked = shifts >= sw
+    cyc = np.where(masked, -1, serve_cycles(shifts, sp))
+    n_align = np.maximum(cyc.max(axis=1, initial=-1), 0) + 1
+    max_cycles = int(n_align.max(initial=1))
+
+    na_g = bufs.get((k_total, cb, n), dtype)
+    np.copyto(na_g, na_p, casting="unsafe")
+    if up:
+        na_g <<= up
+    nb_g = nb_p
+    if nb_p.dtype != np.dtype(dtype):
+        nb_g = bufs.get((k_total, cb, n), dtype, tag=1)
+        np.copyto(nb_g, nb_p, casting="unsafe")
+    prod = bufs.get((k_total, k_total, cb, n), dtype)
+    np.multiply(na_g[:, None], nb_g[None, :], out=prod)
+
+    pair_fits = _pair_headroom(up, sp, dtype)
+    shifted = bufs.get((k_total, k_total, cb, n), dtype, tag=1)
+    trees = bufs.get((k_total, k_total, cb), dtype)
+    register = np.zeros(cb, dtype=np.int64)
+
+    def floor_passes(cn: int) -> int:
+        return sum(
+            len(_diagonal_pairs(d, k_total))
+            for d in range(2 * k_total - 1)
+            if 4 * d - frac - sp - cn * sp + ACC_FRACTION_BITS < 0
+        )
+
+    c = 0
+    while c < max_cycles:
+        serving = cyc == c
+        if not serving.any():
+            c += 1
+            continue
+        cn = c + 1
+        serving_n = (cyc == cn) if cn < max_cycles else None
+        paired = (pair_fits and serving_n is not None and serving_n.any()
+                  and floor_passes(cn) <= 1)
+        if not paired:
+            t_c = np.clip(safe_shift - c * sp, 0, cap).astype(dtype)
+            np.right_shift(prod, t_c[None, None], out=shifted)
+            np.einsum("ijkl,kl->ijk", shifted, serving.astype(dtype), out=trees)
+            _register_from_trees(trees, k_total, frac, sp, c * sp, register)
+            c += 1
+            continue
+        either = serving | serving_n
+        t_pair = np.where(serving, safe_shift - c * sp,
+                          np.clip(safe_shift - cn * sp, 0, cap)).astype(dtype)
+        np.right_shift(prod, t_pair[None, None], out=shifted)
+        scale = serving.astype(dtype) * dtype(sp)
+        np.left_shift(shifted, scale[None, None], out=shifted)
+        np.einsum("ijkl,kl->ijk", shifted, either.astype(dtype), out=trees)
+        inv_n = serving_n.astype(dtype)
+        for d in range(2 * k_total - 1):
+            sl_n = 4 * d - frac - sp - cn * sp + ACC_FRACTION_BITS
+            sl_c = sl_n + sp
+            pairs = _diagonal_pairs(d, k_total)
+            if sl_n >= 0:
+                tree_d = None
+                for i, j in pairs:
+                    tree = trees[i, j]
+                    tree_d = tree.astype(np.int64) if tree_d is None else tree_d + tree
+                register += tree_d << sl_n
+                continue
+            tree_d_c = None
+            for i, j in pairs:
+                t_n = np.einsum("kl,kl->k", shifted[i, j], inv_n).astype(np.int64)
+                register += t_n >> (-sl_n)
+                t_c2 = trees[i, j] - t_n  # == tree_c * 2**sp, exact
+                if sl_c >= 0:
+                    tree_d_c = t_c2 if tree_d_c is None else tree_d_c + t_c2
+                else:
+                    register += (t_c2 >> sp) >> (-sl_c)
+            if tree_d_c is not None:
+                register += (tree_d_c >> sp) << sl_c
+        c += 2
+    return register, n_align
+
+
+# -- unfused reference kernels (the previous engine) --------------------------
 
 def _single_cycle_chunk(na, nb, shifts, safe_shift, r, frac, k_total, dtype):
     """Truncating single-cycle kernel over one chunk; returns the registers.

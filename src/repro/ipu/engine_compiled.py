@@ -1,0 +1,160 @@
+"""Optional numba-compiled kernel core for :mod:`repro.ipu.engine`.
+
+This module is import-guarded: it always imports, but :func:`available`
+reports whether numba is actually present. When it is, the scalar kernels
+below are jitted on first use and reproduce the engine's chunk semantics
+exactly — same diagonal grouping, same per-pass flooring, same serve-cycle
+schedule — so the compiled engine is bit-identical to the numpy engines
+(enforced by the parity suite in ``tests/ipu/test_engine_compiled.py`` and
+the CI byte-for-byte sweep replay).
+
+The kernels work on the same per-chunk inputs the fused numpy path
+prepares: signed nibble planes of shape ``(K, rows, n)`` plus the per-lane
+alignment shifts. Everything runs in int64 — a compiled scalar loop gains
+nothing from the int32 storage trick, and one width keeps the proof
+obligations to the ones the golden model already carries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ipu.accumulator import ACC_FRACTION_BITS
+from repro.nibble.decompose import NIBBLE_BITS
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba  # noqa: F401
+    from numba import njit
+
+    _HAVE_NUMBA = True
+except ImportError:  # pragma: no cover
+    _HAVE_NUMBA = False
+
+    def njit(*args, **kwargs):
+        """Decorator stand-in so the kernel sources still import cleanly."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def wrap(fn):
+            return fn
+
+        return wrap
+
+
+def available() -> bool:
+    """True when numba is importable and the jitted kernels can run."""
+    return _HAVE_NUMBA
+
+
+@njit(cache=True)
+def _single_cycle_core(na, nb, shifts, safe_shift, sw, sp, frac, k_total, out):
+    """Single-cycle registers for one chunk; ``na``/``nb`` are (K, rows, n).
+
+    Mirrors the numpy kernels bit for bit: the product is raised by the
+    safe precision before the alignment shift (floors compose), left
+    register shifts group a diagonal, right shifts floor per pass.
+    """
+    rows, n = shifts.shape
+    up = sp if sp > 0 else 0
+    down = -sp if sp < 0 else 0
+    for c in range(rows):
+        reg = np.int64(0)
+        for d in range(2 * k_total - 1):
+            sl = NIBBLE_BITS * d - frac - sp + ACC_FRACTION_BITS
+            tree_d = np.int64(0)
+            i0 = d - k_total + 1 if d >= k_total else 0
+            i1 = d if d < k_total else k_total - 1
+            for i in range(i0, i1 + 1):
+                j = d - i
+                tree = np.int64(0)
+                for lane in range(n):
+                    if shifts[c, lane] >= sw:
+                        continue
+                    word = (na[i, c, lane] * nb[j, c, lane]) << up
+                    tree += word >> (safe_shift[c, lane] + down)
+                if sl >= 0:
+                    tree_d += tree
+                else:
+                    reg += tree >> (-sl)
+            if sl >= 0:
+                reg += tree_d << sl
+        out[c] = reg
+
+
+@njit(cache=True)
+def _mc_core(na, nb, shifts, safe_shift, sw, sp, frac, k_total, out, out_align):
+    """MC serve-loop registers for one chunk (strict mode, so ``sp >= 1``).
+
+    The serve schedule matches :func:`repro.ipu.ehu.serve_cycles`: lane
+    shift ``s`` is served on cycle ``max(0, ceil(s / sp) - 1)`` at local
+    shift ``s - cycle * sp``; masked lanes never serve.
+    """
+    rows, n = shifts.shape
+    cyc = np.empty(n, np.int64)
+    for c in range(rows):
+        max_cyc = np.int64(-1)
+        for lane in range(n):
+            s = shifts[c, lane]
+            if s >= sw:
+                cyc[lane] = -1
+                continue
+            q = (s + sp - 1) // sp - 1
+            cyc[lane] = q if q > 0 else 0
+            if cyc[lane] > max_cyc:
+                max_cyc = cyc[lane]
+        out_align[c] = (max_cyc if max_cyc > 0 else 0) + 1
+        reg = np.int64(0)
+        n_cycles = max_cyc + 1 if max_cyc >= 0 else 1
+        for cycle in range(n_cycles):
+            coarse = cycle * sp
+            for d in range(2 * k_total - 1):
+                sl = NIBBLE_BITS * d - frac - sp - coarse + ACC_FRACTION_BITS
+                tree_d = np.int64(0)
+                i0 = d - k_total + 1 if d >= k_total else 0
+                i1 = d if d < k_total else k_total - 1
+                for i in range(i0, i1 + 1):
+                    j = d - i
+                    tree = np.int64(0)
+                    for lane in range(n):
+                        if cyc[lane] != cycle:
+                            continue
+                        word = (na[i, c, lane] * nb[j, c, lane]) << sp
+                        tree += word >> (safe_shift[c, lane] - coarse)
+                    if sl >= 0:
+                        tree_d += tree
+                    else:
+                        reg += tree >> (-sl)
+                if sl >= 0:
+                    reg += tree_d << sl
+        out[c] = reg
+
+
+def chunk_registers(na_p, nb_p, shifts, safe_shift, resolved, frac, k_total,
+                    regs, n_aligns) -> None:
+    """Fill ``regs``/``n_aligns`` for every resolved point of one chunk.
+
+    ``na_p``/``nb_p`` are the signed int32 nibble planes the fused numpy
+    path prepares; they are widened to int64 once per chunk and shared by
+    all points. Raises ``RuntimeError`` when numba is absent — callers go
+    through :func:`repro.ipu.engine.resolve_engine`, which falls back to
+    the numpy engine before ever dispatching here.
+    """
+    if not _HAVE_NUMBA:
+        raise RuntimeError("compiled engine requested but numba is not installed")
+    na64 = np.ascontiguousarray(na_p, dtype=np.int64)
+    nb64 = np.ascontiguousarray(nb_p, dtype=np.int64)
+    shifts64 = np.ascontiguousarray(shifts, dtype=np.int64)
+    safe64 = np.ascontiguousarray(safe_shift, dtype=np.int64)
+    rows = shifts64.shape[0]
+    for idx, r in enumerate(resolved):
+        register = np.zeros(rows, dtype=np.int64)
+        if r.multi_cycle:
+            align = np.empty(rows, dtype=np.int64)
+            _mc_core(na64, nb64, shifts64, safe64, r.software_precision, r.sp,
+                     frac, k_total, register, align)
+            n_aligns[idx] = align
+        else:
+            _single_cycle_core(na64, nb64, shifts64, safe64,
+                               r.software_precision, r.sp, frac, k_total,
+                               register)
+        regs[idx] = register

@@ -18,11 +18,20 @@ small at scale). Guarantees:
 - **last-writer-wins concurrency** — entries are content-addressed, so
   concurrent writers of one key are writing identical bytes and the race
   is benign; no cross-process locks are taken;
-- **LRU byte budget** — reads bump an entry's mtime; when a write pushes
-  the store past ``max_bytes``, oldest-read entries are deleted until it
-  fits (stale temp files from crashed writers are swept too);
-- **hit/miss stats** — :attr:`stats` counts hits, misses, puts, evictions
-  and the current byte estimate, and feeds the service's ``/v1/stats``.
+- **LRU byte budget** — reads bump an entry's recency (mtime on disk, and
+  the in-memory index); when a write pushes the store past ``max_bytes``,
+  oldest-read entries are deleted until it fits;
+- **indexed eviction** — eviction order and sizes come from an in-memory
+  size/recency index maintained by every read/write, so an over-budget
+  write never walks the store directory. The index is rebuilt from a
+  directory scan (counted by ``stats.index_rebuilds``) only at open and
+  when it is caught stale — an entry vanished under us, or evicting
+  everything it knows still leaves the budget exceeded (both only happen
+  when another process shares the root); stale temp files from crashed
+  writers are swept at rebuild time;
+- **hit/miss stats** — :attr:`stats` counts hits, misses, puts, evictions,
+  index rebuilds and the current byte estimate, and feeds the service's
+  ``/v1/stats``.
 """
 
 from __future__ import annotations
@@ -53,6 +62,7 @@ class StoreStats:
     puts: int = 0
     evictions: int = 0
     bytes: int = 0
+    index_rebuilds: int = 0
 
     def as_dict(self) -> dict:
         return asdict(self)
@@ -79,7 +89,9 @@ class ResultStore:
         self.max_bytes = max_bytes
         self.stats = StoreStats()
         self._lock = threading.Lock()
-        self.stats.bytes = sum(size for _, size, _ in self._scan())
+        # path -> [recency, size]: the eviction index (see module docstring)
+        self._index: dict[Path, list] = {}
+        self._rebuild_index()
 
     @classmethod
     def coerce(cls, store) -> "ResultStore | None":
@@ -110,6 +122,27 @@ class ResultStore:
             entries.append((st.st_mtime, st.st_size, path))
         return entries
 
+    def _rebuild_index(self) -> None:
+        """Rescan the root into the in-memory recency/size index.
+
+        Runs at open and whenever the index is caught stale (another
+        process changed the root under us). Stale temp files left by
+        crashed writers are swept here — the one periodic walk the store
+        still does.
+        """
+        now = time.time()
+        for path in self.root.rglob("*.tmp"):
+            try:
+                if now - path.stat().st_mtime > _STALE_TMP_SECONDS:
+                    path.unlink(missing_ok=True)
+            except OSError:
+                pass
+        entries = self._scan()
+        with self._lock:
+            self._index = {path: [mtime, size] for mtime, size, path in entries}
+            self.stats.bytes = sum(size for _, size, _ in entries)
+            self.stats.index_rebuilds += 1
+
     # -- read side ---------------------------------------------------------
 
     def _read(self, kind: str, fp: str, suffix: str, decode):
@@ -127,11 +160,20 @@ class ResultStore:
         with self._lock:
             if payload is None:
                 self.stats.misses += 1
+                dropped = self._index.pop(path, None)
+                if dropped is not None:  # a torn entry we were tracking
+                    self.stats.bytes -= dropped[1]
             else:
                 self.stats.hits += 1
+                entry = self._index.get(path)
+                if entry is not None:
+                    entry[0] = time.time()  # bump LRU recency in the index
+                else:  # written by another process since the last rebuild
+                    self._index[path] = [time.time(), len(raw)]
+                    self.stats.bytes += len(raw)
         if payload is not None:
             try:
-                os.utime(path)  # bump LRU recency
+                os.utime(path)  # keep on-disk recency for future rebuilds
             except OSError:
                 pass
         return payload
@@ -169,6 +211,10 @@ class ResultStore:
             raise
         with self._lock:
             self.stats.puts += 1
+            replaced = self._index.get(path)
+            if replaced is not None:  # same key rewritten: swap sizes
+                self.stats.bytes -= replaced[1]
+            self._index[path] = [time.time(), len(blob)]
             self.stats.bytes += len(blob)
             over = self.stats.bytes > self.max_bytes
         if over:
@@ -190,26 +236,41 @@ class ResultStore:
     def _evict(self) -> None:
         """Delete least-recently-read entries until the budget fits.
 
-        Works from a fresh directory scan (the byte counter is an estimate
-        once other processes share the root) and sweeps stale temp files
-        left by crashed writers.
+        Eviction order and sizes come from the in-memory index — no
+        directory walk per over-budget write. When the pass proves the
+        index stale (an entry vanished before we unlinked it, or evicting
+        everything it knows still leaves the budget exceeded — both need a
+        second process sharing the root), the directory is rescanned once
+        and the eviction re-runs on fresh state.
         """
-        now = time.time()
-        for path in self.root.rglob("*.tmp"):
-            try:
-                if now - path.stat().st_mtime > _STALE_TMP_SECONDS:
-                    path.unlink(missing_ok=True)
-            except OSError:
-                pass
-        entries = sorted(self._scan())
-        total = sum(size for _, size, _ in entries)
-        evicted = 0
-        for _, size, path in entries[:-1]:  # the newest entry always survives
-            if total <= self.max_bytes:
-                break
-            path.unlink(missing_ok=True)
-            total -= size
-            evicted += 1
+        stale, over = self._evict_pass()
+        if stale or over:
+            self._rebuild_index()
+            self._evict_pass()
+
+    def _evict_pass(self) -> tuple[bool, bool]:
+        """One index-driven eviction sweep; returns ``(stale, still_over)``."""
         with self._lock:
+            entries = sorted(self._index.items(), key=lambda kv: kv[1][0])
+            total = sum(entry[1] for _, entry in entries)
+            victims = []
+            for path, entry in entries[:-1]:  # the newest entry always survives
+                if total <= self.max_bytes:
+                    break
+                victims.append(path)
+                total -= entry[1]
+                del self._index[path]
             self.stats.bytes = total
+        stale, evicted = False, 0
+        for path in victims:
+            try:
+                path.unlink()
+                evicted += 1
+            except FileNotFoundError:
+                stale = True  # another process removed it first
+            except OSError:
+                stale = True
+        with self._lock:
             self.stats.evictions += evicted
+            over = self.stats.bytes > self.max_bytes
+        return stale, over

@@ -289,7 +289,7 @@ class TestSharedMemoryCleanup:
                     for b_row in b[:3]]
         s = process_session
         ex = s.executor
-        before = ex.shm_bytes
+        before = ex.shm_bytes_tx
         pa = s.pack(a)
         from repro.ipu.engine import KernelPoint
 
@@ -299,10 +299,88 @@ class TestSharedMemoryCleanup:
             assert ex.live_segments  # pinned until scope exit
         assert ex.live_segments == []  # unlinked at scope exit
         # one export of the big activation plan + one tiny row plan per call
+        # (tx only: result blocks are counted separately in shm_bytes_rx)
         big_plan_bytes = pa.sign.nbytes + pa.exp.nbytes + pa.nibbles.nbytes
-        assert ex.shm_bytes - before < 2 * big_plan_bytes
+        assert ex.shm_bytes_tx - before < 2 * big_plan_bytes
         for got, ref in zip(rows, want):
             assert np.array_equal(got.values, ref.values)
+
+
+# -- zero-copy result blocks -----------------------------------------------------
+
+class TestResultBlockCleanup:
+    def test_result_files_unlinked_after_each_call(self, process_session):
+        import os
+
+        a, b = operands(batch=6000, n=8, seed=21)
+        before_rx = process_session.executor.shm_bytes_rx
+        got = process_session.inner_product(a, b, 16)
+        ex = process_session.executor
+        paths = list(ex.last_result_files)
+        assert paths, "process run should have allocated a result block"
+        assert ex.live_result_files == []
+        for path in paths:
+            assert not os.path.exists(path)
+        # the returned views outlive the unlink (POSIX keeps the mapping)
+        assert np.isfinite(got.values).all() or got.values.size
+        assert ex.shm_bytes_rx > before_rx
+        assert ex.results_pickled == 0
+
+    def test_crash_mid_sweep_unlinks_result_file(self):
+        """A worker that dies mid-sweep must not leak its result block.
+
+        An unknown engine name raises inside the forked worker (the parent
+        never validates it on this path), which is exactly the crash shape:
+        the result file exists, futures fail, cleanup must still run.
+        """
+        import os
+
+        ex = make_executor("process", 2)
+        try:
+            a, b = operands(batch=6000, n=8, seed=22)
+            pa, pb = pack_operands(a), pack_operands(b)
+            from repro.ipu.engine import KernelPoint
+
+            with pytest.raises(ValueError, match="unknown engine"):
+                ex.run_points(pa, pb, [KernelPoint(16)], (6000, 8),
+                              engine="not-an-engine")
+            assert ex.live_result_files == []
+            assert ex.live_segments == []
+            for path in ex.last_result_files:
+                assert not os.path.exists(path)
+        finally:
+            ex.close()
+
+    def test_close_unlinks_interrupted_result_files(self):
+        """Result files registered but never unlinked (crash path) die at
+        close, mirroring the operand-segment guarantee."""
+        import os
+
+        from repro.api.executor import _create_result_file
+
+        ex = make_executor("process", 2)
+        path = _create_result_file(1024)
+        ex._live_results.append(path)
+        assert ex.live_result_files == [path]
+        ex.close()
+        assert ex.live_result_files == []
+        assert not os.path.exists(path)
+
+    def test_session_stats_prove_zero_pickled_results(self):
+        """Acceptance: process sweeps pickle zero kernel outputs and stay
+        byte-identical to serial, asserted through the session stats."""
+        spec = RunSpec(name="zero-copy", sources=("laplace", "normal"),
+                       batch=4200, n=8,
+                       points=(PrecisionPoint(12), PrecisionPoint(16, 28, True)))
+        with EmulationSession(workers=2, backend="process") as proc:
+            parallel = proc.sweep(spec)
+            stats = proc.stats
+        serial = EmulationSession().sweep(spec)
+        assert serial.points == parallel.points
+        assert stats.results_pickled == 0
+        assert stats.shm_bytes_rx > 0, "result blocks should flow through shm"
+        assert stats.shm_bytes_tx > 0, "operand planes should flow through shm"
+        assert stats.shm_bytes == stats.shm_bytes_tx + stats.shm_bytes_rx
 
 
 # -- design sweeps ---------------------------------------------------------------

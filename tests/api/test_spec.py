@@ -98,6 +98,13 @@ class TestRunSpec:
         with pytest.raises(ValueError):
             RunSpec(batch=0)
 
+    def test_engine_field(self):
+        spec = RunSpec(engine="numpy-unfused")
+        assert RunSpec.from_json(spec.to_json()).engine == "numpy-unfused"
+        assert RunSpec().engine is None  # default: session decides
+        with pytest.raises(ValueError, match="engine"):
+            RunSpec(engine="fortran")
+
     def test_rejects_unpackable_operand_format(self):
         """Registry formats without an engine path fail at spec load, not
         mid-sweep (e.g. a --spec file naming e4m3 operands)."""

@@ -1,0 +1,76 @@
+"""Compiled (numba) engine: bit-identity vs the numpy engine and seed kernel.
+
+The whole module skips cleanly when numba is not installed — the compiled
+engine is an optional accelerator, never a correctness dependency. CI runs
+one leg with numba installed to keep this suite honest.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ipu.engine import (
+    KernelPoint,
+    compiled_available,
+    fp_ip_points,
+    pack_operands,
+)
+from repro.ipu.seedref import fp_ip_batch_seed
+
+from test_engine import CONFIGS, assert_results_equal, wide_operands
+
+pytestmark = pytest.mark.skipif(
+    not compiled_available(), reason="numba not installed: compiled engine absent"
+)
+
+
+def packed_pair(seed, shape=(300, 16)):
+    rng = np.random.default_rng(seed)
+    a, b = wide_operands(rng, shape)
+    return a, b, pack_operands(a), pack_operands(b)
+
+
+@pytest.mark.parametrize("w,sw,mc", CONFIGS)
+def test_compiled_bit_identical_to_numpy(w, sw, mc):
+    _, _, pa, pb = packed_pair(seed=w * 100 + sw + 7)
+    points = [KernelPoint(w, sw, mc)]
+    got = fp_ip_points(pa, pb, points, engine="compiled")
+    want = fp_ip_points(pa, pb, points, engine="numpy")
+    assert_results_equal(got[0], want[0], (w, sw, mc))
+
+
+@pytest.mark.parametrize("w,sw,mc", [(16, 16, False), (12, 28, True)])
+def test_compiled_bit_identical_to_seed_kernel(w, sw, mc):
+    a, b, pa, pb = packed_pair(seed=w + 13, shape=(64, 8))
+    got = fp_ip_points(pa, pb, [KernelPoint(w, sw, mc)], engine="compiled")[0]
+    seed = fp_ip_batch_seed(a, b, adder_width=w, software_precision=sw,
+                            multi_cycle=mc)
+    assert np.array_equal(got.values, seed.values), (w, sw, mc)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    w=st.integers(8, 30),
+    mc=st.booleans(),
+    rows=st.integers(1, 97),
+    n=st.sampled_from([1, 3, 8, 16, 33]),
+    seed=st.integers(0, 2**16),
+)
+def test_compiled_parity_fuzz(w, mc, rows, n, seed):
+    sw = max(w, 28) if mc else w
+    _, _, pa, pb = packed_pair(seed=seed, shape=(rows, n))
+    points = [KernelPoint(w, sw, mc)]
+    got = fp_ip_points(pa, pb, points, engine="compiled")
+    want = fp_ip_points(pa, pb, points, engine="numpy")
+    assert_results_equal(got[0], want[0], (w, sw, mc, rows, n, seed))
+
+
+def test_compiled_multi_point_and_chunked():
+    _, _, pa, pb = packed_pair(seed=91, shape=(513, 12))
+    points = [KernelPoint(8), KernelPoint(16), KernelPoint(28),
+              KernelPoint(12, 28, multi_cycle=True)]
+    got = fp_ip_points(pa, pb, points, chunk_rows=100, engine="compiled")
+    want = fp_ip_points(pa, pb, points, chunk_rows=100, engine="numpy")
+    for g, p, pt in zip(got, want, points):
+        assert_results_equal(g, p, pt)

@@ -1,0 +1,146 @@
+"""Engine selection, fused-vs-unfused bit identity, buffers, and out=."""
+
+import numpy as np
+import pytest
+
+from repro.fp.formats import FP16
+from repro.ipu.engine import (
+    ENGINES,
+    KernelPoint,
+    available_engines,
+    compiled_available,
+    fp_ip_points,
+    pack_operands,
+    resolve_engine,
+)
+
+from test_engine import CONFIGS, assert_results_equal, wide_operands
+
+
+def packed_pair(seed=3, shape=(300, 16)):
+    rng = np.random.default_rng(seed)
+    a, b = wide_operands(rng, shape)
+    return pack_operands(a), pack_operands(b)
+
+
+class TestEngineSelection:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert resolve_engine() == "numpy"
+        assert resolve_engine(None) == "numpy"
+
+    def test_env_var_selects_engine(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "numpy-unfused")
+        assert resolve_engine() == "numpy-unfused"
+        # an explicit argument beats the environment
+        assert resolve_engine("numpy") == "numpy"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            resolve_engine("fortran")
+
+    def test_compiled_falls_back_without_numba(self):
+        resolved = resolve_engine("compiled")
+        if compiled_available():
+            assert resolved == "compiled"
+        else:
+            assert resolved == "numpy"
+
+    def test_available_engines_listing(self):
+        names = available_engines()
+        assert "numpy" in names and "numpy-unfused" in names
+        assert ("compiled" in names) == compiled_available()
+        assert set(names) <= set(ENGINES)
+
+
+class TestFusedUnfusedParity:
+    @pytest.mark.parametrize("w,sw,mc", CONFIGS)
+    def test_bit_identical_per_config(self, w, sw, mc):
+        pa, pb = packed_pair(seed=w * 100 + sw)
+        points = [KernelPoint(w, sw, mc)]
+        fused = fp_ip_points(pa, pb, points, engine="numpy")
+        unfused = fp_ip_points(pa, pb, points, engine="numpy-unfused")
+        assert_results_equal(fused[0], unfused[0], (w, sw, mc))
+
+    def test_multi_point_mixed_modes(self):
+        """One fused call over mixed single/MC/acc points == unfused."""
+        pa, pb = packed_pair(seed=29, shape=(257, 12))
+        points = [
+            KernelPoint(8), KernelPoint(16, acc_fmt=FP16), KernelPoint(28),
+            KernelPoint(38), KernelPoint(12, 28, multi_cycle=True),
+            KernelPoint(10, 28, multi_cycle=True),
+        ]
+        fused = fp_ip_points(pa, pb, points, engine="numpy")
+        unfused = fp_ip_points(pa, pb, points, engine="numpy-unfused")
+        for f, u, p in zip(fused, unfused, points):
+            assert_results_equal(f, u, p)
+
+    def test_forced_int64_matches_int32(self):
+        pa, pb = packed_pair(seed=31)
+        for w, sw, mc in CONFIGS:
+            points = [KernelPoint(w, sw, mc)]
+            narrow = fp_ip_points(pa, pb, points, engine="numpy")
+            wide = fp_ip_points(pa, pb, points, engine="numpy",
+                               work_dtype=np.int64)
+            assert_results_equal(narrow[0], wide[0], (w, sw, mc))
+
+
+class TestWorkBufferReuse:
+    def test_repeated_point_results_do_not_alias(self):
+        """Shared work buffers must never alias into returned results."""
+        pa, pb = packed_pair(seed=37)
+        points = [KernelPoint(16), KernelPoint(16), KernelPoint(16)]
+        results = fp_ip_points(pa, pb, points)
+        baseline = results[0].values.copy()
+        for r in results[1:]:
+            assert np.array_equal(r.values, baseline)
+            assert not np.shares_memory(r.values, results[0].values)
+            assert not np.shares_memory(r.rounded, results[0].rounded)
+        results[1].values[:] = -1.0  # scribbling must not leak across points
+        assert np.array_equal(results[0].values, baseline)
+        assert np.array_equal(results[2].values, baseline)
+
+    def test_point_order_does_not_change_bits(self):
+        """The dtype-grouped cascade shares one product tensor across
+        precisions; order of request must be invisible."""
+        pa, pb = packed_pair(seed=41)
+        widths = [8, 12, 16, 20, 24, 26, 28]
+        fwd = fp_ip_points(pa, pb, [KernelPoint(w) for w in widths])
+        rev = fp_ip_points(pa, pb, [KernelPoint(w) for w in reversed(widths)])
+        for f, r, w in zip(fwd, reversed(rev), widths):
+            assert_results_equal(f, r, w)
+
+
+class TestOutParameter:
+    def test_out_views_are_written_and_returned(self):
+        pa, pb = packed_pair(seed=43, shape=(200, 16))
+        points = [KernelPoint(16), KernelPoint(12, 28, multi_cycle=True)]
+        want = fp_ip_points(pa, pb, points)
+        rows = 200
+        out = [
+            (np.empty(rows), np.empty(rows, r.rounded.dtype),
+             np.empty(rows, np.int64), np.empty(rows, np.int64),
+             np.empty(rows, np.int64))
+            for r in want
+        ]
+        got = fp_ip_points(pa, pb, points, out=out)
+        for g, w, slot in zip(got, want, out):
+            assert_results_equal(g, w)
+            # the results are views over the caller's buffers, not copies
+            assert np.shares_memory(g.values, slot[0])
+            assert np.array_equal(slot[0], w.values)
+            assert np.array_equal(slot[4], w.total_cycles)
+
+    def test_out_validation(self):
+        pa, pb = packed_pair(seed=47, shape=(10, 8))
+        points = [KernelPoint(16)]
+        with pytest.raises(ValueError, match="slots"):
+            fp_ip_points(pa, pb, points, out=[])
+        bad_len = [(np.empty(10),) * 4]
+        with pytest.raises(ValueError, match="5 flat arrays"):
+            fp_ip_points(pa, pb, points, out=bad_len)
+        bad_dtype = [(np.empty(10), np.empty(10, np.float16),
+                      np.empty(10, np.int64), np.empty(10, np.int64),
+                      np.empty(10, np.int64))]
+        with pytest.raises(ValueError, match="rounded dtype"):
+            fp_ip_points(pa, pb, points, out=bad_dtype)

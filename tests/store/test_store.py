@@ -52,12 +52,15 @@ class TestFingerprints:
         assert run_fp == SPEC.fingerprint()
         assert point_fp == DesignPoint.from_dict("MC-IPU4").fingerprint()
 
-    def test_name_and_executor_never_change_results_nor_keys(self):
+    def test_name_executor_engine_never_change_results_nor_keys(self):
         renamed = RunSpec.from_dict({**SPEC.to_dict(), "name": "other"})
         threaded = RunSpec.from_dict(
             {**SPEC.to_dict(), "executor": ExecutorSpec("thread", 2)})
+        unfused = RunSpec.from_dict({**SPEC.to_dict(), "engine": "numpy-unfused"})
         assert renamed.fingerprint() == SPEC.fingerprint()
         assert threaded.fingerprint() == SPEC.fingerprint()
+        # engines are bit-identical, so cached results are shared across them
+        assert unfused.fingerprint() == SPEC.fingerprint()
 
     def test_result_fields_change_keys(self):
         for change in ({"seed": 8}, {"batch": 601}, {"sources": ["laplace"]},
