@@ -548,13 +548,19 @@ class ProcessExecutor:
                     pass
 
     def _unlink_result(self, path: str) -> None:
-        """Unlink a result block; the parent's mapped views stay valid."""
+        """Unlink a result block; the parent's mapped views stay valid.
+
+        ``OSError`` (not just ``FileNotFoundError``): on Windows the
+        fallback temp-dir block can't be unlinked while still mapped by
+        the parent or a worker — leaving it for temp cleanup beats
+        raising out of ``run_points``' finally block.
+        """
         with self._lock:
             if path in self._live_results:
                 self._live_results.remove(path)
         try:
             os.unlink(path)
-        except FileNotFoundError:
+        except OSError:
             pass
 
     def run_points(self, pa, pb, points, shape, chunk_rows=None, engine=None):
@@ -643,7 +649,7 @@ class ProcessExecutor:
         for path in live_results:
             try:
                 os.unlink(path)
-            except FileNotFoundError:
+            except OSError:  # e.g. still memory-mapped on Windows
                 pass
         if pool is not None:
             pool.shutdown(wait=True)

@@ -633,12 +633,14 @@ def _single_cycle_fused(na_p, nb_p, shifts, safe_shift, members, frac, k_total,
         out_regs[idx] = register
 
 
-def _pair_headroom(up: int, sp: int, dtype) -> bool:
+def _pair_headroom(n: int, up: int, sp: int, dtype) -> bool:
     """True when two serve cycles can share one lane word: scaling the
-    earlier cycle's adder-tree words by ``2**sp`` must provably fit the
-    work dtype (the int32 fast-path proof, extended by ``sp`` bits)."""
+    earlier cycle's lane words by ``2**sp`` must leave the *n-lane
+    adder-tree sum* provably inside the work dtype (the reductions run in
+    the work dtype, unlike the unfused kernels' int64 sums), mirroring
+    ``work_dtype``'s gate extended by ``sp`` bits."""
     cap_bits, bound = (22, 2**31) if dtype is np.int32 else (53, 2**63)
-    return up + sp <= cap_bits and (_PRODUCT_MAG << (up + sp)) < bound
+    return up + sp <= cap_bits and (n * _PRODUCT_MAG) << (up + sp) < bound
 
 
 def _mc_fused(na_p, nb_p, shifts, safe_shift, r, frac, k_total, dtype, bufs):
@@ -674,7 +676,7 @@ def _mc_fused(na_p, nb_p, shifts, safe_shift, r, frac, k_total, dtype, bufs):
     prod = bufs.get((k_total, k_total, cb, n), dtype)
     np.multiply(na_g[:, None], nb_g[None, :], out=prod)
 
-    pair_fits = _pair_headroom(up, sp, dtype)
+    pair_fits = _pair_headroom(n, up, sp, dtype)
     shifted = bufs.get((k_total, k_total, cb, n), dtype, tag=1)
     trees = bufs.get((k_total, k_total, cb), dtype)
     register = np.zeros(cb, dtype=np.int64)

@@ -66,6 +66,19 @@ def test_compiled_parity_fuzz(w, mc, rows, n, seed):
     assert_results_equal(got[0], want[0], (w, sw, mc, rows, n, seed))
 
 
+def test_compiled_bit_identical_near_int32_sum_boundary():
+    """The hypothesis fuzz caps n at 33 lanes; the overflow regime is a
+    function of n, so run one parity case at an int32-boundary lane count
+    (serve cycles 0 and 1 populated, all tree sums near maximal)."""
+    from test_engine_modes import overflow_regime_pair
+
+    pa, pb = overflow_regime_pair()
+    points = [KernelPoint(15, 28, multi_cycle=True)]
+    got = fp_ip_points(pa, pb, points, engine="compiled")
+    want = fp_ip_points(pa, pb, points, engine="numpy")
+    assert_results_equal(got[0], want[0], "large-n boundary")
+
+
 def test_compiled_multi_point_and_chunked():
     _, _, pa, pb = packed_pair(seed=91, shape=(513, 12))
     points = [KernelPoint(8), KernelPoint(16), KernelPoint(28),

@@ -23,6 +23,21 @@ def packed_pair(seed=3, shape=(300, 16)):
     return pack_operands(a), pack_operands(b)
 
 
+def overflow_regime_pair(n=100_000):
+    """Operands sized past the int32 adder-tree-sum boundary.
+
+    All-positive, all-nibbles-lit lanes maximize the n-lane tree sums, and
+    the exponent split puts half the lanes in serve cycle 0 and half in
+    cycle 1, so the MC pairing step (which scales cycle-0 words by
+    ``2**sp``) is exercised right where its headroom proof must account
+    for n — a regression guard for the paired-sum overflow.
+    """
+    a = np.full((2, n), 1.9375)
+    a[:, n // 2:] = 1.9375 * 2.0**-7
+    b = np.full((2, n), 1.9375)
+    return pack_operands(a), pack_operands(b)
+
+
 class TestEngineSelection:
     def test_default_is_numpy(self, monkeypatch):
         monkeypatch.delenv("REPRO_ENGINE", raising=False)
@@ -74,6 +89,31 @@ class TestFusedUnfusedParity:
         unfused = fp_ip_points(pa, pb, points, engine="numpy-unfused")
         for f, u, p in zip(fused, unfused, points):
             assert_results_equal(f, u, p)
+
+    def test_bit_identical_near_int32_sum_boundary(self):
+        """n large enough that the int32 work dtype still applies but the
+        paired MC reduction would wrap without the n-aware headroom gate
+        (w=15 -> sp=6: int32 admits n up to ~150k, yet n*225 << (up+sp)
+        is far past 2**31)."""
+        pa, pb = overflow_regime_pair()
+        points = [KernelPoint(15, 28, multi_cycle=True),
+                  KernelPoint(12, 28, multi_cycle=True)]
+        fused = fp_ip_points(pa, pb, points, engine="numpy")
+        unfused = fp_ip_points(pa, pb, points, engine="numpy-unfused")
+        for f, u, p in zip(fused, unfused, points):
+            assert_results_equal(f, u, p)
+
+    def test_bit_identical_random_large_n(self):
+        """Random operands at int32-boundary lane counts, fused == unfused."""
+        rng = np.random.default_rng(53)
+        for w, n in [(15, 100_000), (12, 140_000), (10, 60_000)]:
+            shape = (2, n)
+            a, b = wide_operands(rng, shape)
+            pa, pb = pack_operands(a), pack_operands(b)
+            points = [KernelPoint(w, 28, multi_cycle=True)]
+            fused = fp_ip_points(pa, pb, points, engine="numpy")
+            unfused = fp_ip_points(pa, pb, points, engine="numpy-unfused")
+            assert_results_equal(fused[0], unfused[0], (w, n))
 
     def test_forced_int64_matches_int32(self):
         pa, pb = packed_pair(seed=31)
