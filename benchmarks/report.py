@@ -501,11 +501,64 @@ def bench_service(repeats):
     }
 
 
+def bench_fleet(repeats):
+    """One design sweep sharded across two in-process services
+    (repro.fleet) vs the same sweep on a single service.
+
+    Shards go through real ``ServiceServer`` HTTP endpoints, so the row
+    carries coordination + transport overhead honestly. On a 1-core host
+    (``subscale``) the two services time-slice one CPU and the fleet can
+    only lose; the row exists to track that overhead and to assert the
+    merged payload stays byte-identical to the single-service result.
+    """
+    from repro.fleet import FleetCoordinator
+    from repro.service import ServiceServer, SweepService
+
+    spec = DesignSweepSpec.grid(name="bench-fleet", designs=tuple(DESIGNS),
+                                tiles=("small",), samples=96, rng=41)
+
+    def direct():  # a cold service per run: same footing as the fleet leg
+        single = SweepService()
+        try:
+            job, _ = single.submit("design-sweep", spec.to_dict())
+            assert job.done.wait(600) and job.status == "done", job.error
+            return json.loads(json.dumps(job.result))
+        finally:
+            single.close()
+
+    direct_s, direct_payload = _best_of(direct, repeats)
+
+    def fleet():
+        with ServiceServer(port=0, queue_workers=2) as a, \
+             ServiceServer(port=0, queue_workers=2) as b:
+            coordinator = FleetCoordinator([a.url, b.url])
+            return coordinator.run(spec), coordinator.stats()
+
+    fleet_s, (merged, stats) = _best_of(fleet, repeats)
+    speedup = direct_s / fleet_s
+    return {
+        "fleet_sweep": {
+            "designs": len(spec.designs), "samples": spec.samples,
+            "endpoints": 2, "shards": stats["shards_completed"],
+            "cpus": _cpus(),
+            "single_seconds": round(direct_s, 4),
+            "fleet_seconds": round(fleet_s, 4),
+            "seconds": round(fleet_s, 4),
+            "speedup": round(speedup, 2),
+            "subscale": bool(speedup < 1.0),
+            "redispatches": stats["redispatches"],
+            "identical": bool(
+                json.dumps(merged, sort_keys=True)
+                == json.dumps(direct_payload, sort_keys=True)),
+        },
+    }
+
+
 def bench_kernels_and_session(repeats):
     return {**bench_kernels(repeats), **bench_engine_modes(repeats),
             **bench_session(repeats), **bench_chunk_block(repeats),
             **bench_design_space(repeats), **bench_store(repeats),
-            **bench_service(repeats)}
+            **bench_service(repeats), **bench_fleet(repeats)}
 
 
 def bench_fig3(repeats):
@@ -601,6 +654,14 @@ def main(argv=None) -> int:
                 print(f"  service round trip: first {r['first_seconds']}s -> "
                       f"warm {r['seconds']}s ({r['speedup']}x, "
                       f"{r['store_hits']} store hits, results {mark})")
+            elif "fleet_seconds" in r:
+                flag = (f" [flagged: sub-1x with {r['endpoints']} endpoints "
+                        f"on a {r['cpus']}-cpu host]" if r.get("subscale")
+                        else "")
+                print(f"  single service {r['single_seconds']}s -> "
+                      f"{r['endpoints']}-endpoint fleet / {r['shards']} "
+                      f"shards {r['fleet_seconds']}s ({r['speedup']}x, "
+                      f"results {mark}){flag}")
             elif "hits" in r and "seconds" in r:
                 print(f"  store warm: cold {r['cold_seconds']}s -> "
                       f"warm {r['seconds']}s ({r['speedup']}x, "

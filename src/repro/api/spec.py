@@ -32,6 +32,7 @@ __all__ = [
     "PrecisionPoint", "RunSpec", "DEFAULT_SOURCES",
     "DesignSpec", "TileSpec", "DesignPoint", "DesignSweepSpec",
     "DEFAULT_OP_PRECISIONS", "ExecutorSpec",
+    "spec_kind_of", "spec_from_kind",
 ]
 
 DEFAULT_SOURCES = ("laplace", "normal", "uniform", "resnet-tensors", "convnet-tensors")
@@ -483,3 +484,39 @@ class DesignSweepSpec:
     def from_json(cls, source: str | Path) -> "DesignSweepSpec":
         """Load from a JSON string or a path to a JSON file."""
         return cls.from_dict(_load_spec_json(source))
+
+
+# -- kind dispatch ------------------------------------------------------------
+#
+# The two sweep-spec schemas are disjoint (only design sweeps carry
+# ``designs``), which is what lets the service, the fleet shard planner, and
+# the client auto-detect a spec's kind from its JSON body. The service wire
+# names are the canonical kind strings: ``"sweep"`` / ``"design-sweep"``.
+
+_SPEC_KINDS = {"sweep": RunSpec, "design-sweep": DesignSweepSpec}
+
+
+def spec_kind_of(spec) -> str:
+    """The service-wire kind of a spec object or spec dict."""
+    if isinstance(spec, RunSpec):
+        return "sweep"
+    if isinstance(spec, DesignSweepSpec):
+        return "design-sweep"
+    if isinstance(spec, dict):
+        return "design-sweep" if "designs" in spec else "sweep"
+    raise TypeError(f"cannot infer a spec kind from {type(spec).__name__}")
+
+
+def spec_from_kind(kind: str, d) -> "RunSpec | DesignSweepSpec":
+    """Deserialize a spec dict of a named kind (used by the service's
+    request parsing and by :class:`repro.fleet.ShardPlan` round trips)."""
+    cls = _SPEC_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown job kind {kind!r}; "
+                         f"expected one of {sorted(_SPEC_KINDS)}")
+    if isinstance(d, cls):
+        return d
+    if not isinstance(d, dict):
+        raise ValueError(f"spec body must be a JSON object, got "
+                         f"{type(d).__name__}")
+    return cls.from_dict(d)

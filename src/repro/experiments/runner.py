@@ -12,7 +12,11 @@ Usage::
     python -m repro.experiments.runner --spec spec.json --store results/
     python -m repro.experiments.runner --design-spec examples/specs/design_pareto.json
     python -m repro.experiments.runner --serve --port 8731 --store results/
+    python -m repro.experiments.runner --serve --service-workers 4 --queue-cap 64
+    python -m repro.experiments.runner --serve --host 0.0.0.0 --token s3cret
     python -m repro.experiments.runner --submit spec.json --url http://127.0.0.1:8731
+    python -m repro.experiments.runner --design-spec spec.json \
+        --fleet http://127.0.0.1:8731,http://127.0.0.1:8732 --shards 4
 """
 
 from __future__ import annotations
@@ -138,16 +142,68 @@ def _run_design_spec(path: str, workers: int | None, backend: str | None = None,
     return render_design_reports(reports, title=spec.name)
 
 
+def _run_fleet(args, path: str, kind: str) -> int:
+    """Shard a spec across --fleet endpoints and print the merged result
+    (body byte-identical to the unsharded --spec/--design-spec output)."""
+    from repro.fleet import FleetCoordinator, FleetError
+    from repro.service import ServiceError
+
+    urls = [u.strip() for u in args.fleet.split(",") if u.strip()]
+    if not urls:
+        print("--fleet needs at least one endpoint URL", file=sys.stderr)
+        return 2
+    try:
+        with open(path) as fh:
+            spec_dict = json.load(fh)
+    except (OSError, ValueError) as exc:  # unreadable file or malformed JSON
+        print(f"cannot load spec {path!r}: {exc}", file=sys.stderr)
+        return 2
+    start = time.time()
+    try:
+        coordinator = FleetCoordinator(urls, shards=args.shards,
+                                       token=args.token)
+        result = coordinator.run(spec_dict, kind=kind)
+    except ValueError as exc:  # an invalid spec body fails the plan build
+        print(f"cannot load spec {path!r}: {exc}", file=sys.stderr)
+        return 2
+    except (FleetError, ServiceError) as exc:
+        print(f"fleet error: {exc}", file=sys.stderr)
+        return 2
+    print(result["rendered"])
+    elapsed = round(time.time() - start, 3)
+    stats = coordinator.stats()
+    print(f"[fleet {path} over {len(urls)} endpoints / "
+          f"{stats['shards_completed']} shards "
+          f"(retries={stats['retries']} redispatches={stats['redispatches']}) "
+          f"done in {elapsed:.1f}s]")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"spec": path, "fleet": stats,
+                       "seconds": {"fleet": elapsed}}, fh, indent=2)
+            fh.write("\n")
+    return 0
+
+
 def _serve(args) -> int:
     """Run the sweep service until ``POST /v1/shutdown`` or a signal."""
     import signal
     import threading
 
     from repro.service import ServiceServer
+    from repro.service.server import MAX_FINISHED_JOBS
 
     port = 8731 if args.port is None else args.port
-    server = ServiceServer(port=port, store=args.store,
-                           backend=args.backend, workers=args.workers)
+    try:
+        server = ServiceServer(
+            host=args.host or "127.0.0.1", port=port, store=args.store,
+            backend=args.backend, workers=args.workers,
+            queue_workers=args.service_workers or 1,
+            queue_cap=args.queue_cap, token=args.token,
+            max_finished_jobs=(MAX_FINISHED_JOBS if args.max_finished_jobs
+                               is None else args.max_finished_jobs))
+    except ValueError as exc:  # e.g. non-loopback bind without a token
+        print(f"cannot start service: {exc}", file=sys.stderr)
+        return 2
 
     def stop(signum, frame):
         # shutdown() joins the serve loop, so it must run off-signal-stack
@@ -156,7 +212,11 @@ def _serve(args) -> int:
     for sig in (signal.SIGINT, signal.SIGTERM):
         signal.signal(sig, stop)
     print(f"serving on {server.url} "
-          f"(store: {args.store or 'none'}) — POST /v1/shutdown to stop",
+          f"(store: {args.store or 'none'}, "
+          f"workers: {server.service.queue_workers}, "
+          f"queue cap: {server.service.queue_cap or 'unbounded'}, "
+          f"auth: {'bearer' if server.token else 'open/loopback'}) "
+          f"— POST /v1/shutdown to stop",
           flush=True)
     server.serve_forever()
     print("service stopped cleanly", flush=True)
@@ -167,7 +227,8 @@ def _submit(args) -> int:
     """Submit a spec file to a running service and print its result."""
     from repro.service import ServiceClient, ServiceError
 
-    client = ServiceClient(args.url or "http://127.0.0.1:8731")
+    client = ServiceClient(args.url or "http://127.0.0.1:8731",
+                           token=args.token)
     start = time.time()
     try:
         ticket = client.submit(args.submit)
@@ -227,12 +288,36 @@ def main(argv: list[str] | None = None) -> int:
                              "one shared session pair until POST /v1/shutdown")
     parser.add_argument("--port", type=int, default=None,
                         help="--serve listen port (0 = ephemeral; default 8731)")
+    parser.add_argument("--host", default=None,
+                        help="--serve bind address (default 127.0.0.1; "
+                             "non-loopback binds require --token)")
+    parser.add_argument("--service-workers", type=int, default=None,
+                        help="--serve job-queue worker pool size (default 1; "
+                             "distinct jobs run in parallel, identical "
+                             "fingerprints still coalesce)")
+    parser.add_argument("--queue-cap", type=int, default=None,
+                        help="--serve max queued jobs before submits get "
+                             "HTTP 429 + Retry-After (default: unbounded)")
+    parser.add_argument("--max-finished-jobs", type=int, default=None,
+                        help="--serve finished-job retention before the oldest "
+                             "results are dropped (default 1024)")
+    parser.add_argument("--token", default=None,
+                        help="bearer token: required by --serve on non-loopback "
+                             "binds, sent by --submit/--fleet clients (default: "
+                             "the REPRO_SERVICE_TOKEN environment variable)")
     parser.add_argument("--submit", metavar="PATH", default=None,
                         help="submit a RunSpec/DesignSweepSpec JSON to a running "
                              "service (kind auto-detected) and print its result")
     parser.add_argument("--url", metavar="URL", default=None,
                         help="service URL for --submit "
                              "(default http://127.0.0.1:8731)")
+    parser.add_argument("--fleet", metavar="URLS", default=None,
+                        help="comma-separated service URLs: shard a --spec/"
+                             "--design-spec across them and merge the results "
+                             "byte-identically to a local run")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="--fleet shard count (default: one per endpoint; "
+                             "clamped to the sharded axis length)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -256,12 +341,35 @@ def main(argv: list[str] | None = None) -> int:
         ("--engine", args.engine is not None, {"--spec"}),
         ("--store", args.store is not None, session_modes),
         ("--port", args.port is not None, {"--serve"}),
+        ("--host", args.host is not None, {"--serve"}),
+        ("--service-workers", args.service_workers is not None, {"--serve"}),
+        ("--queue-cap", args.queue_cap is not None, {"--serve"}),
+        ("--max-finished-jobs", args.max_finished_jobs is not None, {"--serve"}),
         ("--url", args.url is not None, {"--submit"}),
+        ("--fleet", args.fleet is not None, {"--spec", "--design-spec"}),
     ):
         if on and not (modes and modes[0] in needs):
             print(f"{flag} only applies to {'/'.join(sorted(needs))} runs",
                   file=sys.stderr)
             return 2
+    if args.shards is not None and args.fleet is None:
+        print("--shards only applies to --fleet runs", file=sys.stderr)
+        return 2
+    if args.token is not None and not (args.serve or args.submit is not None
+                                       or args.fleet is not None):
+        print("--token only applies to --serve/--submit/--fleet runs",
+              file=sys.stderr)
+        return 2
+    if args.fleet is not None:
+        for flag, on in (("--backend", args.backend is not None),
+                         ("--workers", args.workers is not None),
+                         ("--engine", args.engine is not None),
+                         ("--store", args.store is not None)):
+            if on:
+                print(f"{flag} does not apply to --fleet runs (session "
+                      "configuration lives on the service instances)",
+                      file=sys.stderr)
+                return 2
     if args.json is not None and args.serve:
         print("--json does not apply to --serve (use GET /v1/stats)",
               file=sys.stderr)
@@ -272,6 +380,9 @@ def main(argv: list[str] | None = None) -> int:
         return _submit(args)
     if args.spec is not None or args.design_spec is not None:
         path = args.spec if args.spec is not None else args.design_spec
+        if args.fleet is not None:
+            kind = "sweep" if args.spec is not None else "design-sweep"
+            return _run_fleet(args, path, kind)
         start = time.time()
         try:
             if args.spec is not None:

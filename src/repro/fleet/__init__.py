@@ -1,0 +1,15 @@
+"""Horizontal scale-out: shard a sweep across N service instances.
+
+:class:`ShardPlan` deterministically splits a spec into disjoint sub-specs
+and merges shard results byte-identically to the unsharded path;
+:class:`FleetCoordinator` fans a plan out to ``http://`` endpoints and/or
+in-process services (:class:`LocalEndpoint`) with retry, backpressure
+handling, and dead-endpoint re-dispatch. Drive it from the runner with
+``--fleet url1,url2 --shards K``; see ``docs/service.md`` ("Scaling out").
+"""
+
+from repro.fleet.coordinator import FleetCoordinator, FleetError, LocalEndpoint
+from repro.fleet.shard import Shard, ShardPlan
+
+__all__ = ["FleetCoordinator", "FleetError", "LocalEndpoint", "Shard",
+           "ShardPlan"]

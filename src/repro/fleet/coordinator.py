@@ -1,0 +1,261 @@
+"""Fan a :class:`~repro.fleet.ShardPlan` out to N endpoints, merge the results.
+
+The coordinator is the horizontal layer over the sweep service: build a
+plan, dispatch each shard to an endpoint (round-robin by shard index),
+long-poll results, and :meth:`~repro.fleet.ShardPlan.merge_payloads` them
+back into the exact payload one unsharded service run would have produced.
+
+Endpoints are anything speaking the client protocol — ``http://...`` URLs
+(wrapped in :class:`~repro.service.ServiceClient`), in-process
+:class:`~repro.service.SweepService` instances (wrapped in
+:class:`LocalEndpoint`), or any object with ``submit``/``result``/
+``health``. Mixing kinds is fine; a laptop session can join a fleet of
+remote services.
+
+Failure policy: a *transport* failure (connection refused, job timeout)
+triggers bounded exponential-backoff retry and — when a health probe says
+the endpoint is gone — marks it dead and re-dispatches its shards to
+survivors, so a killed fleet member slows the sweep down instead of
+failing it. A *job* failure (the service computed and said "error") or a
+4xx rejection is deterministic: every endpoint would fail the same way,
+so it fails the sweep fast with :class:`FleetError` instead of burning
+retries.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.api.spec import spec_kind_of
+from repro.fleet.shard import ShardPlan
+from repro.service.client import ServiceClient, ServiceError, _as_spec_dict
+
+__all__ = ["FleetCoordinator", "FleetError", "LocalEndpoint"]
+
+
+class FleetError(RuntimeError):
+    """The fleet could not complete a sweep (all endpoints dead, retries
+    exhausted, or a shard job failed deterministically)."""
+
+
+class LocalEndpoint:
+    """The endpoint protocol over an in-process
+    :class:`~repro.service.SweepService` — lets the coordinator mix local
+    sessions into a fleet (or run entirely in-process, as the tests and
+    the benchmark harness do) with no HTTP in the loop."""
+
+    def __init__(self, service, name: str = "local"):
+        self.service = service
+        self.url = f"local:{name}"
+
+    def submit(self, spec, kind: str | None = None, busy_timeout: float = 60.0) -> dict:
+        spec_dict = _as_spec_dict(spec)
+        kind = kind or spec_kind_of(spec_dict)
+        deadline = time.monotonic() + busy_timeout
+        while True:
+            try:
+                job, coalesced = self.service.submit(kind, spec_dict)
+            except (ValueError, KeyError, TypeError) as exc:
+                # mirror the HTTP 400: a malformed spec is deterministic
+                raise ServiceError(f"invalid {kind} spec: {exc}",
+                                   status=400) from exc
+            except RuntimeError as exc:
+                busy_after = getattr(exc, "retry_after", None)
+                if busy_after is None:  # closed, not busy: a dead endpoint
+                    raise ServiceError(str(exc)) from exc
+                if time.monotonic() + busy_after > deadline:
+                    raise ServiceError(str(exc), status=429,
+                                       retry_after=busy_after) from exc
+                time.sleep(busy_after)
+                continue
+            return {"job": job.id, "coalesced": coalesced,
+                    "fingerprint": job.fingerprint, "status": job.status}
+
+    def result(self, job_id: str, timeout: float = 600.0) -> dict:
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServiceError(f"job {job_id!r} did not finish in {timeout}s")
+            job = self.service.job(job_id, wait=min(remaining, 10.0))
+            if job is None:
+                raise ServiceError(f"unknown job {job_id!r}", status=404)
+            if job.status == "done":
+                return job.result
+            if job.status == "error":
+                raise ServiceError(f"job {job_id!r} failed: {job.error}",
+                                   payload=job.as_dict(include_result=False))
+
+    def health(self) -> dict:
+        return self.service.healthz()
+
+    def stats(self) -> dict:
+        return self.service.stats()
+
+
+def _as_endpoint(endpoint, token: str | None):
+    if isinstance(endpoint, str):
+        return ServiceClient(endpoint, token=token)
+    if hasattr(endpoint, "submit") and hasattr(endpoint, "result"):
+        return endpoint
+    # a bare SweepService (has submit but no result long-poll)
+    if hasattr(endpoint, "job") and hasattr(endpoint, "healthz"):
+        return LocalEndpoint(endpoint)
+    raise TypeError(f"cannot use {type(endpoint).__name__} as a fleet endpoint")
+
+
+def _is_deterministic(exc: ServiceError) -> bool:
+    """True when retrying elsewhere cannot help: the job itself failed
+    (the spec computes to an error on any endpoint) or the request was
+    rejected as invalid/unauthorized. 429 never reaches here — the
+    endpoint's ``submit`` retries it internally via ``Retry-After``."""
+    if exc.payload is not None and exc.payload.get("status") == "error":
+        return True
+    return exc.status is not None and 400 <= exc.status < 500 and exc.status != 429
+
+
+class FleetCoordinator:
+    """See module docstring.
+
+    ``shards=None`` defaults to one shard per endpoint. ``retries`` bounds
+    *additional* attempts per shard beyond the first, with exponential
+    backoff ``backoff * 2**attempt`` capped at ``max_backoff`` between
+    attempts. ``timeout`` is per shard attempt (submit + long-poll).
+    """
+
+    def __init__(self, endpoints, shards: int | None = None,
+                 timeout: float = 600.0, retries: int = 3,
+                 backoff: float = 0.25, max_backoff: float = 4.0,
+                 token: str | None = None):
+        self.endpoints = [_as_endpoint(e, token) for e in endpoints]
+        if not self.endpoints:
+            raise ValueError("a fleet needs at least one endpoint")
+        if shards is not None and shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+        self._lock = threading.Lock()
+        self._dead: set[int] = set()
+        self._jobs_by_endpoint = [0] * len(self.endpoints)
+        self._retries = 0
+        self._redispatches = 0
+        self._stragglers: list[dict] = []
+        self._shards_completed = 0
+
+    # -- dispatch ----------------------------------------------------------
+
+    def run(self, spec, kind: str | None = None) -> dict:
+        """Shard ``spec`` (object / dict / JSON string / path, either
+        kind), fan the shards out, and return the merged service-shape
+        payload — byte-identical to an unsharded run of the parent."""
+        spec_dict = _as_spec_dict(spec)
+        kind = kind or spec_kind_of(spec_dict)
+        plan = ShardPlan.build(spec_dict, self.shards or len(self.endpoints))
+        started = time.monotonic()
+        durations = [0.0] * len(plan.shards)
+
+        def run_one(shard):
+            t0 = time.monotonic()
+            payload = self._run_shard(plan, shard)
+            durations[shard.index] = time.monotonic() - t0
+            return payload
+
+        with ThreadPoolExecutor(
+                max_workers=min(len(plan.shards), 4 * len(self.endpoints)),
+                thread_name_prefix="fleet-shard") as pool:
+            payloads = list(pool.map(run_one, plan.shards))
+        self._note_stragglers(plan, durations, time.monotonic() - started)
+        return plan.merge_payloads(payloads)
+
+    def _live_rotation(self, start: int):
+        """Endpoint indices to try, preferred first, skipping the dead."""
+        n = len(self.endpoints)
+        with self._lock:
+            order = [(start + i) % n for i in range(n)
+                     if (start + i) % n not in self._dead]
+        return order
+
+    def _run_shard(self, plan: ShardPlan, shard) -> dict:
+        preferred = shard.index % len(self.endpoints)
+        delay = self.backoff
+        last_error: ServiceError | None = None
+        for attempt in range(self.retries + 1):
+            rotation = self._live_rotation(preferred)
+            if not rotation:
+                raise FleetError(
+                    f"shard {shard.index}: all {len(self.endpoints)} fleet "
+                    f"endpoints are dead (last error: {last_error})")
+            for ep_idx in rotation:
+                endpoint = self.endpoints[ep_idx]
+                try:
+                    ticket = endpoint.submit(shard.spec, kind=plan.kind)
+                    payload = endpoint.result(ticket["job"],
+                                              timeout=self.timeout)
+                except ServiceError as exc:
+                    if _is_deterministic(exc):
+                        raise FleetError(
+                            f"shard {shard.index} ({shard.spec.name}) failed "
+                            f"on {endpoint.url}: {exc}") from exc
+                    last_error = exc
+                    self._note_failure(ep_idx)
+                    continue  # try the next live endpoint, no backoff
+                with self._lock:
+                    self._jobs_by_endpoint[ep_idx] += 1
+                    self._shards_completed += 1
+                    if ep_idx != preferred:  # landed on a survivor
+                        self._redispatches += 1
+                return payload
+            if attempt < self.retries:
+                time.sleep(min(delay, self.max_backoff))
+                delay *= 2
+        raise FleetError(
+            f"shard {shard.index} ({shard.spec.name}) exhausted "
+            f"{self.retries + 1} attempts; last error: {last_error}")
+
+    def _note_failure(self, ep_idx: int) -> None:
+        """Book-keep a transport failure and health-probe the endpoint —
+        unreachable means dead (its other shards re-route immediately);
+        reachable means the *job* was slow/lost, leave it in rotation."""
+        alive = True
+        try:
+            self.endpoints[ep_idx].health()
+        except Exception:
+            alive = False
+        with self._lock:
+            if not alive:
+                self._dead.add(ep_idx)
+            self._retries += 1
+
+    def _note_stragglers(self, plan, durations, total: float) -> None:
+        if len(durations) < 2:
+            return
+        ordered = sorted(durations)
+        median = ordered[len(ordered) // 2]
+        with self._lock:
+            for shard in plan.shards:
+                d = durations[shard.index]
+                if median > 0 and d > 2.0 * median:
+                    self._stragglers.append(
+                        {"shard": shard.index, "seconds": round(d, 3),
+                         "median_seconds": round(median, 3),
+                         "sweep_seconds": round(total, 3)})
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "endpoints": [
+                    {"url": ep.url, "jobs": self._jobs_by_endpoint[i],
+                     "dead": i in self._dead}
+                    for i, ep in enumerate(self.endpoints)],
+                "shards_completed": self._shards_completed,
+                "retries": self._retries,
+                "redispatches": self._redispatches,
+                "stragglers": list(self._stragglers),
+            }

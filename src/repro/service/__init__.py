@@ -6,7 +6,7 @@ Serve with ``python -m repro.experiments.runner --serve [--port N]
 """
 
 from repro.service.client import ServiceClient, ServiceError
-from repro.service.server import Job, ServiceServer, SweepService
+from repro.service.server import Job, ServiceBusy, ServiceServer, SweepService
 
-__all__ = ["ServiceClient", "ServiceError", "Job", "ServiceServer",
-           "SweepService"]
+__all__ = ["ServiceClient", "ServiceError", "Job", "ServiceBusy",
+           "ServiceServer", "SweepService"]

@@ -6,15 +6,22 @@ service) can submit sweeps without importing the emulation stack::
 
     from repro.service.client import ServiceClient
 
-    client = ServiceClient("http://127.0.0.1:8731")
+    client = ServiceClient("http://127.0.0.1:8731", token="s3cret")
     result = client.run("examples/specs/fig3_quick.json")  # submit + wait
     print(result["rendered"])            # byte-identical to `runner --spec`
     print(client.stats()["coalesced"])   # service-side observability
+
+A 429 (queue full) from :meth:`~ServiceClient.submit` is retried
+automatically, honoring the server's ``Retry-After`` hint, until
+``busy_timeout`` runs out — backpressure slows a client down instead of
+failing it.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import os
 import time
 import urllib.error
 import urllib.request
@@ -24,12 +31,18 @@ __all__ = ["ServiceClient", "ServiceError"]
 
 
 class ServiceError(RuntimeError):
-    """An HTTP-level or job-level failure, carrying the server's payload."""
+    """An HTTP-level or job-level failure, carrying the server's payload.
 
-    def __init__(self, message: str, status: int | None = None, payload=None):
+    ``retry_after`` is set (seconds) when the server sent a ``Retry-After``
+    hint, i.e. on 429 queue-full responses.
+    """
+
+    def __init__(self, message: str, status: int | None = None, payload=None,
+                 retry_after: float | None = None):
         super().__init__(message)
         self.status = status
         self.payload = payload
+        self.retry_after = retry_after
 
 
 def _as_spec_dict(spec) -> dict:
@@ -57,20 +70,28 @@ class ServiceClient:
 
     ``timeout`` bounds each HTTP round trip (long-poll requests add their
     wait on top); job-completion timeouts are per call (:meth:`result`).
+    ``token`` (default: the ``REPRO_SERVICE_TOKEN`` environment variable)
+    is sent as ``Authorization: Bearer <token>`` on every request.
     """
 
-    def __init__(self, url: str, timeout: float = 30.0):
+    def __init__(self, url: str, timeout: float = 30.0,
+                 token: str | None = None):
         self.url = url.rstrip("/")
         self.timeout = timeout
+        if token is None:
+            token = os.environ.get("REPRO_SERVICE_TOKEN") or None
+        self.token = token
 
     # -- transport ---------------------------------------------------------
 
     def _request(self, method: str, path: str, payload=None,
                  timeout: float | None = None) -> dict:
         body = None if payload is None else (json.dumps(payload) + "\n").encode()
+        headers = {"Content-Type": "application/json"} if body else {}
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
         req = urllib.request.Request(
-            self.url + path, data=body, method=method,
-            headers={"Content-Type": "application/json"} if body else {},
+            self.url + path, data=body, method=method, headers=headers,
         )
         try:
             with urllib.request.urlopen(req, timeout=timeout or self.timeout) as resp:
@@ -81,20 +102,46 @@ class ServiceClient:
             except Exception:
                 detail = None
             message = (detail or {}).get("error", str(exc))
-            raise ServiceError(message, status=exc.code, payload=detail) from exc
+            try:
+                retry_after = float(exc.headers.get("Retry-After"))
+            except (TypeError, ValueError):
+                retry_after = None
+            raise ServiceError(message, status=exc.code, payload=detail,
+                               retry_after=retry_after) from exc
         except urllib.error.URLError as exc:
             raise ServiceError(f"cannot reach service at {self.url}: "
                                f"{exc.reason}") from exc
+        except (OSError, http.client.HTTPException) as exc:
+            # a connection die mid-request (e.g. the server was killed)
+            # surfaces as RemoteDisconnected/ConnectionResetError, not
+            # URLError — same transport failure, same exception type here
+            raise ServiceError(f"connection to {self.url} failed: "
+                               f"{exc!r}") from exc
 
     # -- the API -----------------------------------------------------------
 
-    def submit(self, spec, kind: str | None = None) -> dict:
+    def submit(self, spec, kind: str | None = None,
+               busy_timeout: float = 60.0) -> dict:
         """POST a spec; returns the job ticket (``job``/``status``/
         ``coalesced``/``fingerprint``). ``kind`` is auto-detected from the
-        spec body unless given."""
+        spec body unless given.
+
+        A 429 (queue full) is retried after the server's ``Retry-After``
+        hint until ``busy_timeout`` elapses, then re-raised.
+        """
         spec_dict = _as_spec_dict(spec)
         kind = kind or spec_kind(spec_dict)
-        return self._request("POST", f"/v1/{kind}", spec_dict)
+        deadline = time.monotonic() + busy_timeout
+        while True:
+            try:
+                return self._request("POST", f"/v1/{kind}", spec_dict)
+            except ServiceError as exc:
+                if exc.status != 429:
+                    raise
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise
+                time.sleep(min(max(exc.retry_after or 1.0, 0.05), remaining))
 
     def job(self, job_id: str, wait: float = 0.0) -> dict:
         """GET one job's status (``wait`` long-polls server-side)."""
@@ -121,6 +168,10 @@ class ServiceClient:
         """Submit + wait: the one-call client path (``runner --submit``)."""
         ticket = self.submit(spec, kind=kind)
         return self.result(ticket["job"], timeout=timeout)
+
+    def health(self) -> dict:
+        """GET /v1/healthz — liveness without auth (the one open endpoint)."""
+        return self._request("GET", "/v1/healthz")
 
     def stats(self) -> dict:
         return self._request("GET", "/v1/stats")

@@ -8,16 +8,27 @@ optional persistent :class:`~repro.store.ResultStore`) behind a JSON API::
     POST /v1/sweep          body: RunSpec JSON         -> {"job": ..., ...}
     POST /v1/design-sweep   body: DesignSweepSpec JSON -> {"job": ..., ...}
     GET  /v1/jobs/<id>[?wait=SECONDS]                  -> job status/result
+    GET  /v1/healthz                                   -> cheap liveness probe
     GET  /v1/stats                                     -> service + store stats
     POST /v1/shutdown                                  -> drain and stop
 
-Jobs run on a single worker thread (the queue serializes computation onto
-the shared sessions; HTTP handler threads only enqueue and wait), and
-identical in-flight requests **coalesce**: two clients posting specs with
-the same result fingerprint share one queued job — the second POST returns
-the first's job id with ``"coalesced": true``. Completed results stay
-addressable by job id until the process exits; with a store they also
-persist on disk, so a rebooted service answers warm.
+Jobs run on a sized worker pool (``queue_workers``; HTTP handler threads
+only enqueue and wait). Identical in-flight requests **coalesce**: two
+clients posting specs with the same result fingerprint share one queued job
+— the second POST returns the first's job id with ``"coalesced": true`` —
+and a per-``(kind, fingerprint)`` compute lock guarantees two workers never
+run one fingerprint concurrently even on paths that bypass the coalescer.
+A ``queue_cap`` bounds the number of *queued* (not yet running) jobs: a
+submit against a full queue is refused with :class:`ServiceBusy` (HTTP 429
+plus a ``Retry-After`` hint) instead of blocking the accept loop; accepted
+jobs are never dropped. Completed results stay addressable by job id until
+the process exits; with a store they also persist on disk, so a rebooted
+service answers warm.
+
+Binding a non-loopback interface requires a bearer token
+(``ServiceServer(token=...)`` or ``REPRO_SERVICE_TOKEN``); with a token
+set, every endpoint except ``GET /v1/healthz`` requires
+``Authorization: Bearer <token>`` (constant-time compare).
 
 The pure-stdlib choice (``http.server.ThreadingHTTPServer``) is deliberate:
 no dependency beyond NumPy enters the repo, and the paper's workload —
@@ -27,8 +38,12 @@ is compute-bound on the sessions, not on HTTP parsing.
 
 from __future__ import annotations
 
+import hmac
+import ipaddress
 import itertools
 import json
+import math
+import os
 import queue
 import threading
 import time
@@ -36,6 +51,7 @@ from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
+from repro import __version__
 from repro.api import (
     DesignSession,
     DesignSweepSpec,
@@ -45,9 +61,10 @@ from repro.api import (
     render_sweep,
 )
 from repro.api.session import sweep_points_to_dicts
+from repro.api.spec import spec_from_kind
 from repro.store import ResultStore
 
-__all__ = ["SweepService", "ServiceServer", "Job"]
+__all__ = ["SweepService", "ServiceServer", "ServiceBusy", "Job"]
 
 # Cap one long-poll's server-side wait; clients loop for longer timeouts.
 MAX_WAIT_SECONDS = 60.0
@@ -56,6 +73,24 @@ MAX_WAIT_SECONDS = 60.0
 # finished jobs (and their result payloads) are dropped, so a long-lived
 # service holds bounded memory no matter how many specs it has served.
 MAX_FINISHED_JOBS = 1024
+
+# Retry-After hints are clamped to this window: short enough that a backed
+# -off client re-probes a drained queue promptly, long enough to shed load.
+MIN_RETRY_AFTER = 1.0
+MAX_RETRY_AFTER = 60.0
+
+
+class ServiceBusy(RuntimeError):
+    """Submit refused because the job queue is at its cap.
+
+    ``retry_after`` is the service's own estimate (seconds) of when queue
+    space should free up — the HTTP layer forwards it as a ``Retry-After``
+    header and :class:`repro.service.client.ServiceClient` honors it.
+    """
+
+    def __init__(self, message: str, retry_after: float):
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 @dataclass
@@ -92,13 +127,28 @@ class SweepService:
     """Job queue + coalescer over one shared session pair and store.
 
     The HTTP layer delegates everything here, so the service is fully
-    usable in-process too (the test suite and the benchmark harness drive
+    usable in-process too (the test suite, the fleet coordinator's
+    :class:`repro.fleet.LocalEndpoint`, and the benchmark harness drive
     it both ways).
+
+    ``queue_workers`` sizes the worker pool draining the job queue (the
+    sessions are concurrency-safe; distinct jobs run in parallel while a
+    per-``(kind, fingerprint)`` lock keeps identical work serialized).
+    ``queue_cap`` bounds *queued* jobs — a submit beyond it raises
+    :class:`ServiceBusy` with a ``retry_after`` hint instead of blocking;
+    ``None`` leaves the queue unbounded (the PR-5 behavior).
     """
 
     def __init__(self, store=None, backend=None, workers: int | None = None,
-                 max_finished_jobs: int = MAX_FINISHED_JOBS):
+                 max_finished_jobs: int = MAX_FINISHED_JOBS,
+                 queue_workers: int = 1, queue_cap: int | None = None):
+        if queue_workers < 1:
+            raise ValueError(f"queue_workers must be >= 1, got {queue_workers}")
+        if queue_cap is not None and queue_cap < 1:
+            raise ValueError(f"queue_cap must be >= 1 (or None), got {queue_cap}")
         self.max_finished_jobs = max_finished_jobs
+        self.queue_workers = queue_workers
+        self.queue_cap = queue_cap
         self.store = ResultStore.coerce(store)
         self.emulation = EmulationSession(workers=workers, backend=backend,
                                           store=self.store)
@@ -106,47 +156,70 @@ class SweepService:
                                     emulation=self.emulation, store=self.store)
         self.started_at = time.time()
         self.coalesced = 0
+        self.rejected_busy = 0
         self._jobs: dict[str, Job] = {}
         self._inflight: dict[tuple[str, str], Job] = {}
+        self._fp_locks: dict[tuple[str, str], list] = {}  # key -> [lock, refs]
         self._queue: queue.Queue[Job | None] = queue.Queue()
+        self._queued = 0  # jobs enqueued but not yet picked up by a worker
+        self._avg_job_seconds: float | None = None
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
         self._closed = False
-        self._worker = threading.Thread(target=self._run_jobs,
-                                        name="sweep-service-worker", daemon=True)
-        self._worker.start()
+        self._workers = [
+            threading.Thread(target=self._run_jobs,
+                             name=f"sweep-service-worker-{i}", daemon=True)
+            for i in range(queue_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
 
     # -- submission --------------------------------------------------------
 
     @staticmethod
     def parse_spec(kind: str, spec_dict: dict) -> RunSpec | DesignSweepSpec:
         """Validate a request body into a spec (raises on malformed input)."""
-        if not isinstance(spec_dict, dict):
-            raise ValueError(f"spec body must be a JSON object, got "
-                             f"{type(spec_dict).__name__}")
-        if kind == "sweep":
-            return RunSpec.from_dict(spec_dict)
-        if kind == "design-sweep":
-            return DesignSweepSpec.from_dict(spec_dict)
-        raise ValueError(f"unknown job kind {kind!r}")
+        return spec_from_kind(kind, spec_dict)
+
+    def _retry_after_hint(self) -> float:
+        """Seconds until queue space plausibly frees up (held lock).
+
+        The average job duration times the queue depth per worker — crude,
+        but it scales the hint with actual load instead of a constant."""
+        avg = self._avg_job_seconds if self._avg_job_seconds else MIN_RETRY_AFTER
+        hint = avg * max(1, self._queued) / self.queue_workers
+        return min(MAX_RETRY_AFTER, max(MIN_RETRY_AFTER, hint))
 
     def submit(self, kind: str, spec_dict: dict) -> tuple[Job, bool]:
         """Queue a spec (validated eagerly) or coalesce onto an in-flight
-        twin; returns ``(job, coalesced)``."""
-        if self._closed:
-            raise RuntimeError("service is closed")
-        spec = self.parse_spec(kind, spec_dict)
+        twin; returns ``(job, coalesced)``.
+
+        Raises ``RuntimeError`` once :meth:`close` has begun (checked under
+        the lock, and the enqueue happens under the same lock, so a submit
+        racing ``close()`` either lands before the drain — and runs — or is
+        refused; it can never enqueue onto a drained queue) and
+        :class:`ServiceBusy` when ``queue_cap`` queued jobs already wait.
+        """
+        spec = self.parse_spec(kind, spec_dict)  # CPU-bound: outside the lock
         fingerprint = spec.fingerprint()
         with self._lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
             twin = self._inflight.get((kind, fingerprint))
-            if twin is not None:
+            if twin is not None:  # coalesced joins never count against the cap
                 self.coalesced += 1
                 return twin, True
+            if self.queue_cap is not None and self._queued >= self.queue_cap:
+                self.rejected_busy += 1
+                raise ServiceBusy(
+                    f"job queue is full ({self._queued} queued, cap "
+                    f"{self.queue_cap})", retry_after=self._retry_after_hint())
             job = Job(id=f"job-{next(self._ids)}-{fingerprint[:8]}", kind=kind,
                       fingerprint=fingerprint, spec=spec, created=time.time())
             self._jobs[job.id] = job
             self._inflight[(kind, fingerprint)] = job
-        self._queue.put(job)
+            self._queued += 1
+            self._queue.put(job)  # unbounded queue: the put never blocks
         return job, False
 
     def job(self, job_id: str, wait: float = 0.0) -> Job | None:
@@ -157,25 +230,59 @@ class SweepService:
             job.done.wait(min(wait, MAX_WAIT_SECONDS))
         return job
 
-    # -- the worker --------------------------------------------------------
+    # -- the workers -------------------------------------------------------
+
+    def _checkout_fp_lock(self, key: tuple[str, str]) -> threading.Lock:
+        """Refcounted per-(kind, fingerprint) compute lock.
+
+        Coalescing already funnels identical submissions into one job, so
+        contention here is the exception, not the rule — the lock is the
+        guarantee (identical work never runs twice concurrently on the
+        shared sessions), not the scheduler. Distinct fingerprints never
+        wait on each other: the queue itself is not serialized.
+        """
+        with self._lock:
+            entry = self._fp_locks.get(key)
+            if entry is None:
+                entry = [threading.Lock(), 0]
+                self._fp_locks[key] = entry
+            entry[1] += 1
+        return entry[0]
+
+    def _checkin_fp_lock(self, key: tuple[str, str]) -> None:
+        with self._lock:
+            entry = self._fp_locks[key]
+            entry[1] -= 1
+            if entry[1] == 0:  # bounded: entries live only while checked out
+                del self._fp_locks[key]
 
     def _run_jobs(self) -> None:
         while True:
             job = self._queue.get()
             if job is None:
                 return
+            with self._lock:
+                self._queued -= 1
+            key = (job.kind, job.fingerprint)
+            fp_lock = self._checkout_fp_lock(key)
             job.status = "running"
             job.started = time.time()
             try:
-                job.result = self._compute(job)
+                with fp_lock:
+                    job.result = self._compute(job)
                 job.status = "done"
             except Exception as exc:  # job errors must not kill the worker
                 job.error = f"{type(exc).__name__}: {exc}"
                 job.status = "error"
             finally:
+                self._checkin_fp_lock(key)
                 job.finished = time.time()
+                duration = job.finished - job.started
                 with self._lock:
-                    self._inflight.pop((job.kind, job.fingerprint), None)
+                    self._avg_job_seconds = (
+                        duration if self._avg_job_seconds is None
+                        else 0.7 * self._avg_job_seconds + 0.3 * duration)
+                    self._inflight.pop(key, None)
                     self._prune_finished()
                 job.done.set()
 
@@ -204,6 +311,19 @@ class SweepService:
 
     # -- observability -----------------------------------------------------
 
+    def healthz(self) -> dict:
+        """Cheap liveness probe: no session stats, no job iteration, and no
+        ``_lock`` acquisition — safe to poll at any rate (the fleet
+        coordinator does) even while every worker is mid-compute."""
+        return {
+            "ok": not self._closed,
+            "version": __version__,
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "queue_depth": self._queued,
+            "queue_cap": self.queue_cap,
+            "workers": self.queue_workers,
+        }
+
     def stats(self) -> dict:
         with self._lock:
             jobs = list(self._jobs.values())
@@ -214,26 +334,43 @@ class SweepService:
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "jobs": counts,
             "coalesced": self.coalesced,
+            "queue": {"workers": self.queue_workers, "cap": self.queue_cap,
+                      "depth": self._queued,
+                      "rejected_busy": self.rejected_busy},
             "store": None if self.store is None else self.store.stats.as_dict(),
             "emulation": self.emulation.stats.as_dict(),
             "design": self.design.stats.as_dict(),
         }
 
     def close(self) -> None:
-        """Drain the queue, stop the worker, close the sessions.
+        """Drain the queue, stop the workers, close the sessions.
 
         Genuinely drains: already-accepted jobs (running *and* queued)
         finish before the sessions close, however long they take — a
         shutdown must not turn an accepted job into a mid-compute error.
-        New submissions are refused as soon as close begins.
+        New submissions are refused as soon as close begins (the flag is
+        set under the same lock :meth:`submit` enqueues under).
         """
-        if self._closed:
-            return
-        self._closed = True
-        self._queue.put(None)
-        self._worker.join()
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for _ in self._workers:  # FIFO: sentinels land after real jobs
+                self._queue.put(None)
+        for worker in self._workers:
+            worker.join()
         self.design.close()  # does not own the shared emulation session
         self.emulation.close()
+
+
+def _is_loopback_host(host: str) -> bool:
+    """True for binds that only loopback traffic can reach."""
+    if host == "localhost":
+        return True
+    try:
+        return ipaddress.ip_address(host).is_loopback
+    except ValueError:
+        return False  # "", "0.0.0.0", "::", hostnames: assume reachable
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -247,13 +384,27 @@ class _Handler(BaseHTTPRequestHandler):
     def service(self) -> SweepService:
         return self.server.service  # type: ignore[attr-defined]
 
-    def _send(self, code: int, payload: dict) -> None:
+    def _send(self, code: int, payload: dict, headers: dict | None = None) -> None:
         body = (json.dumps(payload) + "\n").encode()
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _authorized(self) -> bool:
+        """Bearer-token check (constant-time); open when no token is set."""
+        token = self.server.token  # type: ignore[attr-defined]
+        if token is None:
+            return True
+        supplied = self.headers.get("Authorization") or ""
+        return hmac.compare_digest(supplied.encode(), f"Bearer {token}".encode())
+
+    def _reject_unauthorized(self) -> None:
+        self._send(401, {"error": "missing or invalid bearer token"},
+                   headers={"WWW-Authenticate": "Bearer"})
 
     def _read_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -261,6 +412,15 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 (http.server convention)
         url = urlsplit(self.path)
+        if url.path == "/v1/healthz":
+            # deliberately unauthenticated: liveness probes (load balancers,
+            # the fleet coordinator) must work without credential plumbing,
+            # and the payload carries no results
+            self._send(200, self.service.healthz())
+            return
+        if not self._authorized():
+            self._reject_unauthorized()
+            return
         if url.path == "/v1/stats":
             self._send(200, self.service.stats())
             return
@@ -281,6 +441,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802
         url = urlsplit(self.path)
+        if not self._authorized():
+            self._reject_unauthorized()
+            return
         if url.path == "/v1/shutdown":
             self._send(200, {"ok": True, "stats": self.service.stats()})
             # shutdown() joins the serve loop; must not run on a handler
@@ -299,6 +462,14 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             job, coalesced = self.service.submit(kind, spec_dict)
+        except ServiceBusy as exc:
+            self._send(429, {"error": str(exc),
+                             "retry_after": exc.retry_after},
+                       headers={"Retry-After": str(math.ceil(exc.retry_after))})
+            return
+        except RuntimeError as exc:  # closing: refuse cleanly, never enqueue
+            self._send(503, {"error": str(exc)})
+            return
         except (ValueError, KeyError, TypeError) as exc:
             self._send(400, {"error": f"invalid {kind} spec: {exc}"})
             return
@@ -314,14 +485,37 @@ class ServiceServer:
     runner's ``--serve``) or :meth:`start` for a background thread
     (examples, tests, benchmarks); both end via the ``/v1/shutdown``
     endpoint or :meth:`shutdown`.
+
+    ``token`` (default: the ``REPRO_SERVICE_TOKEN`` environment variable)
+    gates every endpoint except ``/v1/healthz`` behind
+    ``Authorization: Bearer <token>``. A non-loopback ``host`` without a
+    token is refused at construction — an open compute endpoint on a
+    reachable interface is always a configuration error.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 store=None, backend=None, workers: int | None = None):
-        self.service = SweepService(store=store, backend=backend, workers=workers)
+                 store=None, backend=None, workers: int | None = None,
+                 queue_workers: int = 1, queue_cap: int | None = None,
+                 token: str | None = None,
+                 max_finished_jobs: int = MAX_FINISHED_JOBS):
+        if token is None:
+            token = os.environ.get("REPRO_SERVICE_TOKEN") or None
+        if token is not None and not token.strip():
+            raise ValueError("service token must be non-empty")
+        if not _is_loopback_host(host) and token is None:
+            raise ValueError(
+                f"refusing to bind non-loopback host {host!r} without a "
+                "bearer token: pass token=/--token or set REPRO_SERVICE_TOKEN")
+        self.token = token
+        self.service = SweepService(store=store, backend=backend,
+                                    workers=workers,
+                                    queue_workers=queue_workers,
+                                    queue_cap=queue_cap,
+                                    max_finished_jobs=max_finished_jobs)
         self.httpd = ThreadingHTTPServer((host, port), _Handler)
         self.httpd.daemon_threads = True
         self.httpd.service = self.service  # type: ignore[attr-defined]
+        self.httpd.token = token  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
 
     @property

@@ -1,0 +1,191 @@
+"""repro.fleet.FleetCoordinator: fan-out, redispatch, byte-identity, CLI."""
+
+import json
+import threading
+
+import pytest
+
+from repro.api import DesignSweepSpec, PrecisionPoint, RunSpec
+from repro.fleet import FleetCoordinator, FleetError, LocalEndpoint, ShardPlan
+from repro.service import ServiceClient, ServiceError, ServiceServer, SweepService
+
+SPEC = RunSpec.grid(name="fleet-spec", precisions=(10, 12, 14, 16),
+                    accumulators=("fp32",), sources=("laplace", "normal"),
+                    batch=400, n=8, seed=5)
+DESIGN_SPEC = DesignSweepSpec.grid(name="fleet-designs",
+                                   designs=("MC-IPU4", "INT8", "FP16"),
+                                   tiles=("small",), samples=24, rng=41)
+
+
+@pytest.fixture(scope="module")
+def fleet_servers():
+    with ServiceServer(port=0, queue_workers=2) as a, \
+         ServiceServer(port=0, queue_workers=2) as b:
+        yield a, b
+
+
+@pytest.fixture(scope="module")
+def reference_service():
+    service = SweepService()
+    yield service
+    service.close()
+
+
+def _direct_payload(service, spec, kind):
+    job, _ = service.submit(kind, spec.to_dict())
+    assert job.done.wait(120) and job.status == "done", job.error
+    # the HTTP hop the fleet path takes: result dicts must survive it
+    return json.loads(json.dumps(job.result))
+
+
+class _KilledAfterAccept:
+    """An endpoint that accepts the job, then drops off the network —
+    models a fleet member killed mid-sweep (the CI smoke does it with
+    a real kill -9; this makes the redispatch path deterministic)."""
+
+    url = "stub://killed"
+
+    def __init__(self, service):
+        self._inner = LocalEndpoint(service, name="doomed")
+        self.submits = 0
+
+    def submit(self, spec, kind=None, busy_timeout=60.0):
+        self.submits += 1
+        return self._inner.submit(spec, kind=kind, busy_timeout=busy_timeout)
+
+    def result(self, job_id, timeout=600.0):
+        raise ServiceError("connection reset by peer")
+
+    def health(self):
+        raise ServiceError("connection refused")
+
+
+class _NeverReachable:
+    """Dead before the first submit: connection refused on everything."""
+
+    url = "stub://dead"
+
+    def submit(self, spec, kind=None, busy_timeout=60.0):
+        raise ServiceError("connection refused")
+
+    def result(self, job_id, timeout=600.0):
+        raise ServiceError("connection refused")
+
+    def health(self):
+        raise ServiceError("connection refused")
+
+
+class TestFanOut:
+    @pytest.mark.parametrize("spec,kind", [(SPEC, "sweep"),
+                                           (DESIGN_SPEC, "design-sweep")])
+    def test_http_fleet_is_byte_identical_to_one_service(
+            self, fleet_servers, reference_service, spec, kind):
+        a, b = fleet_servers
+        coordinator = FleetCoordinator([a.url, b.url], shards=3)
+        merged = coordinator.run(spec)
+        direct = _direct_payload(reference_service, spec, kind)
+        assert json.dumps(merged, sort_keys=True) == \
+               json.dumps(direct, sort_keys=True)
+        stats = coordinator.stats()
+        assert stats["shards_completed"] == 3
+        assert sum(e["jobs"] for e in stats["endpoints"]) == 3
+
+    def test_local_endpoints_and_spec_dicts_work_too(self, reference_service):
+        a, b = SweepService(), SweepService()
+        try:
+            coordinator = FleetCoordinator([a, b])
+            merged = coordinator.run(SPEC.to_dict(), kind="sweep")
+            direct = _direct_payload(reference_service, SPEC, "sweep")
+            assert json.dumps(merged, sort_keys=True) == \
+                   json.dumps(direct, sort_keys=True)
+        finally:
+            a.close()
+            b.close()
+
+    def test_killed_endpoint_redispatches_to_the_survivor(
+            self, reference_service):
+        survivor = SweepService(queue_workers=2)
+        doomed_backend = SweepService()
+        doomed = _KilledAfterAccept(doomed_backend)
+        try:
+            coordinator = FleetCoordinator([doomed, survivor], shards=4,
+                                           retries=2, backoff=0.01)
+            merged = coordinator.run(SPEC)
+            direct = _direct_payload(reference_service, SPEC, "sweep")
+            assert json.dumps(merged, sort_keys=True) == \
+                   json.dumps(direct, sort_keys=True)
+            stats = coordinator.stats()
+            assert doomed.submits >= 1  # it really was handed work first
+            assert stats["endpoints"][0]["dead"] is True
+            assert stats["endpoints"][1]["jobs"] == 4  # survivor took it all
+            assert stats["redispatches"] >= 1
+        finally:
+            survivor.close()
+            doomed_backend.close()
+
+    def test_all_endpoints_dead_raises_fleet_error(self):
+        coordinator = FleetCoordinator([_NeverReachable(), _NeverReachable()],
+                                       retries=1, backoff=0.01)
+        with pytest.raises(FleetError, match="dead"):
+            coordinator.run(SPEC)
+
+    def test_deterministic_job_failure_fails_fast(self):
+        a, b = SweepService(), SweepService()
+        try:
+            coordinator = FleetCoordinator([a, b], retries=3, backoff=0.01)
+            # parses fine, fails in every worker: unknown operand source
+            bad = RunSpec(name="bad", sources=("laplace", "no-such-source"),
+                          points=(PrecisionPoint(12), PrecisionPoint(16)),
+                          batch=100, n=8)
+            with pytest.raises(FleetError, match="failed"):
+                coordinator.run(bad)
+            assert coordinator.stats()["retries"] == 0  # no pointless retries
+        finally:
+            a.close()
+            b.close()
+
+    def test_endpoint_rejects_unknown_objects(self):
+        with pytest.raises(TypeError):
+            FleetCoordinator([42])
+        with pytest.raises(ValueError):
+            FleetCoordinator([])
+
+
+class TestFleetCLI:
+    def test_fleet_flag_validation(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["--fleet", "http://x"]) == 2  # needs --spec/--design-spec
+        assert main(["--submit", "x.json", "--fleet", "http://x"]) == 2
+        assert main(["--spec", "x.json", "--shards", "2"]) == 2  # needs --fleet
+        assert main(["--spec", "x.json", "--fleet", "http://x",
+                     "--backend", "thread"]) == 2
+        assert main(["--spec", "x.json", "--token", "t"]) == 2
+        capsys.readouterr()
+
+    def test_fleet_run_matches_spec_replay(self, fleet_servers, tmp_path,
+                                           capsys):
+        """The CI contract: --fleet output is byte-identical to --spec."""
+        from repro.experiments.runner import main
+
+        a, b = fleet_servers
+        path = tmp_path / "spec.json"
+        SPEC.to_json(path)
+        assert main(["--spec", str(path)]) == 0
+        direct = capsys.readouterr().out
+        assert main(["--spec", str(path), "--fleet", f"{a.url},{b.url}",
+                     "--shards", "3"]) == 0
+        via_fleet = capsys.readouterr().out
+        strip = lambda out: [l for l in out.splitlines()
+                             if not l.startswith("[")]
+        assert strip(direct) == strip(via_fleet)
+        assert any(l.startswith("[fleet ") for l in via_fleet.splitlines())
+
+    def test_fleet_with_unreachable_endpoints_exits_2(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        path = tmp_path / "spec.json"
+        SPEC.to_json(path)
+        assert main(["--spec", str(path), "--fleet", "http://127.0.0.1:9",
+                     "--shards", "2"]) == 2
+        assert "fleet error" in capsys.readouterr().err

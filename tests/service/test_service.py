@@ -16,7 +16,13 @@ from repro.api import (
     render_sweep,
 )
 from repro.api.session import sweep_points_from_dicts
-from repro.service import ServiceClient, ServiceError, ServiceServer, SweepService
+from repro.service import (
+    ServiceBusy,
+    ServiceClient,
+    ServiceError,
+    ServiceServer,
+    SweepService,
+)
 
 SPEC = RunSpec(name="svc-spec", sources=("laplace",),
                points=(PrecisionPoint(12), PrecisionPoint(16)),
@@ -188,6 +194,197 @@ class TestCoalescing:
             service.close()
 
 
+class TestSubmitCloseRace:
+    def test_submit_racing_close_is_refused_not_lost(self):
+        """A submit paused between validation and enqueue while close()
+        runs must be refused cleanly — never enqueued onto the drained
+        queue, where the client would long-poll a job that never runs."""
+        service = SweepService()
+        in_parse, resume = threading.Event(), threading.Event()
+        real_parse = service.parse_spec
+
+        def gated_parse(kind, spec_dict):
+            in_parse.set()
+            assert resume.wait(30)  # close() completes while we sit here
+            return real_parse(kind, spec_dict)
+
+        service.parse_spec = gated_parse
+        outcome = {}
+
+        def racer():
+            try:
+                outcome["job"] = service.submit("sweep", SPEC.to_dict())
+            except RuntimeError as exc:
+                outcome["error"] = str(exc)
+
+        thread = threading.Thread(target=racer)
+        try:
+            thread.start()
+            assert in_parse.wait(30)  # submit is mid-validation, pre-lock
+            service.close()  # drains the queue and stops every worker
+            resume.set()
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+            assert outcome == {"error": "service is closed"}
+            assert service._queue.empty()  # nothing enqueued post-drain
+        finally:
+            resume.set()
+            service.close()
+
+
+class TestWorkerPool:
+    def test_distinct_jobs_run_in_parallel_on_n_workers(self):
+        """Two distinct fingerprints must be mid-compute simultaneously;
+        an identical third submit still coalesces onto one job id."""
+        service = SweepService(queue_workers=2)
+        barrier = threading.Barrier(3, timeout=30)
+        real_sweep = service.emulation.sweep
+
+        def rendezvous_sweep(spec, **kwargs):
+            barrier.wait()  # passes only when both workers are in here
+            return real_sweep(spec, **kwargs)
+
+        service.emulation.sweep = rendezvous_sweep
+        try:
+            first, _ = service.submit("sweep", SPEC.to_dict())
+            second, _ = service.submit("sweep", {**SPEC.to_dict(), "seed": 9})
+            twin, coalesced = service.submit(
+                "sweep", {**SPEC.to_dict(), "name": "other-name"})
+            assert coalesced and twin is first  # pool keeps coalescing
+            barrier.wait()  # both workers got here concurrently, or timeout
+            assert first.done.wait(60) and second.done.wait(60)
+            assert first.status == "done" and second.status == "done"
+            assert service.stats()["queue"]["workers"] == 2
+        finally:
+            service.close()
+
+    def test_invalid_pool_configuration_is_rejected(self):
+        with pytest.raises(ValueError):
+            SweepService(queue_workers=0)
+        with pytest.raises(ValueError):
+            SweepService(queue_cap=0)
+
+
+class TestBackpressure:
+    def test_full_queue_raises_service_busy_with_a_hint(self):
+        service = SweepService(queue_cap=1)
+        release, started = threading.Event(), threading.Event()
+        real_sweep = service.emulation.sweep
+
+        def gated_sweep(spec, **kwargs):
+            started.set()
+            assert release.wait(30)
+            return real_sweep(spec, **kwargs)
+
+        service.emulation.sweep = gated_sweep
+        try:
+            blocker, _ = service.submit("sweep", SPEC.to_dict())
+            assert started.wait(30)  # worker busy; the queue is empty
+            queued, _ = service.submit("sweep", {**SPEC.to_dict(), "seed": 7})
+            with pytest.raises(ServiceBusy) as err:
+                service.submit("sweep", {**SPEC.to_dict(), "seed": 8})
+            assert err.value.retry_after > 0
+            # coalescing onto the queued twin still works while full
+            twin, coalesced = service.submit(
+                "sweep", {**SPEC.to_dict(), "seed": 7, "name": "twin"})
+            assert coalesced and twin is queued
+            assert service.stats()["queue"]["rejected_busy"] == 1
+            release.set()
+            assert queued.done.wait(60) and queued.status == "done"
+        finally:
+            release.set()
+            service.close()
+
+    def test_http_429_retry_after_honored_by_the_client(self, tmp_path):
+        with ServiceServer(port=0, queue_cap=1) as server:
+            service = server.service
+            release, started = threading.Event(), threading.Event()
+            real_sweep = service.emulation.sweep
+
+            def gated_sweep(spec, **kwargs):
+                started.set()
+                assert release.wait(30)
+                return real_sweep(spec, **kwargs)
+
+            service.emulation.sweep = gated_sweep
+            client = ServiceClient(server.url)
+            client.submit({**SPEC.to_dict(), "seed": 21})
+            assert started.wait(30)
+            client.submit({**SPEC.to_dict(), "seed": 22})  # fills the queue
+            # an impatient client sees the raw 429 + Retry-After hint
+            with pytest.raises(ServiceError) as err:
+                client.submit({**SPEC.to_dict(), "seed": 23}, busy_timeout=0)
+            assert err.value.status == 429
+            assert err.value.retry_after and err.value.retry_after >= 1
+            # a patient client sleeps on the hint and lands after the drain
+            release.set()
+            ticket = client.submit({**SPEC.to_dict(), "seed": 23},
+                                   busy_timeout=60)
+            assert client.result(ticket["job"], timeout=120)["points"]
+            assert client.stats()["queue"]["rejected_busy"] >= 1
+
+
+class TestAuth:
+    @pytest.fixture(scope="class")
+    def auth_server(self):
+        with ServiceServer(port=0, token="hunter2") as srv:
+            yield srv
+
+    def test_missing_or_bad_token_is_401(self, auth_server):
+        for client in (ServiceClient(auth_server.url),
+                       ServiceClient(auth_server.url, token="wrong")):
+            with pytest.raises(ServiceError) as err:
+                client.stats()
+            assert err.value.status == 401
+            with pytest.raises(ServiceError) as err:
+                client.submit(SPEC)
+            assert err.value.status == 401
+
+    def test_good_token_works_end_to_end(self, auth_server):
+        client = ServiceClient(auth_server.url, token="hunter2")
+        assert client.run(SPEC, timeout=120)["fingerprint"] == SPEC.fingerprint()
+
+    def test_healthz_is_open_even_with_auth(self, auth_server):
+        health = ServiceClient(auth_server.url).health()
+        assert health["ok"] and health["workers"] == 1
+        assert health["uptime_seconds"] >= 0 and "version" in health
+
+    def test_loopback_without_token_stays_open(self, server, client):
+        assert client.token is None
+        assert client.health()["ok"]
+        assert client.stats()["jobs"]["total"] >= 0  # no 401
+
+    def test_non_loopback_bind_without_token_is_refused(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVICE_TOKEN", raising=False)
+        with pytest.raises(ValueError, match="non-loopback"):
+            ServiceServer(host="0.0.0.0", port=0)
+        # loopback literals and a token both unlock the bind
+        ServiceServer(host="localhost", port=0).close()
+        ServiceServer(host="0.0.0.0", port=0, token="s3cret").close()
+
+    def test_token_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_TOKEN", "env-token")
+        server = ServiceServer(host="0.0.0.0", port=0)
+        try:
+            assert server.token == "env-token"
+            assert ServiceClient(server.url).token == "env-token"
+        finally:
+            server.close()
+
+
+class TestHealthz:
+    def test_health_reports_queue_depth_and_version(self, server, client):
+        from repro import __version__
+
+        health = client.health()
+        assert health["version"] == __version__
+        assert health["queue_depth"] == 0 and health["queue_cap"] is None
+
+    def test_max_finished_jobs_plumbs_through_the_server(self, tmp_path):
+        with ServiceServer(port=0, max_finished_jobs=7) as srv:
+            assert srv.service.max_finished_jobs == 7
+
+
 class TestRunnerCLI:
     REPO = Path(__file__).resolve().parents[2]
 
@@ -209,6 +406,24 @@ class TestRunnerCLI:
         assert main(["--serve", "--all"]) == 2
         assert main(["--serve", "--json", "out.json"]) == 2
         capsys.readouterr()
+
+    def test_serve_only_flags_require_serve(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["--spec", "x.json", "--service-workers", "2"]) == 2
+        assert main(["--queue-cap", "5"]) == 2
+        assert main(["--submit", "x.json", "--max-finished-jobs", "9"]) == 2
+        assert main(["--spec", "x.json", "--host", "0.0.0.0"]) == 2
+        err = capsys.readouterr().err
+        assert "only applies to --serve" in err
+
+    def test_serve_non_loopback_without_token_exits_2(self, capsys,
+                                                      monkeypatch):
+        from repro.experiments.runner import main
+
+        monkeypatch.delenv("REPRO_SERVICE_TOKEN", raising=False)
+        assert main(["--serve", "--host", "0.0.0.0", "--port", "0"]) == 2
+        assert "cannot start service" in capsys.readouterr().err
 
     def test_submit_malformed_spec_file_exits_2(self, tmp_path, capsys):
         from repro.experiments.runner import main
