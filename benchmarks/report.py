@@ -554,10 +554,75 @@ def bench_fleet(repeats):
     }
 
 
+def bench_search_halving(repeats):
+    """Successive-halving search vs exhaustive top-fidelity evaluation on
+    the Table-1-and-widths grid (24 candidates, cold sessions both legs).
+
+    Halving screens everything at a cheap rung and promotes only the
+    error-Pareto survivors, so its top rung touches <= 1/3 of the grid;
+    ``identical`` asserts it still recovers the exhaustive frontier.
+    """
+    from repro.api.design import pareto_frontier
+    from repro.search import RungSpec, SearchSession, SearchSpace, SearchSpec
+
+    spec = SearchSpec(
+        name="bench-search",
+        space=SearchSpace(mult_a=(4, 8), mult_b=(4, 8),
+                          adder_width=(16, 20, 23, 28),
+                          designs=tuple(DESIGNS)),
+        objective="pareto:tops_per_mm2@4x4,-median_contaminated_bits",
+        rungs=(RungSpec(samples=24, batch=500),
+               RungSpec(samples=384, batch=8000)),
+        op_precisions=((4, 4), (8, 8), (16, 16)))
+    candidates = spec.candidates()
+    top = spec.rungs[-1]
+
+    def exhaustive():
+        with DesignSession() as session:
+            points = [c.point(spec.op_precisions, top.samples, spec.rng)
+                      for c in candidates]
+            return session.sweep(points, accuracy=top.accuracy_spec())
+
+    exhaustive_s, reports = _best_of(exhaustive, repeats)
+    front = pareto_frontier(
+        list(enumerate(reports)),
+        x=lambda ir: ir[1].metric("tops_per_mm2@4x4"),
+        y=lambda ir: ir[1].metric("-median_contaminated_bits"))
+    exhaustive_frontier = sorted(candidates[i].design for i, _ in front)
+
+    def halving():
+        with SearchSession() as session:
+            return session.run(spec), session.stats.to_dict()
+
+    halving_s, (result, stats) = _best_of(halving, repeats)
+    winners = sorted(c.design for c in result.winners())
+    top_rung = len(result.rungs[-1].candidates)
+    recovered = winners == exhaustive_frontier
+    return {
+        "search_halving": {
+            "candidates": len(candidates),
+            "rungs": [{"samples": r.samples, "batch": r.batch}
+                      for r in spec.rungs],
+            "objective": spec.objective, "cpus": _cpus(),
+            "exhaustive_seconds": round(exhaustive_s, 4),
+            "halving_seconds": round(halving_s, 4),
+            "seconds": round(halving_s, 4),
+            "speedup": round(exhaustive_s / halving_s, 2),
+            "top_rung_candidates": top_rung,
+            "top_rung_fraction": round(top_rung / len(candidates), 4),
+            "evaluations": stats["evaluated"],
+            "frontier": winners,
+            "frontier_recovered": recovered,
+            "identical": recovered,
+        },
+    }
+
+
 def bench_kernels_and_session(repeats):
     return {**bench_kernels(repeats), **bench_engine_modes(repeats),
             **bench_session(repeats), **bench_chunk_block(repeats),
-            **bench_design_space(repeats), **bench_store(repeats),
+            **bench_design_space(repeats), **bench_search_halving(repeats),
+            **bench_store(repeats),
             **bench_service(repeats), **bench_fleet(repeats)}
 
 
@@ -662,6 +727,13 @@ def main(argv=None) -> int:
                       f"{r['endpoints']}-endpoint fleet / {r['shards']} "
                       f"shards {r['fleet_seconds']}s ({r['speedup']}x, "
                       f"results {mark}){flag}")
+            elif "halving_seconds" in r:
+                mark = "ok" if r.get("frontier_recovered") else "MISMATCH"
+                print(f"  exhaustive {r['exhaustive_seconds']}s over "
+                      f"{r['candidates']} candidates -> halving "
+                      f"{r['halving_seconds']}s ({r['speedup']}x, top rung "
+                      f"{r['top_rung_candidates']}/{r['candidates']}, "
+                      f"frontier {mark})")
             elif "hits" in r and "seconds" in r:
                 print(f"  store warm: cold {r['cold_seconds']}s -> "
                       f"warm {r['seconds']}s ({r['speedup']}x, "

@@ -68,12 +68,23 @@ def model_tensor_operands(batch: int, n: int, rng, style: str = "resnet") -> tup
 
 
 def _operands_for(source: str, batch: int, n: int, rng) -> tuple[np.ndarray, np.ndarray]:
+    from repro.nn.sampling import (
+        MIXTURE_PREFIX,
+        TENSOR_DUMP_PREFIX,
+        sample_mixture_operands,
+        tensor_dump_operands,
+    )
+
     if source in ("laplace", "normal", "uniform"):
         return sample_operand_batch(source, batch, n, rng)
     if source == "resnet-tensors":
         return model_tensor_operands(batch, n, rng, "resnet")
     if source == "convnet-tensors":
         return model_tensor_operands(batch, n, rng, "plain")
+    if source.startswith(MIXTURE_PREFIX):
+        return sample_mixture_operands(source, batch, n, rng)
+    if source.startswith(TENSOR_DUMP_PREFIX):
+        return tensor_dump_operands(source, batch, n, rng)
     raise ValueError(f"unknown source {source!r}")
 
 

@@ -535,19 +535,24 @@ class DesignSession:
 
     # -- persistent store --------------------------------------------------
 
-    def _report_fingerprint(self, point: DesignPoint) -> str:
+    def _report_fingerprint(self, point: DesignPoint,
+                            accuracy: RunSpec | None = None) -> str:
         """Store key for one report: the point plus the accuracy protocol
-        (minus its ignored ``points``/``name``/``executor`` fields)."""
-        accuracy = self.accuracy_spec.to_dict()
-        for field_ in ("name", "executor", "points"):
-            accuracy.pop(field_, None)
+        (minus its ignored ``points``/``name``/``executor`` fields —
+        ``engine`` too, engines being bit-identical)."""
+        template = self.accuracy_spec if accuracy is None else accuracy
+        accuracy_dict = template.to_dict()
+        for field_ in ("name", "executor", "engine", "points"):
+            accuracy_dict.pop(field_, None)
         return _result_key({"design_report": point.fingerprint(),
-                            "accuracy": accuracy})
+                            "accuracy": accuracy_dict})
 
-    def _load_report(self, point: DesignPoint) -> DesignReport | None:
+    def _load_report(self, point: DesignPoint,
+                     accuracy: RunSpec | None = None) -> DesignReport | None:
         if self.store is None:
             return None
-        payload = self.store.get_json("design-report", self._report_fingerprint(point))
+        payload = self.store.get_json(
+            "design-report", self._report_fingerprint(point, accuracy))
         if payload is None:
             self.stats.note("report", hit=False)
             return None
@@ -555,30 +560,37 @@ class DesignSession:
         self.stats.note("report", hit=True)
         return report
 
-    def _save_report(self, point: DesignPoint, report: DesignReport) -> None:
+    def _save_report(self, point: DesignPoint, report: DesignReport,
+                     accuracy: RunSpec | None = None) -> None:
         if self.store is not None:
-            self.store.put_json("design-report", self._report_fingerprint(point),
+            self.store.put_json("design-report",
+                                self._report_fingerprint(point, accuracy),
                                 report.to_dict())
 
     # -- the front door ----------------------------------------------------
 
-    def evaluate(self, point: DesignPoint | str) -> DesignReport:
+    def evaluate(self, point: DesignPoint | str,
+                 accuracy: RunSpec | None = None) -> DesignReport:
         """Joint evaluation: one call, both halves of the paper's trade-off.
 
         Accepts a full :class:`DesignPoint` or any design registry string
-        (evaluated on the default small tile). All expensive pieces come
-        from (and populate) the session caches — and, when the session has
-        a ``store``, finished reports persist across processes.
+        (evaluated on the default small tile). ``accuracy`` overrides the
+        session's accuracy protocol template for this evaluation (the
+        fidelity knob :meth:`sweep` forwards from a spec's ``accuracy``
+        field). All expensive pieces come from (and populate) the session
+        caches — and, when the session has a ``store``, finished reports
+        persist across processes.
         """
         if self._closed:
             raise RuntimeError("session is closed")
         point = DesignPoint.from_dict(point)
-        stored = self._load_report(point)
+        stored = self._load_report(point, accuracy)
         if stored is not None:
             return stored
-        return self._evaluate_fresh(point)
+        return self._evaluate_fresh(point, accuracy)
 
-    def _evaluate_fresh(self, point: DesignPoint) -> DesignReport:
+    def _evaluate_fresh(self, point: DesignPoint,
+                        accuracy: RunSpec | None = None) -> DesignReport:
         """Compute + persist one report, skipping the store lookup (the
         caller — :meth:`evaluate` or a :meth:`sweep` prefetch — did it)."""
         design = point.design.resolve()
@@ -611,7 +623,8 @@ class DesignSession:
             for a, w in point.op_precisions
         )
         precision = point.resolved_precision()
-        accuracy = () if precision is None else self.accuracy(precision)
+        sweep_points = (() if precision is None
+                        else self.accuracy(precision, spec=accuracy))
         report = DesignReport(
             point=point,
             design=design.name,
@@ -621,45 +634,54 @@ class DesignSession:
                         else design_power_w(design, "fp", areas=areas)),
             alignment_factor=af,
             efficiency=efficiency,
-            accuracy=accuracy,
+            accuracy=sweep_points,
         )
-        self._save_report(point, report)
+        self._save_report(point, report, accuracy)
         return report
 
-    def sweep(self, spec: DesignSweepSpec | list) -> list[DesignReport]:
+    def sweep(self, spec: DesignSweepSpec | list,
+              accuracy: RunSpec | None = None) -> list[DesignReport]:
         """Evaluate a :class:`DesignSweepSpec` (or an explicit point list).
 
-        With ``workers > 1`` the points fan out across the execution
-        backend. On the thread backend the in-flight-deduplicating caches
-        guarantee shared simulations run once; on the process backend each
-        worker process owns a long-lived session whose caches persist
-        across its tasks. Reports come back in spec order, identical to a
-        serial sweep (every computation is deterministic).
+        A spec's ``accuracy`` field (or the ``accuracy`` argument, for
+        explicit point lists) overrides the session's accuracy protocol
+        template for the whole sweep — the per-rung fidelity knob of
+        :mod:`repro.search`. With ``workers > 1`` the points fan out across
+        the execution backend. On the thread backend the in-flight-
+        deduplicating caches guarantee shared simulations run once; on the
+        process backend each worker process owns a long-lived session whose
+        caches persist across its tasks. Reports come back in spec order,
+        identical to a serial sweep (every computation is deterministic).
         """
         if isinstance(spec, DesignSweepSpec):
             points = list(spec.points())
+            if spec.accuracy is not None:
+                accuracy = spec.accuracy
         else:
             points = [DesignPoint.from_dict(p) for p in spec]
         if self.executor.workers <= 1 or len(points) <= 1:
-            return [self.evaluate(p) for p in points]
+            return [self.evaluate(p, accuracy) for p in points]
         if self._closed:
             raise RuntimeError("session is closed")
         # serve store hits up front so the pool only sees the missing points
-        reports: list[DesignReport | None] = [self._load_report(p) for p in points]
+        reports: list[DesignReport | None] = [self._load_report(p, accuracy)
+                                              for p in points]
         missing = [i for i, r in enumerate(reports) if r is None]
         if missing:
             todo = [points[i] for i in missing]
             if self.executor.name == "process":
-                accuracy_dict = self.accuracy_spec.to_dict()
+                template = self.accuracy_spec if accuracy is None else accuracy
+                accuracy_dict = template.to_dict()
                 payloads = [(p.to_dict(), accuracy_dict) for p in todo]
                 fresh = self.executor.map_tasks(_evaluate_design_task, payloads)
                 for i, report in zip(missing, fresh):
                     # worker sessions have no store; persist from the parent
-                    self._save_report(points[i], report)
+                    self._save_report(points[i], report, accuracy)
             else:
                 # the prefetch above already consulted the store once per
                 # point; dispatch the compute half only
-                fresh = self.executor.map(self._evaluate_fresh, todo)
+                fresh = self.executor.map(
+                    lambda p: self._evaluate_fresh(p, accuracy), todo)
             for i, report in zip(missing, fresh):
                 reports[i] = report
         self.stats.tasks_dispatched = self.executor.tasks_dispatched

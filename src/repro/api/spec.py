@@ -165,6 +165,13 @@ class RunSpec:
         if self.engine is not None and self.engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {self.engine!r}; expected one of {ENGINES}")
+        for source in self.sources:
+            if source.startswith("mixture:"):
+                # fail on malformed mixture grammars at spec build time, like
+                # unknown engines — not halfway through a sweep
+                from repro.nn.sampling import parse_mixture_source
+
+                parse_mixture_source(source)
         fmt = parse_format(self.operand_format)
         if fmt.name not in ("fp16", "fp32"):
             # the vectorized engine decodes through native NumPy dtypes only
@@ -411,6 +418,15 @@ class DesignSweepSpec:
     applied by the runner — library callers pass it to
     ``DesignSession(backend=...)``); backends never change reports, only
     wall-clock.
+
+    ``accuracy`` optionally overrides the evaluating session's accuracy
+    protocol template (a :class:`RunSpec` whose ``points`` are ignored —
+    each design point injects its own resolved precision). This is the
+    sweep-level *fidelity* knob: :mod:`repro.search` rungs raise the
+    protocol's ``batch``/``sources`` per rung, and because the template is
+    part of every report's store fingerprint, different fidelities never
+    collide in a shared :class:`repro.store.ResultStore`. ``None`` keeps
+    the session's template (and the spec's historical fingerprint).
     """
 
     name: str = "design-sweep"
@@ -421,6 +437,7 @@ class DesignSweepSpec:
     samples: int = 384
     rng: int = 41
     executor: ExecutorSpec | None = None
+    accuracy: RunSpec | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "designs", tuple(
@@ -433,6 +450,8 @@ class DesignSweepSpec:
         object.__setattr__(self, "op_precisions", _as_op_precisions(self.op_precisions))
         if self.executor is not None and not isinstance(self.executor, ExecutorSpec):
             object.__setattr__(self, "executor", ExecutorSpec.from_dict(self.executor))
+        if self.accuracy is not None and not isinstance(self.accuracy, RunSpec):
+            object.__setattr__(self, "accuracy", RunSpec.from_dict(self.accuracy))
         if not self.tiles:
             raise ValueError("DesignSweepSpec needs at least one tile")
         if self.samples < 1:
@@ -462,7 +481,7 @@ class DesignSweepSpec:
     # -- JSON round trip ---------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        d = {
             "name": self.name,
             "designs": [d.to_dict() for d in self.designs],
             "tiles": [t.to_dict() for t in self.tiles],
@@ -472,6 +491,11 @@ class DesignSweepSpec:
             "rng": self.rng,
             "executor": None if self.executor is None else self.executor.to_dict(),
         }
+        if self.accuracy is not None:
+            # emitted only when set: specs without a fidelity override keep
+            # their historical dict shape, JSON bytes, and fingerprints
+            d["accuracy"] = self.accuracy.to_dict()
+        return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "DesignSweepSpec":
@@ -488,12 +512,22 @@ class DesignSweepSpec:
 
 # -- kind dispatch ------------------------------------------------------------
 #
-# The two sweep-spec schemas are disjoint (only design sweeps carry
-# ``designs``), which is what lets the service, the fleet shard planner, and
-# the client auto-detect a spec's kind from its JSON body. The service wire
-# names are the canonical kind strings: ``"sweep"`` / ``"design-sweep"``.
+# The spec schemas are disjoint (only design sweeps carry ``designs``, only
+# search specs carry ``space``/``strategy``), which is what lets the
+# service, the fleet shard planner, and the client auto-detect a spec's
+# kind from its JSON body. The service wire names are the canonical kind
+# strings: ``"sweep"`` / ``"design-sweep"`` / ``"search"``.
+#
+# ``repro.search`` imports this module, so its spec class is resolved
+# lazily here — eagerly for the other two kinds.
 
 _SPEC_KINDS = {"sweep": RunSpec, "design-sweep": DesignSweepSpec}
+
+
+def _search_spec_cls():
+    from repro.search.halving import SearchSpec
+
+    return SearchSpec
 
 
 def spec_kind_of(spec) -> str:
@@ -503,17 +537,21 @@ def spec_kind_of(spec) -> str:
     if isinstance(spec, DesignSweepSpec):
         return "design-sweep"
     if isinstance(spec, dict):
+        if "space" in spec or "strategy" in spec:
+            return "search"
         return "design-sweep" if "designs" in spec else "sweep"
+    if type(spec).__name__ == "SearchSpec" and isinstance(spec, _search_spec_cls()):
+        return "search"
     raise TypeError(f"cannot infer a spec kind from {type(spec).__name__}")
 
 
 def spec_from_kind(kind: str, d) -> "RunSpec | DesignSweepSpec":
     """Deserialize a spec dict of a named kind (used by the service's
     request parsing and by :class:`repro.fleet.ShardPlan` round trips)."""
-    cls = _SPEC_KINDS.get(kind)
+    cls = _search_spec_cls() if kind == "search" else _SPEC_KINDS.get(kind)
     if cls is None:
         raise ValueError(f"unknown job kind {kind!r}; "
-                         f"expected one of {sorted(_SPEC_KINDS)}")
+                         f"expected one of {sorted(_SPEC_KINDS) + ['search']}")
     if isinstance(d, cls):
         return d
     if not isinstance(d, dict):

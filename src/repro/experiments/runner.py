@@ -11,12 +11,18 @@ Usage::
     python -m repro.experiments.runner --spec spec.json --backend process --workers 8
     python -m repro.experiments.runner --spec spec.json --store results/
     python -m repro.experiments.runner --design-spec examples/specs/design_pareto.json
+    python -m repro.experiments.runner --search examples/specs/search_quick.json
+    python -m repro.experiments.runner --search spec.json --store results/ --backend process
     python -m repro.experiments.runner --serve --port 8731 --store results/
     python -m repro.experiments.runner --serve --service-workers 4 --queue-cap 64
     python -m repro.experiments.runner --serve --host 0.0.0.0 --token s3cret
     python -m repro.experiments.runner --submit spec.json --url http://127.0.0.1:8731
     python -m repro.experiments.runner --design-spec spec.json \
         --fleet http://127.0.0.1:8731,http://127.0.0.1:8732 --shards 4
+    python -m repro.experiments.runner --design-spec spec.json \
+        --fleet http://127.0.0.1:8731 --store results/   # skip store-warm shards
+    python -m repro.experiments.runner --search spec.json \
+        --fleet http://127.0.0.1:8731,http://127.0.0.1:8732 --store results/
 """
 
 from __future__ import annotations
@@ -142,15 +148,27 @@ def _run_design_spec(path: str, workers: int | None, backend: str | None = None,
     return render_design_reports(reports, title=spec.name)
 
 
-def _run_fleet(args, path: str, kind: str) -> int:
-    """Shard a spec across --fleet endpoints and print the merged result
-    (body byte-identical to the unsharded --spec/--design-spec output)."""
-    from repro.fleet import FleetCoordinator, FleetError
-    from repro.service import ServiceError
+def _fleet_coordinator(args):
+    """Build the --fleet coordinator (None + printed error on bad URLs)."""
+    from repro.fleet import FleetCoordinator
 
     urls = [u.strip() for u in args.fleet.split(",") if u.strip()]
     if not urls:
         print("--fleet needs at least one endpoint URL", file=sys.stderr)
+        return None
+    return FleetCoordinator(urls, shards=args.shards, token=args.token,
+                            store=args.store)
+
+
+def _run_fleet(args, path: str, kind: str) -> int:
+    """Shard a spec across --fleet endpoints and print the merged result
+    (body byte-identical to the unsharded --spec/--design-spec output).
+    With --store, store-warm shards are served from disk undispatched."""
+    from repro.fleet import FleetError
+    from repro.service import ServiceError
+
+    coordinator = _fleet_coordinator(args)
+    if coordinator is None:
         return 2
     try:
         with open(path) as fh:
@@ -160,8 +178,6 @@ def _run_fleet(args, path: str, kind: str) -> int:
         return 2
     start = time.time()
     try:
-        coordinator = FleetCoordinator(urls, shards=args.shards,
-                                       token=args.token)
         result = coordinator.run(spec_dict, kind=kind)
     except ValueError as exc:  # an invalid spec body fails the plan build
         print(f"cannot load spec {path!r}: {exc}", file=sys.stderr)
@@ -172,14 +188,57 @@ def _run_fleet(args, path: str, kind: str) -> int:
     print(result["rendered"])
     elapsed = round(time.time() - start, 3)
     stats = coordinator.stats()
-    print(f"[fleet {path} over {len(urls)} endpoints / "
+    print(f"[fleet {path} over {len(coordinator.endpoints)} endpoints / "
           f"{stats['shards_completed']} shards "
-          f"(retries={stats['retries']} redispatches={stats['redispatches']}) "
+          f"(retries={stats['retries']} redispatches={stats['redispatches']} "
+          f"warm={stats['shards_skipped_warm']}) "
           f"done in {elapsed:.1f}s]")
     if args.json:
         with open(args.json, "w") as fh:
             json.dump({"spec": path, "fleet": stats,
                        "seconds": {"fleet": elapsed}}, fh, indent=2)
+            fh.write("\n")
+    return 0
+
+
+def _run_search(args) -> int:
+    """Run (or resume) a SearchSpec JSON: locally through a SearchSession,
+    or across --fleet endpoints (one job per rung candidate)."""
+    from repro.fleet import FleetError
+    from repro.search import SearchSession, SearchSpec, render_search
+    from repro.service import ServiceError
+
+    try:
+        spec = SearchSpec.from_json(args.search)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"cannot load search spec {args.search!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    fleet = None
+    if args.fleet is not None:
+        fleet = _fleet_coordinator(args)
+        if fleet is None:
+            return 2
+    executor = _session_executor(spec.executor, args.backend, args.workers)
+    start = time.time()
+    try:
+        with SearchSession(store=args.store, backend=executor,
+                           fleet=fleet) as session:
+            result = session.run(spec)
+    except (FleetError, ServiceError) as exc:
+        print(f"fleet error: {exc}", file=sys.stderr)
+        return 2
+    print(render_search(result))
+    elapsed = round(time.time() - start, 3)
+    stats = session.stats.to_dict()
+    print(f"[search {args.search} rungs={stats['rungs_total']} "
+          f"resumed={stats['rungs_resumed']} evaluated={stats['evaluated']} "
+          f"computed={stats['computed']} cached={stats['cached']} "
+          f"done in {elapsed:.1f}s]")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"search": args.search, "stats": stats,
+                       "seconds": {"search": elapsed}}, fh, indent=2)
             fh.write("\n")
     return 0
 
@@ -267,6 +326,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--design-spec", metavar="PATH", default=None,
                         help="run a declarative DesignSweepSpec JSON through a "
                              "DesignSession (joint accuracy x efficiency report)")
+    parser.add_argument("--search", metavar="PATH", default=None,
+                        help="run (or, with --store, resume) a SearchSpec JSON: "
+                             "budgeted successive-halving design-space search "
+                             "(repro.search)")
     parser.add_argument("--workers", type=int, default=None,
                         help="session workers for --spec/--design-spec/--serve runs")
     parser.add_argument("--backend", choices=("serial", "thread", "process"),
@@ -281,8 +344,10 @@ def main(argv: list[str] | None = None) -> int:
                              "'compiled' needs numba and falls back to numpy)")
     parser.add_argument("--store", metavar="DIR", default=None,
                         help="persistent result store directory for --spec/"
-                             "--design-spec/--serve runs (warm replays are "
-                             "served from disk; interrupted sweeps resume)")
+                             "--design-spec/--search/--serve runs (warm replays "
+                             "are served from disk; interrupted sweeps and "
+                             "searches resume); with --fleet it backs the "
+                             "coordinator's warm-shard payload cache")
     parser.add_argument("--serve", action="store_true",
                         help="run the HTTP sweep service (repro.service) over "
                              "one shared session pair until POST /v1/shutdown")
@@ -306,8 +371,9 @@ def main(argv: list[str] | None = None) -> int:
                              "binds, sent by --submit/--fleet clients (default: "
                              "the REPRO_SERVICE_TOKEN environment variable)")
     parser.add_argument("--submit", metavar="PATH", default=None,
-                        help="submit a RunSpec/DesignSweepSpec JSON to a running "
-                             "service (kind auto-detected) and print its result")
+                        help="submit a RunSpec/DesignSweepSpec/SearchSpec JSON "
+                             "to a running service (kind auto-detected) and "
+                             "print its result")
     parser.add_argument("--url", metavar="URL", default=None,
                         help="service URL for --submit "
                              "(default http://127.0.0.1:8731)")
@@ -326,6 +392,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     modes = [flag for flag, on in (("--spec", args.spec is not None),
                                    ("--design-spec", args.design_spec is not None),
+                                   ("--search", args.search is not None),
                                    ("--serve", args.serve),
                                    ("--submit", args.submit is not None)) if on]
     if len(modes) > 1:
@@ -334,7 +401,7 @@ def main(argv: list[str] | None = None) -> int:
     if modes and (args.experiments or args.all):
         print(f"{modes[0]} cannot be combined with named experiments", file=sys.stderr)
         return 2
-    session_modes = {"--spec", "--design-spec", "--serve"}
+    session_modes = {"--spec", "--design-spec", "--search", "--serve"}
     for flag, on, needs in (
         ("--backend", args.backend is not None, session_modes),
         ("--workers", args.workers is not None, session_modes),
@@ -346,7 +413,8 @@ def main(argv: list[str] | None = None) -> int:
         ("--queue-cap", args.queue_cap is not None, {"--serve"}),
         ("--max-finished-jobs", args.max_finished_jobs is not None, {"--serve"}),
         ("--url", args.url is not None, {"--submit"}),
-        ("--fleet", args.fleet is not None, {"--spec", "--design-spec"}),
+        ("--fleet", args.fleet is not None,
+         {"--spec", "--design-spec", "--search"}),
     ):
         if on and not (modes and modes[0] in needs):
             print(f"{flag} only applies to {'/'.join(sorted(needs))} runs",
@@ -355,16 +423,20 @@ def main(argv: list[str] | None = None) -> int:
     if args.shards is not None and args.fleet is None:
         print("--shards only applies to --fleet runs", file=sys.stderr)
         return 2
+    if args.shards is not None and args.search is not None:
+        print("--shards does not apply to --search runs (rungs dispatch one "
+              "job per candidate, not a shard plan)", file=sys.stderr)
+        return 2
     if args.token is not None and not (args.serve or args.submit is not None
                                        or args.fleet is not None):
         print("--token only applies to --serve/--submit/--fleet runs",
               file=sys.stderr)
         return 2
     if args.fleet is not None:
+        # --store stays allowed: it backs the coordinator's warm-shard cache
         for flag, on in (("--backend", args.backend is not None),
                          ("--workers", args.workers is not None),
-                         ("--engine", args.engine is not None),
-                         ("--store", args.store is not None)):
+                         ("--engine", args.engine is not None)):
             if on:
                 print(f"{flag} does not apply to --fleet runs (session "
                       "configuration lives on the service instances)",
@@ -378,6 +450,8 @@ def main(argv: list[str] | None = None) -> int:
         return _serve(args)
     if args.submit is not None:
         return _submit(args)
+    if args.search is not None:
+        return _run_search(args)
     if args.spec is not None or args.design_spec is not None:
         path = args.spec if args.spec is not None else args.design_spec
         if args.fleet is not None:

@@ -28,9 +28,11 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
-from repro.api.spec import spec_kind_of
+from repro.api.spec import spec_from_kind, spec_kind_of
 from repro.fleet.shard import ShardPlan
 from repro.service.client import ServiceClient, ServiceError, _as_spec_dict
+from repro.store import ResultStore
+from repro.store.fingerprint import fingerprint as _fingerprint
 
 __all__ = ["FleetCoordinator", "FleetError", "LocalEndpoint"]
 
@@ -123,12 +125,22 @@ class FleetCoordinator:
     *additional* attempts per shard beyond the first, with exponential
     backoff ``backoff * 2**attempt`` capped at ``max_backoff`` between
     attempts. ``timeout`` is per shard attempt (submit + long-poll).
+
+    ``store`` (a :class:`~repro.store.ResultStore` or directory path) adds
+    coordinator-side result caching: each shard's finished service payload
+    is persisted keyed by ``(kind, sub-spec fingerprint)``, and before
+    dispatching a shard the coordinator consults the store — a store-warm
+    shard is served from disk without touching any endpoint (counted in
+    ``stats()["shards_skipped_warm"]``). Payloads are merged the same way
+    either path, so a warm run's output is byte-identical to a cold one.
+    The endpoints' own stores are unrelated (and may not be shared
+    filesystems); this cache lives with the coordinator.
     """
 
     def __init__(self, endpoints, shards: int | None = None,
                  timeout: float = 600.0, retries: int = 3,
                  backoff: float = 0.25, max_backoff: float = 4.0,
-                 token: str | None = None):
+                 token: str | None = None, store=None):
         self.endpoints = [_as_endpoint(e, token) for e in endpoints]
         if not self.endpoints:
             raise ValueError("a fleet needs at least one endpoint")
@@ -139,6 +151,7 @@ class FleetCoordinator:
         self.retries = retries
         self.backoff = backoff
         self.max_backoff = max_backoff
+        self.store = ResultStore.coerce(store)
         self._lock = threading.Lock()
         self._dead: set[int] = set()
         self._jobs_by_endpoint = [0] * len(self.endpoints)
@@ -146,6 +159,7 @@ class FleetCoordinator:
         self._redispatches = 0
         self._stragglers: list[dict] = []
         self._shards_completed = 0
+        self._shards_skipped_warm = 0
 
     # -- dispatch ----------------------------------------------------------
 
@@ -161,7 +175,7 @@ class FleetCoordinator:
 
         def run_one(shard):
             t0 = time.monotonic()
-            payload = self._run_shard(plan, shard)
+            payload = self._cached_dispatch(plan.kind, shard.index, shard.spec)
             durations[shard.index] = time.monotonic() - t0
             return payload
 
@@ -172,6 +186,56 @@ class FleetCoordinator:
         self._note_stragglers(plan, durations, time.monotonic() - started)
         return plan.merge_payloads(payloads)
 
+    def run_specs(self, specs, kind: str | None = None) -> list[dict]:
+        """Dispatch one whole spec per job (no sharding) and return the
+        service payloads in spec order.
+
+        This is the fan-out primitive :class:`repro.search.SearchSession`
+        uses for rung evaluation — a rung is an arbitrary candidate
+        subset, not a cross product, so it ships as N independent
+        single-point specs rather than a :class:`~repro.fleet.ShardPlan`.
+        Each spec gets the full failure policy (retry, redispatch, warm
+        store skip) of a plan shard.
+        """
+        spec_dicts = [_as_spec_dict(s) for s in specs]
+        if not spec_dicts:
+            return []
+        kind = kind or spec_kind_of(spec_dicts[0])
+        parsed = [spec_from_kind(kind, d) for d in spec_dicts]
+
+        def run_one(i):
+            return self._cached_dispatch(kind, i, parsed[i])
+
+        with ThreadPoolExecutor(
+                max_workers=min(len(parsed), 4 * len(self.endpoints)),
+                thread_name_prefix="fleet-spec") as pool:
+            return list(pool.map(run_one, range(len(parsed))))
+
+    # -- store cache -------------------------------------------------------
+
+    @staticmethod
+    def _payload_key(kind: str, spec) -> str:
+        return _fingerprint({"fleet_payload": {"kind": kind,
+                                               "spec": spec.fingerprint()}})
+
+    def _cached_dispatch(self, kind: str, index: int, spec) -> dict:
+        """One unit of fleet work: serve it store-warm, or dispatch it and
+        persist the payload. Spec fingerprints exclude presentation fields
+        (``name``/``executor``), and the merge layers never read a
+        payload's embedded name — so a renamed parent still hits."""
+        if self.store is not None:
+            payload = self.store.get_json("fleet-payload",
+                                          self._payload_key(kind, spec))
+            if payload is not None:
+                with self._lock:
+                    self._shards_skipped_warm += 1
+                return payload
+        payload = self._run_shard(kind, index, spec)
+        if self.store is not None:
+            self.store.put_json("fleet-payload",
+                                self._payload_key(kind, spec), payload)
+        return payload
+
     def _live_rotation(self, start: int):
         """Endpoint indices to try, preferred first, skipping the dead."""
         n = len(self.endpoints)
@@ -180,26 +244,26 @@ class FleetCoordinator:
                      if (start + i) % n not in self._dead]
         return order
 
-    def _run_shard(self, plan: ShardPlan, shard) -> dict:
-        preferred = shard.index % len(self.endpoints)
+    def _run_shard(self, kind: str, index: int, spec) -> dict:
+        preferred = index % len(self.endpoints)
         delay = self.backoff
         last_error: ServiceError | None = None
         for attempt in range(self.retries + 1):
             rotation = self._live_rotation(preferred)
             if not rotation:
                 raise FleetError(
-                    f"shard {shard.index}: all {len(self.endpoints)} fleet "
+                    f"shard {index}: all {len(self.endpoints)} fleet "
                     f"endpoints are dead (last error: {last_error})")
             for ep_idx in rotation:
                 endpoint = self.endpoints[ep_idx]
                 try:
-                    ticket = endpoint.submit(shard.spec, kind=plan.kind)
+                    ticket = endpoint.submit(spec, kind=kind)
                     payload = endpoint.result(ticket["job"],
                                               timeout=self.timeout)
                 except ServiceError as exc:
                     if _is_deterministic(exc):
                         raise FleetError(
-                            f"shard {shard.index} ({shard.spec.name}) failed "
+                            f"shard {index} ({spec.name}) failed "
                             f"on {endpoint.url}: {exc}") from exc
                     last_error = exc
                     self._note_failure(ep_idx)
@@ -214,7 +278,7 @@ class FleetCoordinator:
                 time.sleep(min(delay, self.max_backoff))
                 delay *= 2
         raise FleetError(
-            f"shard {shard.index} ({shard.spec.name}) exhausted "
+            f"shard {index} ({spec.name}) exhausted "
             f"{self.retries + 1} attempts; last error: {last_error}")
 
     def _note_failure(self, ep_idx: int) -> None:
@@ -255,6 +319,7 @@ class FleetCoordinator:
                      "dead": i in self._dead}
                     for i, ep in enumerate(self.endpoints)],
                 "shards_completed": self._shards_completed,
+                "shards_skipped_warm": self._shards_skipped_warm,
                 "retries": self._retries,
                 "redispatches": self._redispatches,
                 "stragglers": list(self._stragglers),

@@ -111,6 +111,14 @@ class ShardPlan:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         kind = spec_kind_of(spec)
+        if kind == "search":
+            # a search is sequential across rungs and its rungs are
+            # arbitrary candidate subsets, not a cross product — the
+            # coordinator fans rungs out via run_specs instead
+            raise ValueError(
+                "search specs do not shard; run them through "
+                "repro.search.SearchSession(fleet=...) (runner: "
+                "--search spec.json --fleet URLS)")
         spec = spec_from_kind(kind, spec)
         if kind == "sweep":
             axis, subsets = cls._split_run_spec(spec, shards)

@@ -13,7 +13,9 @@ range — the property driving Fig. 9's fwd/bwd contrast).
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -29,6 +31,11 @@ __all__ = [
     "BACKWARD_ERROR",
     "BACKWARD_WEIGHT",
     "sample_model_tensors",
+    "MIXTURE_PREFIX",
+    "TENSOR_DUMP_PREFIX",
+    "parse_mixture_source",
+    "sample_mixture_operands",
+    "tensor_dump_operands",
 ]
 
 DISTRIBUTIONS = ("laplace", "normal", "uniform")
@@ -120,6 +127,103 @@ FORWARD_ACTIVATION = TensorModel("lognormal", scale=1.0, zero_fraction=0.40,
 FORWARD_WEIGHT = TensorModel("lognormal", scale=0.05, log2_scale_sigma=0.45)
 BACKWARD_ERROR = TensorModel("lognormal", scale=0.5, log2_scale_sigma=3.5)
 BACKWARD_WEIGHT = TensorModel("lognormal", scale=0.05, log2_scale_sigma=0.8)
+
+
+# -- adversarial / captured sources ------------------------------------------
+#
+# Registered RunSpec source grammars beyond the paper's named distributions:
+#
+# ``mixture:<family>+outliers@<p>[/<shift>]`` — an outlier-heavy mixture: the
+# base family contaminated by a fraction ``p`` of values whose exponents are
+# shifted up by ``shift`` bits (default 8). The adversarial shape for a
+# truncating alignment tree: a few huge-exponent addends swamp the shifter
+# and contaminate every smaller term's contribution.
+#
+# ``tensor-dump:<path>`` — operands resampled from a captured tensor dump
+# (``.npy`` flat values used for both operands, or ``.npz`` with ``a``/``b``
+# arrays, or a single ``values`` array). Sampling position comes from the
+# caller's RNG, so a sweep over a dump is as deterministic as the synthetic
+# families; the dump *contents* are not part of any spec fingerprint — treat
+# a changed dump file as a new source name.
+
+MIXTURE_PREFIX = "mixture:"
+TENSOR_DUMP_PREFIX = "tensor-dump:"
+
+_MIXTURE_RE = re.compile(
+    r"^mixture:(?P<family>[a-z]+)\+outliers@(?P<p>[0-9.]+)(?:/(?P<shift>[0-9.]+))?$"
+)
+
+
+def parse_mixture_source(source: str) -> TensorModel:
+    """A :class:`TensorModel` from a ``mixture:...`` source string."""
+    m = _MIXTURE_RE.match(source.strip().lower())
+    if m is None:
+        raise ValueError(
+            f"malformed mixture source {source!r}; expected "
+            "'mixture:<family>+outliers@<p>[/<shift>]' "
+            "(e.g. 'mixture:laplace+outliers@0.01')"
+        )
+    family = m.group("family")
+    if family not in DISTRIBUTIONS:
+        raise ValueError(
+            f"unknown mixture family {family!r}; pick from {DISTRIBUTIONS}")
+    p = float(m.group("p"))
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"outlier fraction must be in (0, 1), got {p}")
+    shift = 8.0 if m.group("shift") is None else float(m.group("shift"))
+    return TensorModel(family, outlier_fraction=p, outlier_log2_shift=shift)
+
+
+def sample_mixture_operands(
+    source: str, batch: int, n: int, rng=None
+) -> tuple[np.ndarray, np.ndarray]:
+    """(a, b) operand batches for a ``mixture:...`` source string."""
+    model = parse_mixture_source(source)
+    rng = as_generator(rng)
+    return model.sample((batch, n), rng), model.sample((batch, n), rng)
+
+
+def _load_dump_arrays(path: str) -> tuple[np.ndarray, np.ndarray]:
+    """The (a-pool, b-pool) value arrays of one dump file, flattened."""
+    if not Path(path).exists():
+        raise ValueError(f"tensor dump {path!r} does not exist")
+    loaded = np.load(path, allow_pickle=False)
+    if isinstance(loaded, np.ndarray):
+        pools = (loaded, loaded)
+    elif "a" in loaded and "b" in loaded:
+        pools = (loaded["a"], loaded["b"])
+    elif "values" in loaded:
+        pools = (loaded["values"], loaded["values"])
+    else:
+        raise ValueError(
+            f"tensor dump {path!r} needs 'a'+'b' arrays or a 'values' array; "
+            f"found {sorted(loaded.files)}")
+    out = []
+    for pool in pools:
+        flat = np.asarray(pool, dtype=np.float64).ravel()
+        flat = flat[np.isfinite(flat)]
+        if flat.size == 0:
+            raise ValueError(f"tensor dump {path!r} has no finite values")
+        out.append(flat)
+    return out[0], out[1]
+
+
+def tensor_dump_operands(
+    source: str, batch: int, n: int, rng=None
+) -> tuple[np.ndarray, np.ndarray]:
+    """(a, b) operand batches resampled from a ``tensor-dump:<path>`` source.
+
+    Each operand entry is an independent draw (with replacement) from the
+    dump's value pool, positioned by the caller's RNG — the empirical
+    analogue of :func:`sample_operand_batch` for captured tensors.
+    """
+    if source.startswith(TENSOR_DUMP_PREFIX):
+        source = source[len(TENSOR_DUMP_PREFIX):]
+    pool_a, pool_b = _load_dump_arrays(source)
+    rng = as_generator(rng)
+    a = pool_a[rng.integers(0, pool_a.size, size=(batch, n))]
+    b = pool_b[rng.integers(0, pool_b.size, size=(batch, n))]
+    return a, b
 
 
 def sample_model_tensors(

@@ -1,0 +1,49 @@
+"""repro.search — budgeted design-space search over the MC-IPU grammars.
+
+Three layers (one module each):
+
+* :mod:`~repro.search.space` / :mod:`~repro.search.strategies` — a
+  JSON-round-trippable :class:`SearchSpace` over the design/tile/precision
+  grammars, with ``grid`` / ``random`` / ``latin-hypercube`` candidate
+  generators, deterministic from a seeded RNG.
+* :mod:`~repro.search.halving` — the :class:`SearchSpec` document (space +
+  strategy + objective + rung ladder) and successive-halving selection.
+* :mod:`~repro.search.session` — the :class:`SearchSession` driver:
+  rung-by-rung evaluation through a shared
+  :class:`~repro.api.DesignSession` (or a fleet), resumable through a
+  shared :class:`~repro.store.ResultStore`.
+
+Front doors: ``runner --search spec.json`` and ``POST /v1/search``.
+"""
+
+from repro.search.halving import (
+    DEFAULT_RUNGS,
+    RungSpec,
+    SearchSpec,
+    keep_count,
+    select_survivors,
+)
+from repro.search.session import (
+    RungRecord,
+    SearchResult,
+    SearchSession,
+    render_search,
+)
+from repro.search.space import Candidate, SearchSpace
+from repro.search.strategies import STRATEGIES, generate_candidates
+
+__all__ = [
+    "SearchSpace",
+    "Candidate",
+    "STRATEGIES",
+    "generate_candidates",
+    "RungSpec",
+    "SearchSpec",
+    "DEFAULT_RUNGS",
+    "keep_count",
+    "select_survivors",
+    "RungRecord",
+    "SearchResult",
+    "SearchSession",
+    "render_search",
+]

@@ -1,0 +1,250 @@
+"""Successive-halving schedule over a search space: specs and selection.
+
+A :class:`SearchSpec` is the whole budgeted search as one JSON document:
+the :class:`~repro.search.space.SearchSpace`, the sampling strategy, the
+selection objective, and a ladder of :class:`RungSpec` fidelities. Rung 0
+scores every candidate with a cheap Figure-3-style protocol; each rung
+keeps the top ``1/eta`` (:func:`select_survivors`) and promotes them to
+the next rung's higher fidelity — more alignment-simulation samples, a
+bigger accuracy batch, extra sources — until an optional final
+``top1=True`` rung scores the few remaining designs on the model-level
+top-1 accuracy path (the paper's Table-2-style check).
+
+Objectives are :meth:`repro.api.DesignReport.metric` strings
+(``"-median_contaminated_bits"``, ``"tops_per_mm2@fp16"`` — higher is
+better after the optional leading ``-``), or ``"pareto:<x>,<y>"`` which
+keeps exactly the :func:`repro.api.pareto_frontier` members in the
+``(x, y)`` plane — the right objective when the paper's question is a
+frontier (accuracy x TOPS/mm2), not a scalar winner.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, asdict
+
+from repro.api.design import DesignReport, pareto_frontier
+from repro.api.spec import (
+    DEFAULT_OP_PRECISIONS,
+    ExecutorSpec,
+    RunSpec,
+    _as_op_precisions,
+    _dump_spec_json,
+    _load_spec_json,
+    _result_fingerprint,
+)
+from repro.search.space import Candidate, SearchSpace
+from repro.search.strategies import STRATEGIES, generate_candidates
+
+__all__ = ["RungSpec", "SearchSpec", "DEFAULT_RUNGS", "keep_count",
+           "select_survivors"]
+
+
+@dataclass(frozen=True)
+class RungSpec:
+    """One fidelity level of the halving ladder.
+
+    ``samples`` feeds the alignment-factor performance simulation;
+    ``batch``/``sources``/``n``/``chunks``/``seed`` build the rung's
+    accuracy protocol (a :class:`~repro.api.RunSpec` template via
+    :meth:`accuracy_spec`). ``top1=True`` marks a model-level rung: instead
+    of the Figure-3 protocol, survivors are scored by top-1 accuracy of the
+    ``top1_style`` trained model on ``top1_n_eval`` held-out samples at the
+    design's resolved precision width — only valid as the final rung.
+    """
+
+    samples: int = 96
+    batch: int = 2000
+    sources: tuple[str, ...] = ("laplace", "normal")
+    n: int = 16
+    chunks: int = 1
+    seed: int = 0
+    top1: bool = False
+    top1_style: str = "plain"
+    top1_n_eval: int = 64
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sources", tuple(self.sources))
+        if self.samples < 1 or self.batch < 1 or self.top1_n_eval < 1:
+            raise ValueError("rung samples, batch, and top1_n_eval must be >= 1")
+        if not self.sources:
+            raise ValueError("rung needs at least one accuracy source")
+
+    def accuracy_spec(self) -> RunSpec:
+        """The rung's accuracy-protocol template (points are injected per
+        design by the evaluating session)."""
+        return RunSpec(name="search-rung", sources=self.sources,
+                       batch=self.batch, n=self.n, chunks=self.chunks,
+                       seed=self.seed)
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["sources"] = list(self.sources)
+        return d
+
+    @classmethod
+    def from_dict(cls, d) -> "RungSpec":
+        if isinstance(d, RungSpec):
+            return d
+        return cls(**d)
+
+
+# Two-rung default: a cheap screen at a quarter of the standard alignment
+# fidelity, then the survivors at DesignPoint's full default fidelity with
+# a doubled accuracy batch.
+DEFAULT_RUNGS = (RungSpec(), RungSpec(samples=384, batch=8000))
+
+
+def keep_count(n: int, eta: int) -> int:
+    """Survivor count of one rung: top ``1/eta``, never below one."""
+    return max(1, math.ceil(n / eta))
+
+
+def _scores_for(reports, metrics: tuple[str, ...]) -> list[list[float]]:
+    return [
+        [math.nan] * len(metrics) if r is None
+        else [float(r.metric(m)) for m in metrics]
+        for r in reports
+    ]
+
+
+def select_survivors(
+    reports: "list[DesignReport | None]", objective: str, eta: int,
+) -> tuple[list[int], list[list[float]]]:
+    """``(survivor_indices, scores)`` of one rung.
+
+    ``scores[i]`` lists candidate *i*'s objective-axis values (one entry
+    for metric objectives, two for ``pareto:``). Metric objectives keep
+    the ``keep_count`` best — higher is better, NaN sorts last, ties break
+    by candidate index — so selection is a pure function of the scores.
+    Pareto objectives keep every frontier member (the frontier *is* the
+    answer; ranking inside it would be arbitrary), however many there are.
+    Indices come back in candidate order either way.
+    """
+    if objective.startswith("pareto:"):
+        axes = tuple(a.strip() for a in objective[len("pareto:"):].split(","))
+        if len(axes) != 2 or not all(axes):
+            raise ValueError(
+                f"pareto objective {objective!r} needs exactly two "
+                "comma-separated metric axes")
+        scores = _scores_for(reports, axes)
+        indexed = [(i, r) for i, r in enumerate(reports) if r is not None]
+        front = pareto_frontier(indexed, lambda t: scores[t[0]][0],
+                                lambda t: scores[t[0]][1])
+        survivors = sorted(i for i, _ in front)
+        if not survivors:
+            raise ValueError(
+                f"objective {objective!r} left an empty frontier "
+                "(all candidates non-finite on some axis)")
+        return survivors, scores
+    scores = _scores_for(reports, (objective,))
+    keep = keep_count(len(reports), eta)
+    ranked = sorted(
+        range(len(reports)),
+        key=lambda i: ((-scores[i][0] if math.isfinite(scores[i][0])
+                        else math.inf), i),
+    )
+    return sorted(ranked[:keep]), scores
+
+
+@dataclass(frozen=True)
+class SearchSpec:
+    """A budgeted design-space search as one serializable document.
+
+    ``count`` is required by the sampling strategies and ignored by
+    ``"grid"``; ``op_precisions``/``rng`` parametrize every generated
+    :class:`~repro.api.DesignPoint` exactly as on
+    :class:`~repro.api.DesignSweepSpec`. ``executor`` pins the replay
+    fan-out backend (runner ``--backend`` overrides; never changes
+    results). The spec's :meth:`fingerprint` keys rung records in a shared
+    :class:`repro.store.ResultStore` — ``name`` and ``executor`` are
+    excluded, so renaming or re-backending a search resumes its own
+    partial results.
+    """
+
+    name: str = "search"
+    space: SearchSpace = SearchSpace()
+    strategy: str = "grid"
+    count: int | None = None
+    seed: int = 0
+    objective: str = "-median_contaminated_bits"
+    eta: int = 3
+    rungs: tuple[RungSpec, ...] = DEFAULT_RUNGS
+    op_precisions: tuple[tuple[int, int], ...] = DEFAULT_OP_PRECISIONS
+    rng: int = 41
+    executor: ExecutorSpec | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "space", SearchSpace.from_dict(self.space))
+        object.__setattr__(self, "rungs", tuple(
+            RungSpec.from_dict(r) for r in self.rungs))
+        object.__setattr__(self, "op_precisions",
+                           _as_op_precisions(self.op_precisions))
+        if self.executor is not None and not isinstance(self.executor, ExecutorSpec):
+            object.__setattr__(self, "executor",
+                               ExecutorSpec.from_dict(self.executor))
+        if self.strategy not in STRATEGIES:
+            raise ValueError(f"unknown strategy {self.strategy!r}; "
+                             f"pick from {STRATEGIES}")
+        if self.strategy != "grid" and self.count is None:
+            raise ValueError(f"strategy {self.strategy!r} needs a count")
+        if self.eta < 2:
+            raise ValueError(f"eta must be >= 2, got {self.eta}")
+        if not self.rungs:
+            raise ValueError("a search needs at least one rung")
+        if any(r.top1 for r in self.rungs[:-1]):
+            raise ValueError("a top1 rung must be the final rung")
+        self._check_objective()
+
+    def _check_objective(self) -> None:
+        obj = self.objective
+        if obj.startswith("pareto:"):
+            axes = obj[len("pareto:"):].split(",")
+            if len(axes) != 2 or not all(a.strip() for a in axes):
+                raise ValueError(
+                    f"pareto objective {obj!r} needs exactly two "
+                    "comma-separated metric axes")
+        elif not obj.lstrip("-"):
+            raise ValueError("objective must name a report metric")
+
+    def candidates(self) -> tuple[Candidate, ...]:
+        """The rung-0 candidate tuple — deterministic from
+        (space, strategy, count, seed)."""
+        return generate_candidates(self.space, self.strategy,
+                                   self.count, self.seed)
+
+    # -- JSON round trip ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "space": self.space.to_dict(),
+            "strategy": self.strategy,
+            "count": self.count,
+            "seed": self.seed,
+            "objective": self.objective,
+            "eta": self.eta,
+            "rungs": [r.to_dict() for r in self.rungs],
+            "op_precisions": [list(p) for p in self.op_precisions],
+            "rng": self.rng,
+            "executor": None if self.executor is None else self.executor.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SearchSpec":
+        if isinstance(d, SearchSpec):
+            return d
+        return cls(**d)
+
+    def fingerprint(self) -> str:
+        """Stable cross-process key for rung records (``name`` and
+        ``executor`` excluded, as on the other spec kinds)."""
+        return _result_fingerprint("search_spec", self.to_dict())
+
+    def to_json(self, path=None) -> str:
+        return _dump_spec_json(self.to_dict(), path)
+
+    @classmethod
+    def from_json(cls, source) -> "SearchSpec":
+        """Load from a JSON string or a path to a JSON file."""
+        return cls.from_dict(_load_spec_json(source))

@@ -1,0 +1,248 @@
+"""Declarative design/tile/precision spaces over the registry grammars.
+
+A :class:`SearchSpace` describes a *set* of joint design-space coordinates
+without enumerating them by hand: axes over the ``mc-ipu:AxB@Wb[/itN/nN/
+ehuN]`` grammar (multiplier shape, adder width, iteration/cluster options),
+plus tile strings and optional :class:`~repro.api.PrecisionPoint`
+overrides. Each axis is a JSON-friendly value — a list of choices or a
+``{"min", "max", "step"}`` range — so a whole space serializes inside a
+:class:`~repro.search.halving.SearchSpec` document.
+
+The space's product is a tuple of :class:`Candidate` triples
+``(design, tile, precision)`` in a canonical, hash-seed-independent order;
+combinations the registries reject (unservable widths, malformed shapes)
+are skipped deterministically. Strategies
+(:mod:`repro.search.strategies`) pick candidates from this product — or
+stratify over the raw axes — and the halving scheduler
+(:mod:`repro.search.session`) turns survivors into
+:class:`~repro.api.DesignPoint` evaluations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.api.spec import DesignPoint, PrecisionPoint
+from repro.hw.registry import parse_design, parse_tile
+
+__all__ = ["SearchSpace", "Candidate"]
+
+# Grammar kinds a space may synthesize design strings for.
+DESIGN_KINDS = ("mc-ipu", "int", "nvdla-like", "native")
+
+
+def _as_choices(value, name: str, cast=int, allow_empty: bool = False) -> tuple:
+    """An axis value — a scalar, a choice list, or a range dict — as a
+    tuple of levels. ``{"min": 16, "max": 28, "step": 4}`` expands
+    inclusively; ``None`` entries pass through (optional axes); an empty
+    design axis (``allow_empty``) zeroes the synthesized product, for
+    spaces built purely from explicit ``designs``."""
+    if isinstance(value, dict):
+        try:
+            lo, hi = int(value["min"]), int(value["max"])
+        except KeyError as exc:
+            raise ValueError(f"axis {name!r} range needs 'min' and 'max' "
+                             f"(got {sorted(value)})") from exc
+        step = int(value.get("step", 1))
+        if step < 1 or hi < lo:
+            raise ValueError(f"axis {name!r} range {value!r} is empty or "
+                             "descending")
+        return tuple(range(lo, hi + 1, step))
+    if isinstance(value, (list, tuple)):
+        levels = tuple(None if v is None else cast(v) for v in value)
+    else:
+        levels = (None if value is None else cast(value),)
+    if not levels and not allow_empty:
+        raise ValueError(f"axis {name!r} has no levels")
+    return levels
+
+
+def _as_precisions(value) -> tuple:
+    if value is None:
+        return (None,)
+    if isinstance(value, (dict, PrecisionPoint)):
+        value = (value,)
+    out = tuple(
+        None if p is None
+        else (p if isinstance(p, PrecisionPoint) else PrecisionPoint.from_dict(p))
+        for p in value
+    )
+    return out or (None,)
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One pre-fidelity search coordinate: design x tile x precision.
+
+    Fidelity (alignment ``samples``, accuracy protocol) is *not* part of a
+    candidate — the halving scheduler assigns it per rung via
+    :meth:`point`.
+    """
+
+    design: str
+    tile: str = "small"
+    precision: PrecisionPoint | None = None
+
+    def __post_init__(self) -> None:
+        if self.precision is not None and not isinstance(self.precision, PrecisionPoint):
+            object.__setattr__(self, "precision",
+                               PrecisionPoint.from_dict(self.precision))
+
+    def point(self, op_precisions, samples: int, rng: int) -> DesignPoint:
+        """The :class:`~repro.api.DesignPoint` of this candidate at one
+        fidelity (alignment-simulation ``samples``/``rng``)."""
+        return DesignPoint(design=self.design, tile=self.tile,
+                           precision=self.precision,
+                           op_precisions=op_precisions,
+                           samples=samples, rng=rng)
+
+    def to_dict(self) -> dict:
+        return {"design": self.design, "tile": self.tile,
+                "precision": None if self.precision is None
+                else self.precision.to_dict()}
+
+    @classmethod
+    def from_dict(cls, d) -> "Candidate":
+        if isinstance(d, Candidate):
+            return d
+        if isinstance(d, str):
+            return cls(design=d)
+        return cls(**d)
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """See module docstring. All axes accept choice lists or range dicts.
+
+    ``kinds``/``mult_a``/``mult_b``/``adder_width``/``it``/``n_inputs``/
+    ``ehu`` span the design grammar (``it=None`` lets the registry derive
+    the temporal iteration count; ``it`` only applies to ``mc-ipu``);
+    ``designs`` appends explicit registry strings (paper names, custom
+    grammars) after the synthesized grid; ``tiles`` and ``precisions``
+    cross everything as in :class:`~repro.api.DesignSweepSpec`.
+    """
+
+    kinds: tuple[str, ...] = ("mc-ipu",)
+    mult_a: tuple[int, ...] = (4,)
+    mult_b: tuple[int, ...] = (4,)
+    adder_width: tuple[int, ...] = (16, 20, 24, 28)
+    it: tuple[int | None, ...] = (None,)
+    n_inputs: tuple[int, ...] = (16,)
+    ehu: tuple[int, ...] = (8,)
+    designs: tuple[str, ...] = ()
+    tiles: tuple[str, ...] = ("small",)
+    precisions: tuple[PrecisionPoint | None, ...] = (None,)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kinds",
+                           _as_choices(self.kinds, "kinds", str, allow_empty=True))
+        for axis in ("mult_a", "mult_b", "adder_width", "it", "n_inputs", "ehu"):
+            object.__setattr__(self, axis, _as_choices(getattr(self, axis), axis,
+                                                       allow_empty=True))
+        for kind in self.kinds:
+            if kind not in DESIGN_KINDS:
+                raise ValueError(f"unknown design kind {kind!r}; "
+                                 f"pick from {DESIGN_KINDS}")
+        object.__setattr__(self, "designs",
+                           tuple(str(d) for d in (self.designs or ())))
+        tiles = _as_choices(self.tiles, "tiles", str)
+        for tile in tiles:
+            parse_tile(tile)  # fail early on malformed tile strings
+        object.__setattr__(self, "tiles", tiles)
+        object.__setattr__(self, "precisions", _as_precisions(self.precisions))
+
+    # -- enumeration -------------------------------------------------------
+
+    @staticmethod
+    def design_string(kind: str, a: int, b: int, width: int,
+                      it: int | None, n: int, ehu: int) -> str:
+        """The grammar spelling of one design-axis combination."""
+        spec = f"{kind}:{a}x{b}@{width}b"
+        if it is not None and kind == "mc-ipu":
+            spec += f"/it{it}"
+        if n != 16:
+            spec += f"/n{n}"
+        if ehu != 8:
+            spec += f"/ehu{ehu}"
+        return spec
+
+    def design_axes(self) -> dict[str, tuple]:
+        """The stratifiable axes, name -> levels, in canonical order (the
+        declaration order of the dataclass fields)."""
+        return {"kinds": self.kinds, "mult_a": self.mult_a,
+                "mult_b": self.mult_b, "adder_width": self.adder_width,
+                "it": self.it, "n_inputs": self.n_inputs, "ehu": self.ehu,
+                "tiles": self.tiles, "precisions": self.precisions}
+
+    def candidate_at(self, levels: dict) -> Candidate | None:
+        """The candidate of one axis-level assignment, or ``None`` when the
+        registries reject the combination (deterministic skip)."""
+        design = self.design_string(
+            levels["kinds"], levels["mult_a"], levels["mult_b"],
+            levels["adder_width"], levels["it"], levels["n_inputs"],
+            levels["ehu"])
+        return self._validated(design, levels["tiles"], levels["precisions"])
+
+    @staticmethod
+    def _validated(design: str, tile: str, precision) -> Candidate | None:
+        try:
+            canonical = parse_design(design).name
+            candidate = Candidate(canonical, tile, precision)
+            # reject unservable width/precision combos now, not mid-rung
+            candidate.point(((16, 16),), samples=1, rng=0).resolved_precision()
+        except (ValueError, KeyError):
+            return None
+        return candidate
+
+    def candidates(self) -> tuple[Candidate, ...]:
+        """The full valid cross product: synthesized designs (axes in
+        declaration order) then explicit ``designs``, each crossed with
+        tiles (middle) and precisions (inner); invalid combinations are
+        skipped and duplicate canonical designs keep their first spelling.
+        Pure function of the space — no hashing, no wall clock — so every
+        process enumerates the identical tuple."""
+        design_strings: list[str] = [
+            self.design_string(kind, a, b, w, it, n, e)
+            for kind in self.kinds
+            for a in self.mult_a
+            for b in self.mult_b
+            for w in self.adder_width
+            for it in self.it
+            for n in self.n_inputs
+            for e in self.ehu
+        ]
+        design_strings.extend(self.designs)
+        out: list[Candidate] = []
+        seen: set[str] = set()
+        for design in design_strings:
+            try:
+                canonical = parse_design(design).name
+            except (ValueError, KeyError):
+                continue
+            if canonical in seen:
+                continue
+            seen.add(canonical)
+            for tile in self.tiles:
+                for precision in self.precisions:
+                    candidate = self._validated(canonical, tile, precision)
+                    if candidate is not None:
+                        out.append(candidate)
+        return tuple(out)
+
+    # -- JSON round trip ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        d = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "precisions":
+                d[f.name] = [None if p is None else p.to_dict() for p in value]
+            else:
+                d[f.name] = list(value)
+        return d
+
+    @classmethod
+    def from_dict(cls, d) -> "SearchSpace":
+        if isinstance(d, SearchSpace):
+            return d
+        return cls(**d)

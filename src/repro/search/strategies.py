@@ -1,0 +1,106 @@
+"""Candidate generators over a :class:`~repro.search.space.SearchSpace`.
+
+Three strategies, all deterministic functions of ``(space, count, seed)``:
+
+``grid``
+    The full valid cross product, canonical order. ``count`` is ignored.
+
+``random``
+    ``count`` distinct candidates drawn uniformly (without replacement)
+    from the product, kept in canonical product order so downstream rung
+    records are position-stable.
+
+``latin-hypercube``
+    ``count`` axis-stratified samples: each design axis is split into
+    ``count`` equal strata and every stratum is visited exactly once per
+    axis (an independent permutation per axis), giving one-dimensional
+    coverage no plain random draw guarantees. Combinations the registries
+    reject are dropped and duplicates collapse, so the result may be
+    shorter than ``count``.
+
+Everything routes through ``np.random.default_rng(seed)`` — no global
+RNG, no hash ordering — so the same spec yields the identical candidate
+tuple in every process, under any ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.search.space import Candidate, SearchSpace
+
+__all__ = ["STRATEGIES", "generate_candidates"]
+
+STRATEGIES = ("grid", "random", "latin-hypercube")
+
+
+def _require_count(strategy: str, count) -> int:
+    if count is None:
+        raise ValueError(f"strategy {strategy!r} needs an explicit count")
+    count = int(count)
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    return count
+
+
+def _random(space: SearchSpace, count: int, seed: int) -> tuple[Candidate, ...]:
+    pool = space.candidates()
+    if not pool:
+        raise ValueError("search space has no valid candidates")
+    count = min(count, len(pool))
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(len(pool), size=count, replace=False)
+    return tuple(pool[i] for i in sorted(int(i) for i in picks))
+
+
+def _latin_hypercube(space: SearchSpace, count: int, seed: int) -> tuple[Candidate, ...]:
+    axes = space.design_axes()
+    empty = [name for name, levels in axes.items() if not levels]
+    if empty:
+        raise ValueError(
+            f"latin-hypercube stratifies the design axes, but {empty} are "
+            "empty (explicit-designs-only spaces take 'grid' or 'random')")
+    rng = np.random.default_rng(seed)
+    # One independent stratum permutation per axis; sample i takes stratum
+    # perm[i], mapped to the level index at the stratum's midpoint.
+    columns: dict[str, list] = {}
+    for name, levels in axes.items():
+        perm = rng.permutation(count)
+        idx = ((perm + 0.5) / count * len(levels)).astype(int)
+        columns[name] = [levels[min(j, len(levels) - 1)] for j in idx]
+    out: list[Candidate] = []
+    seen: set = set()
+    for i in range(count):
+        levels = {name: columns[name][i] for name in axes}
+        tile, precision = levels.pop("tiles"), levels.pop("precisions")
+        candidate = space.candidate_at({**levels, "tiles": tile,
+                                        "precisions": precision})
+        if candidate is None:
+            continue
+        key = (candidate.design, candidate.tile, candidate.precision)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(candidate)
+    if not out:
+        raise ValueError("latin-hypercube drew no valid candidates; "
+                         "widen the space or raise count")
+    return tuple(out)
+
+
+def generate_candidates(
+    space: SearchSpace, strategy: str = "grid",
+    count: int | None = None, seed: int = 0,
+) -> tuple[Candidate, ...]:
+    """The candidate tuple of one (space, strategy, count, seed). See the
+    module docstring for strategy semantics."""
+    if strategy == "grid":
+        candidates = space.candidates()
+        if not candidates:
+            raise ValueError("search space has no valid candidates")
+        return candidates
+    if strategy == "random":
+        return _random(space, _require_count(strategy, count), seed)
+    if strategy == "latin-hypercube":
+        return _latin_hypercube(space, _require_count(strategy, count), seed)
+    raise ValueError(f"unknown strategy {strategy!r}; pick from {STRATEGIES}")

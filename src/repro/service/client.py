@@ -60,8 +60,12 @@ def _as_spec_dict(spec) -> dict:
 
 
 def spec_kind(spec_dict: dict) -> str:
-    """``"design-sweep"`` for design grids, ``"sweep"`` for precision grids
-    (the two spec schemas are disjoint: only design specs carry ``designs``)."""
+    """``"search"`` for search documents, ``"design-sweep"`` for design
+    grids, ``"sweep"`` for precision grids (the spec schemas are disjoint:
+    only search specs carry ``space``/``strategy``, only design specs carry
+    ``designs``)."""
+    if "space" in spec_dict or "strategy" in spec_dict:
+        return "search"
     return "design-sweep" if "designs" in spec_dict else "sweep"
 
 

@@ -7,6 +7,7 @@ optional persistent :class:`~repro.store.ResultStore`) behind a JSON API::
 
     POST /v1/sweep          body: RunSpec JSON         -> {"job": ..., ...}
     POST /v1/design-sweep   body: DesignSweepSpec JSON -> {"job": ..., ...}
+    POST /v1/search         body: SearchSpec JSON      -> {"job": ..., ...}
     GET  /v1/jobs/<id>[?wait=SECONDS]                  -> job status/result
     GET  /v1/healthz                                   -> cheap liveness probe
     GET  /v1/stats                                     -> service + store stats
@@ -98,7 +99,7 @@ class Job:
     """One queued/running/finished computation (see module docstring)."""
 
     id: str
-    kind: str  # "sweep" | "design-sweep"
+    kind: str  # "sweep" | "design-sweep" | "search"
     fingerprint: str
     spec: RunSpec | DesignSweepSpec
     status: str = "queued"  # -> "running" -> "done" | "error"
@@ -304,6 +305,16 @@ class SweepService:
             return {**base,
                     "points": sweep_points_to_dicts(sweep.points),
                     "rendered": render_sweep(sweep, title=job.spec.name)}
+        if job.kind == "search":
+            from repro.search import SearchSession, render_search
+
+            # share the service's design session (and store: rung records
+            # persist, so a rebooted service resumes a killed search)
+            session = SearchSession(design=self.design, store=self.store)
+            result = session.run(job.spec)
+            return {**base,
+                    "result": result.to_dict(),
+                    "rendered": render_search(result)}
         reports = self.design.sweep(job.spec)
         return {**base,
                 "reports": [r.to_dict() for r in reports],
@@ -450,7 +461,8 @@ class _Handler(BaseHTTPRequestHandler):
             # thread's critical path before the response is flushed
             threading.Thread(target=self.server.shutdown, daemon=True).start()
             return
-        kinds = {"/v1/sweep": "sweep", "/v1/design-sweep": "design-sweep"}
+        kinds = {"/v1/sweep": "sweep", "/v1/design-sweep": "design-sweep",
+                 "/v1/search": "search"}
         kind = kinds.get(url.path)
         if kind is None:
             self._send(404, {"error": f"unknown path {url.path!r}"})

@@ -1,0 +1,141 @@
+"""Adversarial operand sources: mixture grammars and tensor dumps."""
+
+import numpy as np
+import pytest
+
+from repro.api import EmulationSession, RunSpec
+from repro.nn.sampling import (
+    parse_mixture_source,
+    sample_mixture_operands,
+    tensor_dump_operands,
+)
+
+
+class TestMixtureGrammar:
+    def test_parse_fills_the_model(self):
+        model = parse_mixture_source("mixture:laplace+outliers@0.01")
+        assert model.family == "laplace"
+        assert model.outlier_fraction == 0.01
+        assert model.outlier_log2_shift == 8.0  # the default shift
+
+    def test_parse_explicit_shift(self):
+        model = parse_mixture_source("mixture:normal+outliers@0.05/12")
+        assert (model.family, model.outlier_fraction,
+                model.outlier_log2_shift) == ("normal", 0.05, 12.0)
+
+    @pytest.mark.parametrize("source", [
+        "mixture:laplace",                     # no outlier clause
+        "mixture:+outliers@0.01",              # no family
+        "mixture:laplace+outliers@",           # no fraction
+        "laplace+outliers@0.01",               # no prefix
+    ])
+    def test_malformed_grammar_rejected(self, source):
+        with pytest.raises(ValueError, match="malformed mixture source"):
+            parse_mixture_source(source)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown mixture family"):
+            parse_mixture_source("mixture:cauchy+outliers@0.01")
+
+    @pytest.mark.parametrize("p", ["0.0", "1.0"])
+    def test_fraction_bounds(self, p):
+        with pytest.raises(ValueError, match="outlier fraction"):
+            parse_mixture_source(f"mixture:laplace+outliers@{p}")
+
+    def test_sampling_is_deterministic_and_outliers_shift_exponents(self):
+        source = "mixture:laplace+outliers@0.2/10"
+        a1, b1 = sample_mixture_operands(source, batch=200, n=16, rng=5)
+        a2, _ = sample_mixture_operands(source, batch=200, n=16, rng=5)
+        np.testing.assert_array_equal(a1, a2)
+        assert a1.shape == b1.shape == (200, 16)
+        base = np.abs(np.random.default_rng(5).laplace(
+            0.0, 2.0 ** -0.5, size=(200, 16)))
+        # a fifth of the population shifted by ~10 octaves dominates the max
+        assert np.abs(a1).max() > 50 * base.max()
+
+    def test_run_spec_validates_mixture_sources_eagerly(self):
+        spec = RunSpec.grid(name="adv", precisions=(16,),
+                            sources=("mixture:laplace+outliers@0.01",),
+                            batch=50)
+        assert spec.sources[0].startswith("mixture:")
+        with pytest.raises(ValueError, match="malformed mixture source"):
+            RunSpec.grid(name="bad", precisions=(16,),
+                         sources=("mixture:laplace",))
+
+    def test_outlier_source_contaminates_more_bits(self):
+        clean = RunSpec.grid(name="clean", sources=("laplace",),
+                             precisions=(16,), batch=400, seed=3)
+        dirty = RunSpec.grid(name="dirty",
+                             sources=("mixture:laplace+outliers@0.1/10",),
+                             precisions=(16,), batch=400, seed=3)
+        with EmulationSession() as session:
+            err_clean = session.sweep(clean).points[0].stats.mean_contaminated_bits
+            err_dirty = session.sweep(dirty).points[0].stats.mean_contaminated_bits
+        assert err_dirty > err_clean
+
+
+class TestTensorDump:
+    def _dump(self, tmp_path, name, **arrays):
+        path = tmp_path / name
+        if name.endswith(".npy"):
+            np.save(path, arrays["values"])
+        else:
+            np.savez(path, **arrays)
+        return str(path)
+
+    def test_npy_pool_feeds_both_operands(self, tmp_path):
+        pool = np.linspace(1.0, 2.0, 64)
+        path = self._dump(tmp_path, "vals.npy", values=pool)
+        a, b = tensor_dump_operands(f"tensor-dump:{path}", batch=30, n=8, rng=1)
+        assert a.shape == b.shape == (30, 8)
+        assert set(np.unique(a)) <= set(pool)
+        assert set(np.unique(b)) <= set(pool)
+
+    def test_npz_a_b_pools_stay_separate(self, tmp_path):
+        path = self._dump(tmp_path, "ab.npz",
+                          a=np.full(16, 3.0), b=np.full(16, 5.0))
+        a, b = tensor_dump_operands(f"tensor-dump:{path}", batch=10, n=4, rng=0)
+        assert np.all(a == 3.0) and np.all(b == 5.0)
+
+    def test_npz_values_key(self, tmp_path):
+        path = self._dump(tmp_path, "v.npz", values=np.arange(1.0, 9.0))
+        a, b = tensor_dump_operands(f"tensor-dump:{path}", batch=5, n=3, rng=2)
+        assert a.min() >= 1.0 and b.max() <= 8.0
+
+    def test_sampling_is_deterministic_in_the_rng(self, tmp_path):
+        path = self._dump(tmp_path, "d.npy", values=np.random.default_rng(0)
+                          .normal(size=256))
+        a1, b1 = tensor_dump_operands(f"tensor-dump:{path}", 20, 8, rng=9)
+        a2, b2 = tensor_dump_operands(f"tensor-dump:{path}", 20, 8, rng=9)
+        np.testing.assert_array_equal(a1, a2)
+        np.testing.assert_array_equal(b1, b2)
+
+    def test_non_finite_values_are_filtered(self, tmp_path):
+        path = self._dump(tmp_path, "inf.npy",
+                          values=np.array([1.0, np.inf, np.nan, 2.0]))
+        a, b = tensor_dump_operands(f"tensor-dump:{path}", 50, 4, rng=0)
+        assert np.isfinite(a).all() and np.isfinite(b).all()
+
+    def test_missing_and_malformed_dumps_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="does not exist"):
+            tensor_dump_operands("tensor-dump:/nope/missing.npy", 4, 4, rng=0)
+        bad = self._dump(tmp_path, "bad.npz", weights=np.ones(4))
+        with pytest.raises(ValueError, match="'a'\\+'b' arrays or a 'values'"):
+            tensor_dump_operands(f"tensor-dump:{bad}", 4, 4, rng=0)
+        empty = self._dump(tmp_path, "empty.npy",
+                           values=np.array([np.nan, np.inf]))
+        with pytest.raises(ValueError, match="no finite values"):
+            tensor_dump_operands(f"tensor-dump:{empty}", 4, 4, rng=0)
+
+    def test_dump_source_runs_through_a_sweep(self, tmp_path):
+        pool = np.random.default_rng(4).laplace(size=512)
+        path = self._dump(tmp_path, "sweep.npy", values=pool)
+        spec = RunSpec.grid(name="dump-sweep",
+                            sources=(f"tensor-dump:{path}",),
+                            precisions=(12, 16), batch=100, seed=1)
+        with EmulationSession() as session:
+            first = session.sweep(spec)
+            second = session.sweep(spec)
+        assert len(first.points) == 2
+        assert [p.stats.mean_abs_error for p in first.points] == \
+            [p.stats.mean_abs_error for p in second.points]

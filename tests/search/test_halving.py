@@ -1,0 +1,148 @@
+"""repro.search.halving: rung specs, selection, the SearchSpec document."""
+
+import json
+import math
+
+import pytest
+
+from repro.api import ExecutorSpec
+from repro.search import (
+    DEFAULT_RUNGS,
+    RungSpec,
+    SearchSpace,
+    SearchSpec,
+    keep_count,
+    select_survivors,
+)
+
+
+class _StubReport:
+    """Just enough of DesignReport for select_survivors: a metric table."""
+
+    def __init__(self, **metrics):
+        self._metrics = metrics
+
+    def metric(self, name):
+        if name.startswith("-"):
+            return -self._metrics[name[1:]]
+        return self._metrics[name]
+
+
+def _reports(*errs):
+    return [None if e is None else _StubReport(err=e, speed=i)
+            for i, e in enumerate(errs)]
+
+
+class TestKeepCount:
+    def test_top_one_over_eta_never_below_one(self):
+        assert keep_count(9, 3) == 3
+        assert keep_count(10, 3) == 4  # ceil
+        assert keep_count(2, 3) == 1
+        assert keep_count(1, 2) == 1
+
+
+class TestSelectSurvivors:
+    def test_metric_objective_keeps_the_best(self):
+        survivors, scores = select_survivors(_reports(3.0, 9.0, 1.0, 7.0),
+                                             "-err", eta=2)
+        # higher is better; "-err" means low error wins: errs 1.0 and 3.0
+        assert survivors == [0, 2]
+        assert scores == [[-3.0], [-9.0], [-1.0], [-7.0]]
+
+    def test_nan_and_missing_reports_sort_last(self):
+        reports = _reports(3.0, None, math.nan, 1.0)
+        survivors, scores = select_survivors(reports, "-err", eta=2)
+        assert survivors == [0, 3]
+        assert math.isnan(scores[1][0]) and math.isnan(scores[2][0])
+
+    def test_ties_break_by_candidate_index(self):
+        survivors, _ = select_survivors(_reports(5.0, 5.0, 5.0), "-err", eta=3)
+        assert survivors == [0]
+
+    def test_pareto_objective_keeps_the_whole_frontier(self):
+        # (speed, -err) plane: 0 and 3 dominate everything; eta is ignored.
+        reports = [_StubReport(err=1.0, speed=1.0),   # best err
+                   _StubReport(err=2.0, speed=0.5),   # dominated by 0
+                   _StubReport(err=3.0, speed=3.0),   # dominated by 3
+                   _StubReport(err=2.0, speed=4.0)]   # best speed
+        survivors, scores = select_survivors(reports, "pareto:speed,-err",
+                                             eta=100)
+        assert survivors == [0, 3]
+        assert scores[3] == [4.0, -2.0]
+
+    def test_pareto_objective_needs_two_axes(self):
+        with pytest.raises(ValueError, match="two"):
+            select_survivors(_reports(1.0), "pareto:speed", eta=2)
+
+    def test_all_missing_reports_is_an_error(self):
+        with pytest.raises(ValueError, match="empty frontier"):
+            select_survivors(_reports(None, None), "pareto:speed,-err", eta=2)
+
+
+class TestRungSpec:
+    def test_accuracy_spec_carries_the_protocol(self):
+        rung = RungSpec(samples=24, batch=500, sources=("uniform",), n=8,
+                        chunks=2, seed=9)
+        acc = rung.accuracy_spec()
+        assert acc.sources == ("uniform",)
+        assert (acc.batch, acc.n, acc.chunks, acc.seed) == (500, 8, 2, 9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            RungSpec(samples=0)
+        with pytest.raises(ValueError, match="at least one accuracy source"):
+            RungSpec(sources=())
+
+    def test_round_trip(self):
+        rung = RungSpec(samples=12, top1=True, top1_n_eval=32)
+        assert RungSpec.from_dict(json.loads(json.dumps(rung.to_dict()))) == rung
+
+
+class TestSearchSpec:
+    def test_defaults_are_a_runnable_document(self):
+        spec = SearchSpec()
+        assert spec.rungs == DEFAULT_RUNGS
+        assert len(spec.candidates()) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            SearchSpec(strategy="hillclimb")
+        with pytest.raises(ValueError, match="needs a count"):
+            SearchSpec(strategy="random")
+        with pytest.raises(ValueError, match="eta"):
+            SearchSpec(eta=1)
+        with pytest.raises(ValueError, match="at least one rung"):
+            SearchSpec(rungs=())
+        with pytest.raises(ValueError, match="final rung"):
+            SearchSpec(rungs=(RungSpec(top1=True), RungSpec()))
+        with pytest.raises(ValueError, match="metric"):
+            SearchSpec(objective="-")
+        with pytest.raises(ValueError, match="two"):
+            SearchSpec(objective="pareto:one-axis")
+
+    def test_json_round_trip(self, tmp_path):
+        spec = SearchSpec(name="rt", strategy="random", count=3, seed=7,
+                          space=SearchSpace(mult_a=(4, 8)),
+                          objective="pareto:tops_per_mm2@4x4,-median_contaminated_bits",
+                          rungs=(RungSpec(samples=8, batch=200),),
+                          op_precisions=((8, 8),),
+                          executor=ExecutorSpec(backend="thread", workers=2))
+        path = tmp_path / "spec.json"
+        spec.to_json(path)
+        clone = SearchSpec.from_json(path)
+        assert clone == spec
+        assert clone.to_dict() == spec.to_dict()
+        assert clone.candidates() == spec.candidates()
+
+    def test_fingerprint_ignores_name_and_executor(self):
+        base = SearchSpec(name="a")
+        renamed = SearchSpec(name="b",
+                             executor=ExecutorSpec(backend="thread", workers=4))
+        assert base.fingerprint() == renamed.fingerprint()
+
+    def test_fingerprint_tracks_search_parameters(self):
+        base = SearchSpec()
+        assert SearchSpec(eta=5).fingerprint() != base.fingerprint()
+        assert SearchSpec(seed=1).fingerprint() != base.fingerprint()
+        assert (SearchSpec(rungs=(RungSpec(batch=100),)).fingerprint()
+                != base.fingerprint())

@@ -1,0 +1,174 @@
+"""repro.search.space + strategies: enumeration, validation, determinism."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.api import PrecisionPoint
+from repro.search import Candidate, SearchSpace, generate_candidates
+
+TABLE1 = ("mc-ser", "mc-ipu4", "mc-ipu84", "mc-ipu8",
+          "nvdla", "fp16", "int8", "int4")
+
+
+class TestSearchSpace:
+    def test_default_space_enumerates_mc_ipu_widths(self):
+        candidates = SearchSpace().candidates()
+        designs = [c.design for c in candidates]
+        assert designs == ["mc-ipu:4x4@16b", "mc-ipu:4x4@20b",
+                           "mc-ipu:4x4@24b", "mc-ipu:4x4@28b"]
+        assert all(c.tile == "small" and c.precision is None
+                   for c in candidates)
+
+    def test_range_dict_expands_inclusively(self):
+        space = SearchSpace(adder_width={"min": 16, "max": 28, "step": 4})
+        assert space.adder_width == (16, 20, 24, 28)
+
+    def test_range_dict_needs_min_and_max(self):
+        with pytest.raises(ValueError, match="'min' and 'max'"):
+            SearchSpace(adder_width={"max": 28})
+        with pytest.raises(ValueError, match="empty or descending"):
+            SearchSpace(adder_width={"min": 28, "max": 16})
+
+    def test_explicit_designs_only_space(self):
+        space = SearchSpace(kinds=(), mult_a=(), mult_b=(), adder_width=(),
+                            it=(), n_inputs=(), ehu=(), designs=TABLE1)
+        designs = [c.design for c in space.candidates()]
+        assert len(designs) == len(TABLE1)
+        assert "MC-IPU4" in designs and "FP16" in designs
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown design kind"):
+            SearchSpace(kinds=("warp-drive",))
+
+    def test_malformed_explicit_design_skipped(self):
+        space = SearchSpace(kinds=(), mult_a=(), mult_b=(), adder_width=(),
+                            it=(), n_inputs=(), ehu=(),
+                            designs=("mc-ipu4", "not-a-design"))
+        assert [c.design for c in space.candidates()] == ["MC-IPU4"]
+
+    def test_duplicate_canonical_designs_collapse(self):
+        space = SearchSpace(kinds=(), mult_a=(), mult_b=(), adder_width=(),
+                            it=(), n_inputs=(), ehu=(),
+                            designs=("MC-IPU4", "mc-ipu4"))
+        assert len(space.candidates()) == 1
+
+    def test_synthesized_and_registered_names_stay_distinct(self):
+        # MC-IPU4 (registered) and mc-ipu:4x4@16b (grammar) share geometry
+        # but are distinct registry entries — both must survive.
+        space = SearchSpace(adder_width=(16,), designs=("mc-ipu4",))
+        assert [c.design for c in space.candidates()] == \
+            ["mc-ipu:4x4@16b", "MC-IPU4"]
+
+    def test_tiles_and_precisions_cross_product_order(self):
+        space = SearchSpace(adder_width=(16,),
+                            tiles=("small", "big"),
+                            precisions=(None, {"adder_width": 20}))
+        got = [(c.tile, None if c.precision is None
+                else c.precision.adder_width)
+               for c in space.candidates()]
+        assert got == [("small", None), ("small", 20),
+                       ("big", None), ("big", 20)]
+
+    def test_to_dict_round_trip(self):
+        space = SearchSpace(mult_a=(4, 8), adder_width={"min": 16, "max": 20,
+                                                        "step": 4},
+                            designs=("fp16",),
+                            precisions=(None, PrecisionPoint(adder_width=20)))
+        clone = SearchSpace.from_dict(json.loads(json.dumps(space.to_dict())))
+        assert clone == space
+        assert clone.candidates() == space.candidates()
+
+
+class TestCandidate:
+    def test_from_dict_accepts_strings_and_dicts(self):
+        assert Candidate.from_dict("mc-ipu4") == Candidate(design="mc-ipu4")
+        c = Candidate.from_dict({"design": "fp16", "tile": "big",
+                                 "precision": {"adder_width": 20}})
+        assert c.tile == "big" and c.precision.adder_width == 20
+
+    def test_point_carries_fidelity(self):
+        point = Candidate("mc-ipu4").point(((8, 8),), samples=7, rng=3)
+        assert point.samples == 7 and point.rng == 3
+        assert point.op_precisions == ((8, 8),)
+
+
+class TestStrategies:
+    def _space(self):
+        return SearchSpace(mult_a=(4, 8), mult_b=(4, 8),
+                           adder_width=(16, 20, 24, 28))
+
+    def test_grid_is_the_full_product(self):
+        space = self._space()
+        assert generate_candidates(space, "grid") == space.candidates()
+
+    def test_random_is_a_deterministic_subset(self):
+        space = self._space()
+        a = generate_candidates(space, "random", count=5, seed=11)
+        b = generate_candidates(space, "random", count=5, seed=11)
+        assert a == b and len(a) == 5
+        assert set(a) <= set(space.candidates())
+        # canonical product order, not draw order
+        pool = space.candidates()
+        assert sorted(a, key=pool.index) == list(a)
+        assert generate_candidates(space, "random", count=5, seed=12) != a
+
+    def test_random_count_clamps_to_pool(self):
+        space = self._space()
+        got = generate_candidates(space, "random", count=999, seed=0)
+        assert got == space.candidates()
+
+    def test_latin_hypercube_stratifies_deterministically(self):
+        space = self._space()
+        a = generate_candidates(space, "latin-hypercube", count=8, seed=2)
+        b = generate_candidates(space, "latin-hypercube", count=8, seed=2)
+        assert a == b
+        assert 0 < len(a) <= 8
+        assert len(set(a)) == len(a)
+        # every sample must come from the space's grammar
+        designs = {c.design for c in space.candidates()}
+        assert {c.design for c in a} <= designs
+
+    def test_latin_hypercube_rejects_empty_design_axes(self):
+        space = SearchSpace(kinds=(), mult_a=(), mult_b=(), adder_width=(),
+                            it=(), n_inputs=(), ehu=(), designs=TABLE1)
+        with pytest.raises(ValueError, match="grid' or 'random'"):
+            generate_candidates(space, "latin-hypercube", count=4, seed=0)
+
+    def test_sampling_strategies_require_count(self):
+        space = self._space()
+        for strategy in ("random", "latin-hypercube"):
+            with pytest.raises(ValueError, match="needs an explicit count"):
+                generate_candidates(space, strategy)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            generate_candidates(self._space(), "simulated-annealing")
+
+
+_HASHSEED_SCRIPT = """\
+import json
+from repro.search import SearchSpace, generate_candidates
+space = SearchSpace(mult_a=(4, 8), mult_b=(4, 8), adder_width=(16, 20, 24),
+                    designs=("mc-ipu4", "nvdla", "fp16"))
+out = {s: [c.to_dict() for c in generate_candidates(space, s, count=6, seed=3)]
+       for s in ("grid", "random", "latin-hypercube")}
+print(json.dumps(out, sort_keys=True))
+"""
+
+
+def test_candidate_order_is_hash_seed_independent():
+    """The same spec enumerates the identical candidate tuple in any
+    process, under any PYTHONHASHSEED — rung records index into it."""
+    outputs = []
+    for hashseed in ("0", "4242"):
+        env = dict(os.environ, PYTHONHASHSEED=hashseed)
+        proc = subprocess.run([sys.executable, "-c", _HASHSEED_SCRIPT],
+                              capture_output=True, text=True, env=env,
+                              timeout=120)
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        outputs.append(proc.stdout)
+    assert outputs[0] == outputs[1]
