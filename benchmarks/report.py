@@ -20,8 +20,10 @@ Outputs:
   chunk-size scan behind ``DEFAULT_CHUNK_ELEMENTS``, the cold-vs-warm
   ``DesignSession.sweep`` design-space row (Table-1 grid), the
   ``store_cold``/``store_warm`` persistent-store rows (store engagement
-  asserted via its hit/miss stats), and the HTTP service round-trip row
-  (cold submit vs store-served resubmit through ``repro.service``)
+  asserted via its hit/miss stats), the HTTP service round-trip row
+  (cold submit vs store-served resubmit through ``repro.service``), and
+  the ``chaos_overhead`` row (hook sites disarmed vs armed with an
+  empty plan — ~zero when disarmed, bit-identical either way)
 - ``BENCH_fig3.json``     — the quick Figure-3 sweep (same config as
   ``benchmarks/test_bench_fig3.py``)
 - ``BENCH_accuracy.json`` — the quick §3.1 accuracy run (same config as
@@ -618,12 +620,45 @@ def bench_search_halving(repeats):
     }
 
 
+def bench_chaos(repeats):
+    """Chaos-hook cost: disarmed (the production default) vs armed.
+
+    Disarmed, every hook site is one module-global load plus a ``None``
+    check — this row keeps that ~zero. The armed leg installs an *empty*
+    ``FaultPlan`` so each hook pays full engine dispatch with nothing to
+    inject; both legs must stay bit-identical to each other.
+    """
+    from repro.chaos import FaultPlan, install
+
+    spec = RunSpec.grid(name="bench-chaos", precisions=(8, 12, 16, 20),
+                        accumulators=("fp32",), sources=("laplace", "normal"),
+                        batch=4000, chunks=2, seed=0)
+    disarmed_s, base = _best_of(lambda: EmulationSession().sweep(spec),
+                                repeats)
+
+    def armed():
+        with install(FaultPlan.of(seed=0)):
+            return EmulationSession().sweep(spec)
+
+    armed_s, chaotic = _best_of(armed, repeats)
+    return {
+        "chaos_overhead": {
+            "hooks_disarmed_seconds": round(disarmed_s, 4),
+            "hooks_armed_seconds": round(armed_s, 4),
+            "seconds": round(armed_s, 4),
+            "chaos_overhead_pct": round(100 * (armed_s / disarmed_s - 1), 2),
+            "identical": chaotic.points == base.points,
+        },
+    }
+
+
 def bench_kernels_and_session(repeats):
     return {**bench_kernels(repeats), **bench_engine_modes(repeats),
             **bench_session(repeats), **bench_chunk_block(repeats),
             **bench_design_space(repeats), **bench_search_halving(repeats),
             **bench_store(repeats),
-            **bench_service(repeats), **bench_fleet(repeats)}
+            **bench_service(repeats), **bench_fleet(repeats),
+            **bench_chaos(repeats)}
 
 
 def bench_fig3(repeats):
@@ -707,6 +742,11 @@ def main(argv=None) -> int:
             elif "int32_seconds" in r:
                 print(f"  int32 {r['int32_seconds']}s -> forced int64 "
                       f"{r['int64_seconds']}s ({r['int64_cost']}x cost, "
+                      f"results {mark})")
+            elif "chaos_overhead_pct" in r:
+                print(f"  chaos hooks: disarmed {r['hooks_disarmed_seconds']}s "
+                      f"-> armed (empty plan) {r['hooks_armed_seconds']}s "
+                      f"({r['chaos_overhead_pct']:+.2f}% overhead, "
                       f"results {mark})")
             elif "overhead_pct" in r:
                 print(f"  engine {r['engine_seconds']}s -> session {r['session_seconds']}s "

@@ -50,13 +50,14 @@ import multiprocessing
 import os
 import tempfile
 import threading
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro.chaos.engine import chaos_hook
 from repro.fp.formats import np_float_dtype
 from repro.ipu.engine import (
     FPIPBatchResult,
@@ -392,14 +393,22 @@ def _release_plan(shm: shared_memory.SharedMemory) -> None:
 
 
 def _kernel_task(desc_a, desc_b, shape, lo, hi, points, chunk_rows, own_tracker,
-                 engine, result):
+                 engine, result, crash=False):
     """One span of fp_ip_points against shared-memory operand plans.
 
     ``result`` describes the parent's preallocated result block; the span's
     outputs are written straight into its ``[lo, hi)`` rows and nothing is
     returned — the kernel output never crosses the process boundary as a
     pickle.
+
+    ``crash`` is the chaos layer's ``worker-crash`` directive, consumed by
+    the parent at dispatch time (fork workers don't share the armed
+    engine): the worker dies before touching the result block, the pool
+    breaks, and the parent re-dispatches the span — spans write disjoint
+    rows, so a re-run is idempotent.
     """
+    if crash:
+        os._exit(17)  # noqa: SLF001 - simulate a hard worker death
     shape = tuple(shape)
     shm_a, pa = _attach_plan(desc_a, own_tracker)
     shm_b, pb = _attach_plan(desc_b, own_tracker)
@@ -444,6 +453,10 @@ class ProcessExecutor:
 
     name = "process"
 
+    # Worker deaths tolerated per run_points/map_tasks call before giving
+    # up — a systematically crashing task (OOM kill loop) must not spin.
+    MAX_POOL_REBUILDS = 2
+
     def __init__(self, workers: int):
         self.workers = max(1, int(workers))
         self.tasks_dispatched = 0
@@ -453,6 +466,9 @@ class ProcessExecutor:
         # kernel-output tuples returned through pickling; the zero-copy
         # result path keeps this at 0 (pinned by the session stats test)
         self.results_pickled = 0
+        # worker-death recovery counters (see _drain)
+        self.worker_restarts = 0
+        self.chunks_redispatched = 0
         self.last_segments: list[str] = []
         self.last_result_files: list[str] = []
         self._start_method = ("fork" if "fork" in multiprocessing.get_all_start_methods()
@@ -485,6 +501,51 @@ class ProcessExecutor:
                 self._pool = ProcessPoolExecutor(max_workers=self.workers,
                                                  mp_context=ctx)
             return self._pool
+
+    def _rebuild_pool(self, broken: ProcessPoolExecutor) -> ProcessPoolExecutor:
+        """Replace a broken pool (a worker died) with a fresh one.
+
+        Concurrent callers may race here after the same break; the lock
+        makes the swap idempotent — whoever loses just gets the new pool.
+        """
+        with self._lock:
+            if self._pool is broken:
+                self._pool = None
+        broken.shutdown(wait=False)
+        return self._ensure_pool()
+
+    def _drain(self, pool: ProcessPoolExecutor, jobs, resubmit) -> dict:
+        """Await ``(index, item, future)`` jobs; returns ``{index: result}``.
+
+        A dead worker breaks the whole pool (every pending future raises
+        ``BrokenExecutor``): detect it, rebuild the pool, and re-dispatch
+        exactly the jobs that didn't complete. Kernel spans write disjoint
+        rows of the shared result block and map payloads are pure, so
+        re-running them is idempotent and the output stays bit-identical.
+        """
+        out: dict = {}
+        rebuilds = 0
+        while jobs:
+            broken = []
+            for index, item, fut in jobs:
+                try:
+                    out[index] = fut.result()
+                except BrokenExecutor:
+                    broken.append((index, item))
+            if not broken:
+                break
+            rebuilds += 1
+            if rebuilds > self.MAX_POOL_REBUILDS:
+                raise RuntimeError(
+                    f"process pool died {rebuilds} times running "
+                    f"{len(broken)} task(s); giving up (systematic crash?)")
+            pool = self._rebuild_pool(pool)
+            with self._lock:
+                self.worker_restarts += 1
+                self.chunks_redispatched += len(broken)
+                self.tasks_dispatched += len(broken)
+            jobs = [(index, item, resubmit(pool, item)) for index, item in broken]
+        return out
 
     @contextmanager
     def plan_scope(self):
@@ -597,16 +658,25 @@ class ProcessExecutor:
             mm = np.memmap(path, dtype=np.uint8, mode="r+", shape=(total,))
             result_desc = {"path": path, "total": total,
                            "layout": layout, "rows": rows}
-            futures = [
-                pool.submit(_kernel_task, desc_a, desc_b, tuple(shape),
-                            lo, hi, points, chunk_rows, own_tracker,
-                            engine, result_desc)
-                for lo, hi in spans
-            ]
+
+            def submit(to_pool, span, crash=False):
+                return to_pool.submit(_kernel_task, desc_a, desc_b,
+                                      tuple(shape), span[0], span[1], points,
+                                      chunk_rows, own_tracker, engine,
+                                      result_desc, crash)
+
+            jobs = []
+            for index, span in enumerate(spans):
+                # the chaos directive is consumed at dispatch time only —
+                # a re-dispatched span must not crash again
+                directive = chaos_hook("executor.chunk", lo=span[0], hi=span[1])
+                crash = bool(directive and directive.get("action") == "crash")
+                jobs.append((index, span, submit(pool, span, crash)))
             with self._lock:
-                self.tasks_dispatched += len(futures)
-            for f in futures:
-                if f.result() is not None:  # pragma: no cover - defensive
+                self.tasks_dispatched += len(jobs)
+            returned = self._drain(pool, jobs, submit)
+            for value in returned.values():
+                if value is not None:  # pragma: no cover - defensive
                     self.results_pickled += 1
             slots = _result_views(mm, layout, rows)
         finally:
@@ -629,10 +699,11 @@ class ProcessExecutor:
         if len(payloads) <= 1:
             return [fn(p) for p in payloads]
         pool = self._ensure_pool()
-        futures = [pool.submit(fn, p) for p in payloads]
+        jobs = [(i, p, pool.submit(fn, p)) for i, p in enumerate(payloads)]
         with self._lock:
-            self.tasks_dispatched += len(futures)
-        return [f.result() for f in futures]
+            self.tasks_dispatched += len(jobs)
+        returned = self._drain(pool, jobs, lambda to_pool, p: to_pool.submit(fn, p))
+        return [returned[i] for i in range(len(payloads))]
 
     def close(self) -> None:
         with self._lock:

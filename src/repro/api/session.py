@@ -27,12 +27,14 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import asdict, dataclass
 
 import numpy as np
 
 from repro.analysis.error import ErrorStats, error_stats
+from repro.chaos.errors import DeadlineExceeded
 from repro.analysis.sweeps import PrecisionSweep, SweepPoint, _operands_for
 from repro.fp.formats import FPFormat, np_float_dtype
 from repro.fp.registry import parse_accumulator, parse_format
@@ -471,7 +473,8 @@ class EmulationSession:
 
     # -- declarative sweeps ------------------------------------------------
 
-    def sweep(self, spec: RunSpec, rng=None, store=None) -> PrecisionSweep:
+    def sweep(self, spec: RunSpec, rng=None, store=None,
+              deadline_seconds: float | None = None) -> PrecisionSweep:
         """Run a :class:`RunSpec` grid (the Figure-3 protocol), streamed.
 
         Per source: sample ``batch * chunks`` operand pairs, compute the
@@ -497,6 +500,13 @@ class EmulationSession:
         are bit-identical with and without a store: operands are always
         re-sampled (keeping the cross-source generator state exact) and
         float64 values round-trip the codecs exactly.
+
+        ``deadline_seconds`` bounds the *computing* this call may start: the
+        deadline is checked before each cold chunk (never before serving a
+        store hit), so a warm replay always succeeds regardless of budget,
+        and a sweep that runs out of time raises
+        :class:`~repro.chaos.errors.DeadlineExceeded` with every finished
+        chunk already persisted — a re-run resumes from where it stopped.
         """
         if self._closed:
             raise RuntimeError("session is closed")
@@ -504,6 +514,8 @@ class EmulationSession:
             raise ValueError("RunSpec has no precision points")
         store = self.store if store is None else ResultStore.coerce(store)
         cacheable = store is not None and rng is None
+        deadline = (None if deadline_seconds is None
+                    else time.monotonic() + deadline_seconds)
         fmt = parse_format(spec.operand_format)
         dtype = np_float_dtype(fmt)
         rng = as_generator(spec.seed if rng is None else rng)
@@ -555,6 +567,11 @@ class EmulationSession:
                         for k, buf in enumerate(values):
                             buf[start:stop] = arrays[f"k{k}"]
                         continue
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise DeadlineExceeded(
+                        f"sweep {spec.name!r} ran out of its "
+                        f"{deadline_seconds}s budget before chunk "
+                        f"[{start}, {stop}) of source {source!r}")
                 chunk = self._run_points(_slab(pa, shape, start, stop),
                                          _slab(pb, shape, start, stop), kernels,
                                          spec.engine)

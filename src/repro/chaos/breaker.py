@@ -1,0 +1,81 @@
+"""Per-endpoint circuit breaker.
+
+States: ``closed`` (healthy, calls flow), ``open`` (failing, calls blocked
+until ``cooldown`` elapses), ``half-open`` (cooldown elapsed, one probe
+allowed — success closes the breaker, failure re-opens it). The fleet
+coordinator pairs ``half-open`` with a ``/v1/healthz`` probe so an endpoint
+that died mid-sweep rejoins the rotation once it comes back, instead of being
+dropped for the life of the coordinator.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Thread-safe three-state breaker with a monotonic-clock cooldown."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 1,
+        cooldown: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if self._state == OPEN and self._clock() - self._opened_at >= self.cooldown:
+            self._state = HALF_OPEN
+            self._probing = False
+
+    def allow(self) -> bool:
+        """May a call go through right now? In ``half-open``, only the first
+        caller gets the probe slot; others stay blocked until it reports."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = CLOSED
+            self._failures = 0
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self._state == HALF_OPEN or self._failures >= self.failure_threshold:
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._probing = False

@@ -1,0 +1,95 @@
+"""Retryable-vs-fatal error taxonomy shared by the client, fleet, and chaos
+layers.
+
+The split matters because every caller that retries must agree on what a
+retry can fix: transport-level failures (connection reset/refused, timeouts,
+injected faults, HTTP 429/503) are *retryable*; everything else — bad
+requests, deterministic job errors, exhausted deadlines — is *fatal* and
+retrying would only repeat the failure.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ChaosError",
+    "RetryableError",
+    "FatalError",
+    "InjectedFault",
+    "DeadlineExceeded",
+    "RetriesExhausted",
+    "is_retryable",
+]
+
+
+class ChaosError(Exception):
+    """Base class for errors raised by the chaos layer itself."""
+
+
+class RetryableError(ChaosError):
+    """A transient failure: the operation may succeed if retried."""
+
+
+class FatalError(ChaosError):
+    """A deterministic failure: retrying cannot help."""
+
+
+class InjectedFault(RetryableError):
+    """A fault injected by an armed :class:`~repro.chaos.engine.ChaosEngine`.
+
+    Injected faults model transport-level failures, so they are retryable by
+    construction — recovery paths must absorb them and still produce bytes
+    identical to a fault-free run.
+    """
+
+    def __init__(self, kind: str, site: str, detail: str = ""):
+        self.kind = kind
+        self.site = site
+        message = f"injected fault {kind!r} at {site}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+
+
+class DeadlineExceeded(FatalError):
+    """A per-call deadline elapsed before the work finished.
+
+    Fatal for the call (re-issuing the same call would hang the same way),
+    but the work itself is resumable: completed chunks / rung records persist
+    in the store and a re-run recomputes only what is missing.
+    """
+
+
+class RetriesExhausted(FatalError):
+    """A retry loop ran out of attempts. Carries the last retryable error."""
+
+    def __init__(self, attempts: int, last: BaseException):
+        self.attempts = attempts
+        self.last = last
+        super().__init__(f"gave up after {attempts} attempts: {last!r}")
+
+
+# Builtin/stdlib exception types that are transport-transient by nature.
+_RETRYABLE_BUILTINS = (
+    ConnectionResetError,
+    ConnectionRefusedError,
+    ConnectionAbortedError,
+    BrokenPipeError,
+    TimeoutError,  # covers socket.timeout (an alias since 3.10)
+)
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """True when retrying the failed operation could plausibly succeed.
+
+    Classification order: explicit taxonomy classes first, then an opt-in
+    ``retryable`` attribute (set by ``ServiceError``), then a small list of
+    transient builtin exception types. Everything else is fatal.
+    """
+    if isinstance(exc, FatalError):
+        return False
+    if isinstance(exc, RetryableError):
+        return True
+    flagged = getattr(exc, "retryable", None)
+    if flagged is not None:
+        return bool(flagged)
+    return isinstance(exc, _RETRYABLE_BUILTINS)

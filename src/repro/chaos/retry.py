@@ -1,0 +1,77 @@
+"""Shared bounded-retry policy with deterministic jittered backoff.
+
+``RetryPolicy`` is the one retry schedule used by ``ServiceClient`` and
+``FleetCoordinator`` (and anything else that needs it), so attempts, backoff
+growth, and the retryable-vs-fatal split live in exactly one place. Jitter is
+drawn from ``random.Random(seed)`` — the schedule is reproducible, which keeps
+chaos runs and their tests deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, TypeVar
+
+from .errors import RetriesExhausted, is_retryable
+
+__all__ = ["RetryPolicy"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """``attempts`` total tries (>= 1). Delay before retry ``i`` (1-based) is
+    ``min(backoff * 2**(i-1), max_backoff)`` scaled by a jitter factor drawn
+    uniformly from ``[1 - jitter, 1 + jitter]``."""
+
+    attempts: int = 3
+    backoff: float = 0.1
+    max_backoff: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.backoff < 0 or self.max_backoff < 0:
+            raise ValueError("backoff and max_backoff must be >= 0")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delays(self) -> Iterator[float]:
+        """The ``attempts - 1`` sleep durations between tries, deterministic
+        for a given policy (fresh RNG per call)."""
+        rng = random.Random(self.seed)
+        for i in range(self.attempts - 1):
+            base = min(self.backoff * (2.0**i), self.max_backoff)
+            yield base * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+    def call(
+        self,
+        fn: Callable[[], T],
+        *,
+        classify: Callable[[BaseException], bool] = is_retryable,
+        on_retry: Callable[[BaseException, float], None] | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> T:
+        """Run ``fn`` with bounded retries. Fatal errors (per ``classify``)
+        propagate immediately; retryable ones are retried with backoff and
+        wrapped in :class:`RetriesExhausted` once attempts run out."""
+        delays = self.delays()
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return fn()
+            except BaseException as exc:  # noqa: BLE001 - classified below
+                if not classify(exc):
+                    raise
+                delay = next(delays, None)
+                if delay is None:
+                    raise RetriesExhausted(attempt, exc) from exc
+                if on_retry is not None:
+                    on_retry(exc, delay)
+                sleep(delay)

@@ -23,6 +23,9 @@ Usage::
         --fleet http://127.0.0.1:8731 --store results/   # skip store-warm shards
     python -m repro.experiments.runner --search spec.json \
         --fleet http://127.0.0.1:8731,http://127.0.0.1:8732 --store results/
+    python -m repro.experiments.runner --spec spec.json --store results/ \
+        --chaos examples/specs/chaos_quick.json   # fault-injected replay
+    python -m repro.experiments.runner --verify-store results/
 """
 
 from __future__ import annotations
@@ -188,10 +191,13 @@ def _run_fleet(args, path: str, kind: str) -> int:
     print(result["rendered"])
     elapsed = round(time.time() - start, 3)
     stats = coordinator.stats()
+    if stats["shards_local"]:
+        print(f"fleet degraded: {stats['shards_local']} shard(s) ran locally "
+              "(endpoints unreachable)", file=sys.stderr)
     print(f"[fleet {path} over {len(coordinator.endpoints)} endpoints / "
           f"{stats['shards_completed']} shards "
           f"(retries={stats['retries']} redispatches={stats['redispatches']} "
-          f"warm={stats['shards_skipped_warm']}) "
+          f"warm={stats['shards_skipped_warm']} local={stats['shards_local']}) "
           f"done in {elapsed:.1f}s]")
     if args.json:
         with open(args.json, "w") as fh:
@@ -311,6 +317,21 @@ def _submit(args) -> int:
     return 0
 
 
+def _verify_store(args) -> int:
+    """Check every store entry against its checksum sidecar; print the JSON
+    report. Corrupt entries are quarantined (and counted), never served."""
+    from repro.store import ResultStore
+
+    try:
+        report = ResultStore(args.verify_store).verify()
+    except OSError as exc:
+        print(f"cannot verify store {args.verify_store!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -384,6 +405,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--shards", type=int, default=None,
                         help="--fleet shard count (default: one per endpoint; "
                              "clamped to the sharded axis length)")
+    parser.add_argument("--chaos", metavar="PATH", default=None,
+                        help="arm a repro.chaos FaultPlan JSON for the run: "
+                             "deterministic fault injection at the layer "
+                             "boundaries (recovery keeps results "
+                             "byte-identical; a [chaos ...] footer reports "
+                             "the injected counts)")
+    parser.add_argument("--verify-store", metavar="DIR", default=None,
+                        help="verify every entry of a result-store directory "
+                             "against its checksum sidecar and print the JSON "
+                             "report (corrupt entries are quarantined, "
+                             "never served)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -394,7 +426,9 @@ def main(argv: list[str] | None = None) -> int:
                                    ("--design-spec", args.design_spec is not None),
                                    ("--search", args.search is not None),
                                    ("--serve", args.serve),
-                                   ("--submit", args.submit is not None)) if on]
+                                   ("--submit", args.submit is not None),
+                                   ("--verify-store",
+                                    args.verify_store is not None)) if on]
     if len(modes) > 1:
         print(f"{' and '.join(modes)} are mutually exclusive", file=sys.stderr)
         return 2
@@ -415,6 +449,7 @@ def main(argv: list[str] | None = None) -> int:
         ("--url", args.url is not None, {"--submit"}),
         ("--fleet", args.fleet is not None,
          {"--spec", "--design-spec", "--search"}),
+        ("--chaos", args.chaos is not None, session_modes),
     ):
         if on and not (modes and modes[0] in needs):
             print(f"{flag} only applies to {'/'.join(sorted(needs))} runs",
@@ -446,6 +481,28 @@ def main(argv: list[str] | None = None) -> int:
         print("--json does not apply to --serve (use GET /v1/stats)",
               file=sys.stderr)
         return 2
+    if args.verify_store is not None:
+        return _verify_store(args)
+    if args.chaos is None:
+        return _dispatch(args, parser)
+    from repro.chaos import FaultPlan, install
+
+    try:
+        plan = FaultPlan.load(args.chaos)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"cannot load chaos plan {args.chaos!r}: {exc}", file=sys.stderr)
+        return 2
+    with install(plan) as engine:
+        rc = _dispatch(args, parser)
+        stats = engine.stats()
+    print(f"[chaos {args.chaos} seed={stats['seed']} "
+          f"faults={len(stats['faults'])} "
+          f"injected={sum(stats['injected'].values())}]")
+    return rc
+
+
+def _dispatch(args, parser) -> int:
+    """Run the validated mode (everything below the flag checks)."""
     if args.serve:
         return _serve(args)
     if args.submit is not None:

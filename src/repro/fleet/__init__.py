@@ -9,7 +9,7 @@ handling, and dead-endpoint re-dispatch. Drive it from the runner with
 """
 
 from repro.fleet.coordinator import FleetCoordinator, FleetError, LocalEndpoint
-from repro.fleet.shard import Shard, ShardPlan
+from repro.fleet.shard import Shard, ShardMergeError, ShardPlan
 
 __all__ = ["FleetCoordinator", "FleetError", "LocalEndpoint", "Shard",
-           "ShardPlan"]
+           "ShardMergeError", "ShardPlan"]

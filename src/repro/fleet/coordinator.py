@@ -12,14 +12,22 @@ Endpoints are anything speaking the client protocol — ``http://...`` URLs
 ``health``. Mixing kinds is fine; a laptop session can join a fleet of
 remote services.
 
-Failure policy: a *transport* failure (connection refused, job timeout)
-triggers bounded exponential-backoff retry and — when a health probe says
-the endpoint is gone — marks it dead and re-dispatches its shards to
-survivors, so a killed fleet member slows the sweep down instead of
-failing it. A *job* failure (the service computed and said "error") or a
-4xx rejection is deterministic: every endpoint would fail the same way,
-so it fails the sweep fast with :class:`FleetError` instead of burning
-retries.
+Failure policy: a *transport* failure (connection refused, job timeout, an
+injected chaos fault) triggers bounded retry under a shared
+:class:`~repro.chaos.RetryPolicy` and — when a health probe says the
+endpoint is gone — opens that endpoint's :class:`~repro.chaos.CircuitBreaker`
+and re-dispatches its shards to survivors, so a killed fleet member slows
+the sweep down instead of failing it. An open breaker is not forever: after
+its cooldown the next sweep health-probes the endpoint (``/v1/healthz``)
+and, on success, closes the breaker — recovered endpoints *rejoin* the
+rotation (``stats()["rejoins"]``). When every endpoint is down the
+coordinator degrades gracefully: remaining shards run on a lazily built
+in-process :class:`~repro.service.SweepService`
+(``stats()["shards_local"]``), and the merge stays byte-identical because
+the fallback runs the exact service compute path. A *job* failure (the
+service computed and said "error") or a 4xx rejection is deterministic:
+every endpoint would fail the same way, so it fails the sweep fast with
+:class:`FleetError` instead of burning retries.
 """
 
 from __future__ import annotations
@@ -29,6 +37,10 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.api.spec import spec_from_kind, spec_kind_of
+from repro.chaos.breaker import CLOSED, CircuitBreaker
+from repro.chaos.engine import chaos_hook
+from repro.chaos.errors import InjectedFault
+from repro.chaos.retry import RetryPolicy
 from repro.fleet.shard import ShardPlan
 from repro.service.client import ServiceClient, ServiceError, _as_spec_dict
 from repro.store import ResultStore
@@ -135,12 +147,22 @@ class FleetCoordinator:
     either path, so a warm run's output is byte-identical to a cold one.
     The endpoints' own stores are unrelated (and may not be shared
     filesystems); this cache lives with the coordinator.
+
+    ``retry`` overrides the retries/backoff/max_backoff trio with an
+    explicit :class:`~repro.chaos.RetryPolicy`. ``breaker_cooldown``
+    (seconds) is how long a failed endpoint sits out before the next
+    health-probed rejoin attempt. ``local_fallback=False`` restores the
+    pre-chaos behavior of raising :class:`FleetError` when every endpoint
+    is down.
     """
 
     def __init__(self, endpoints, shards: int | None = None,
                  timeout: float = 600.0, retries: int = 3,
                  backoff: float = 0.25, max_backoff: float = 4.0,
-                 token: str | None = None, store=None):
+                 token: str | None = None, store=None,
+                 retry: RetryPolicy | None = None,
+                 breaker_cooldown: float = 2.0,
+                 local_fallback: bool = True):
         self.endpoints = [_as_endpoint(e, token) for e in endpoints]
         if not self.endpoints:
             raise ValueError("a fleet needs at least one endpoint")
@@ -151,15 +173,22 @@ class FleetCoordinator:
         self.retries = retries
         self.backoff = backoff
         self.max_backoff = max_backoff
+        self.retry = retry if retry is not None else RetryPolicy(
+            attempts=retries + 1, backoff=backoff, max_backoff=max_backoff)
+        self.local_fallback = local_fallback
         self.store = ResultStore.coerce(store)
         self._lock = threading.Lock()
-        self._dead: set[int] = set()
+        self._breakers = [CircuitBreaker(cooldown=breaker_cooldown)
+                          for _ in self.endpoints]
+        self._local_service = None
         self._jobs_by_endpoint = [0] * len(self.endpoints)
         self._retries = 0
         self._redispatches = 0
+        self._rejoins = 0
         self._stragglers: list[dict] = []
         self._shards_completed = 0
         self._shards_skipped_warm = 0
+        self._shards_local = 0
 
     # -- dispatch ----------------------------------------------------------
 
@@ -186,7 +215,8 @@ class FleetCoordinator:
         self._note_stragglers(plan, durations, time.monotonic() - started)
         return plan.merge_payloads(payloads)
 
-    def run_specs(self, specs, kind: str | None = None) -> list[dict]:
+    def run_specs(self, specs, kind: str | None = None,
+                  timeout: float | None = None) -> list[dict]:
         """Dispatch one whole spec per job (no sharding) and return the
         service payloads in spec order.
 
@@ -195,7 +225,10 @@ class FleetCoordinator:
         subset, not a cross product, so it ships as N independent
         single-point specs rather than a :class:`~repro.fleet.ShardPlan`.
         Each spec gets the full failure policy (retry, redispatch, warm
-        store skip) of a plan shard.
+        store skip) of a plan shard. ``timeout`` overrides the
+        coordinator's per-attempt timeout for this call — search rung
+        deadlines pass their remaining budget here so a hung rung fails
+        fast instead of waiting out the fleet default.
         """
         spec_dicts = [_as_spec_dict(s) for s in specs]
         if not spec_dicts:
@@ -204,7 +237,7 @@ class FleetCoordinator:
         parsed = [spec_from_kind(kind, d) for d in spec_dicts]
 
         def run_one(i):
-            return self._cached_dispatch(kind, i, parsed[i])
+            return self._cached_dispatch(kind, i, parsed[i], timeout=timeout)
 
         with ThreadPoolExecutor(
                 max_workers=min(len(parsed), 4 * len(self.endpoints)),
@@ -218,7 +251,8 @@ class FleetCoordinator:
         return _fingerprint({"fleet_payload": {"kind": kind,
                                                "spec": spec.fingerprint()}})
 
-    def _cached_dispatch(self, kind: str, index: int, spec) -> dict:
+    def _cached_dispatch(self, kind: str, index: int, spec,
+                         timeout: float | None = None) -> dict:
         """One unit of fleet work: serve it store-warm, or dispatch it and
         persist the payload. Spec fingerprints exclude presentation fields
         (``name``/``executor``), and the merge layers never read a
@@ -230,38 +264,60 @@ class FleetCoordinator:
                 with self._lock:
                     self._shards_skipped_warm += 1
                 return payload
-        payload = self._run_shard(kind, index, spec)
+        payload = self._run_shard(kind, index, spec, timeout=timeout)
         if self.store is not None:
             self.store.put_json("fleet-payload",
                                 self._payload_key(kind, spec), payload)
         return payload
 
-    def _live_rotation(self, start: int):
-        """Endpoint indices to try, preferred first, skipping the dead."""
-        n = len(self.endpoints)
+    def _endpoint_ready(self, ep_idx: int) -> bool:
+        """Closed breaker → ready. Open breaker → ready only once the
+        cooldown has elapsed *and* a ``/v1/healthz`` probe succeeds, which
+        closes the breaker again (a rejoin). Failed probes re-open it."""
+        breaker = self._breakers[ep_idx]
+        if breaker.state == CLOSED:
+            return True
+        if not breaker.allow():  # cooling down, or another thread probes
+            return False
+        try:
+            self.endpoints[ep_idx].health()
+        except Exception:
+            breaker.record_failure()
+            return False
+        breaker.record_success()
         with self._lock:
-            order = [(start + i) % n for i in range(n)
-                     if (start + i) % n not in self._dead]
-        return order
+            self._rejoins += 1
+        return True
 
-    def _run_shard(self, kind: str, index: int, spec) -> dict:
+    def _live_rotation(self, start: int):
+        """Endpoint indices to try, preferred first, skipping open breakers
+        (probing half-open ones back in when they recover)."""
+        n = len(self.endpoints)
+        return [(start + i) % n for i in range(n)
+                if self._endpoint_ready((start + i) % n)]
+
+    def _run_shard(self, kind: str, index: int, spec,
+                   timeout: float | None = None) -> dict:
         preferred = index % len(self.endpoints)
-        delay = self.backoff
-        last_error: ServiceError | None = None
-        for attempt in range(self.retries + 1):
+        timeout = self.timeout if timeout is None else timeout
+        delays = self.retry.delays()
+        last_error: Exception | None = None
+        for attempt in range(self.retry.attempts):
             rotation = self._live_rotation(preferred)
             if not rotation:
+                if self.local_fallback:
+                    return self._run_local(kind, index, spec, timeout)
                 raise FleetError(
                     f"shard {index}: all {len(self.endpoints)} fleet "
                     f"endpoints are dead (last error: {last_error})")
             for ep_idx in rotation:
                 endpoint = self.endpoints[ep_idx]
                 try:
+                    chaos_hook("fleet.shard", shard=index, endpoint=ep_idx)
                     ticket = endpoint.submit(spec, kind=kind)
-                    payload = endpoint.result(ticket["job"],
-                                              timeout=self.timeout)
-                except ServiceError as exc:
-                    if _is_deterministic(exc):
+                    payload = endpoint.result(ticket["job"], timeout=timeout)
+                except (ServiceError, InjectedFault) as exc:
+                    if isinstance(exc, ServiceError) and _is_deterministic(exc):
                         raise FleetError(
                             f"shard {index} ({spec.name}) failed "
                             f"on {endpoint.url}: {exc}") from exc
@@ -274,26 +330,60 @@ class FleetCoordinator:
                     if ep_idx != preferred:  # landed on a survivor
                         self._redispatches += 1
                 return payload
-            if attempt < self.retries:
-                time.sleep(min(delay, self.max_backoff))
-                delay *= 2
+            delay = next(delays, None)
+            if delay is None:
+                break
+            time.sleep(delay)
         raise FleetError(
             f"shard {index} ({spec.name}) exhausted "
-            f"{self.retries + 1} attempts; last error: {last_error}")
+            f"{self.retry.attempts} attempts; last error: {last_error}")
 
     def _note_failure(self, ep_idx: int) -> None:
         """Book-keep a transport failure and health-probe the endpoint —
-        unreachable means dead (its other shards re-route immediately);
-        reachable means the *job* was slow/lost, leave it in rotation."""
+        unreachable opens its circuit breaker (its other shards re-route
+        immediately, and it sits out ``breaker_cooldown`` before a rejoin
+        probe); reachable means the *job* was slow/lost, leave it in
+        rotation."""
         alive = True
         try:
             self.endpoints[ep_idx].health()
         except Exception:
             alive = False
+        if not alive:
+            self._breakers[ep_idx].record_failure()
         with self._lock:
-            if not alive:
-                self._dead.add(ep_idx)
             self._retries += 1
+
+    # -- graceful degradation ----------------------------------------------
+
+    def _ensure_local_service(self):
+        """The all-endpoints-down fallback: an in-process
+        :class:`~repro.service.SweepService` sharing the coordinator's
+        store. It runs the exact service compute path, so payloads (and
+        therefore merges) stay byte-identical to the fleet path."""
+        with self._lock:
+            if self._local_service is None:
+                from repro.service.server import SweepService
+
+                self._local_service = SweepService(store=self.store)
+            return self._local_service
+
+    def _run_local(self, kind: str, index: int, spec, timeout: float) -> dict:
+        endpoint = LocalEndpoint(self._ensure_local_service(), name="fallback")
+        ticket = endpoint.submit(spec, kind=kind)
+        payload = endpoint.result(ticket["job"], timeout=timeout)
+        with self._lock:
+            self._shards_local += 1
+            self._shards_completed += 1
+        return payload
+
+    def close(self) -> None:
+        """Release the local-fallback service's worker threads (no-op when
+        degradation never engaged)."""
+        with self._lock:
+            service, self._local_service = self._local_service, None
+        if service is not None:
+            service.close()
 
     def _note_stragglers(self, plan, durations, total: float) -> None:
         if len(durations) < 2:
@@ -316,11 +406,14 @@ class FleetCoordinator:
             return {
                 "endpoints": [
                     {"url": ep.url, "jobs": self._jobs_by_endpoint[i],
-                     "dead": i in self._dead}
+                     "state": self._breakers[i].state,
+                     "dead": self._breakers[i].state != CLOSED}
                     for i, ep in enumerate(self.endpoints)],
                 "shards_completed": self._shards_completed,
                 "shards_skipped_warm": self._shards_skipped_warm,
+                "shards_local": self._shards_local,
                 "retries": self._retries,
                 "redispatches": self._redispatches,
+                "rejoins": self._rejoins,
                 "stragglers": list(self._stragglers),
             }

@@ -41,9 +41,19 @@ from repro.api import (
 from repro.analysis.sweeps import PrecisionSweep
 from repro.api.session import sweep_points_from_dicts, sweep_points_to_dicts
 from repro.api.spec import spec_from_kind, spec_kind_of
+from repro.chaos.errors import FatalError
 from repro.store.fingerprint import fingerprint as _fingerprint
 
-__all__ = ["Shard", "ShardPlan"]
+__all__ = ["Shard", "ShardMergeError", "ShardPlan"]
+
+
+class ShardMergeError(FatalError, ValueError):
+    """A shard returned results that don't match its slice of the plan.
+
+    Deterministic — the same shard would return the same wrong shape again —
+    so it is :class:`~repro.chaos.errors.FatalError` (retry loops must not
+    re-dispatch on it) while staying a ``ValueError`` for older callers.
+    """
 
 
 def _balanced_spans(n: int, k: int) -> list[tuple[int, int]]:
@@ -243,7 +253,7 @@ class ShardPlan:
             expect = n_sources * len(shard.point_indices)
             got = len(rows[shard.index])
             if got != expect:
-                raise ValueError(
+                raise ShardMergeError(
                     f"shard {shard.index} returned {got} sweep points, "
                     f"expected {expect}")
         owners = self._owners()
@@ -265,7 +275,7 @@ class ShardPlan:
         for shard in self.shards:
             reports = list(shard_reports[shard.index])
             if len(reports) != len(shard.point_indices):
-                raise ValueError(
+                raise ShardMergeError(
                     f"shard {shard.index} returned {len(reports)} reports, "
                     f"expected {len(shard.point_indices)}")
             for local, pi in enumerate(shard.point_indices):

@@ -21,10 +21,12 @@ and a ``POST /v1/search`` payload against each other.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 
 from repro.api.design import DesignReport, DesignSession
 from repro.api.spec import DesignSweepSpec
+from repro.chaos.errors import DeadlineExceeded
 from repro.search.halving import RungSpec, SearchSpec, keep_count, select_survivors
 from repro.search.space import Candidate
 from repro.store import ResultStore
@@ -242,9 +244,21 @@ class SearchSession:
 
     # -- rung evaluation ---------------------------------------------------
 
+    @staticmethod
+    def _check_deadline(deadline: float | None, what: str) -> float | None:
+        """Remaining seconds before ``deadline`` (None = unbounded); raises
+        :class:`DeadlineExceeded` when the budget is already spent."""
+        if deadline is None:
+            return None
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise DeadlineExceeded(f"rung deadline elapsed before {what}")
+        return remaining
+
     def _evaluate_rung(self, spec: SearchSpec, ri: int, rung: RungSpec,
                        active: list[int],
-                       candidates: tuple[Candidate, ...]) -> list[DesignReport]:
+                       candidates: tuple[Candidate, ...],
+                       deadline: float | None = None) -> list[DesignReport]:
         accuracy = rung.accuracy_spec()
         points = [candidates[i].point(spec.op_precisions, rung.samples, spec.rng)
                   for i in active]
@@ -258,13 +272,23 @@ class SearchSession:
                 op_precisions=spec.op_precisions, samples=rung.samples,
                 rng=spec.rng, accuracy=accuracy) for i in active]
             warm_before = self.fleet.stats().get("shards_skipped_warm", 0)
-            payloads = self.fleet.run_specs(subs, "design-sweep")
+            remaining = self._check_deadline(deadline, f"rung {ri} dispatch")
+            payloads = self.fleet.run_specs(subs, "design-sweep",
+                                            timeout=remaining)
             warm = self.fleet.stats().get("shards_skipped_warm", 0) - warm_before
             self.stats.cached += warm
             self.stats.computed += len(points) - warm
             return [DesignReport.from_dict(p["reports"][0]) for p in payloads]
         hits0 = self.design.stats.hits.get("report", 0)
-        reports = self.design.sweep(points, accuracy=accuracy)
+        if deadline is None:
+            reports = self.design.sweep(points, accuracy=accuracy)
+        else:
+            # point at a time so a hung rung fails between candidates; each
+            # finished report persists, so the re-run only fills the gaps
+            reports = []
+            for i, point in zip(active, points):
+                self._check_deadline(deadline, f"rung {ri} candidate {i}")
+                reports.extend(self.design.sweep([point], accuracy=accuracy))
         hits = self.design.stats.hits.get("report", 0) - hits0
         self.stats.cached += hits
         self.stats.computed += len(points) - hits
@@ -272,7 +296,8 @@ class SearchSession:
 
     def _top1_scores(self, spec: SearchSpec, rung: RungSpec,
                      active: list[int],
-                     candidates: tuple[Candidate, ...]) -> list[dict]:
+                     candidates: tuple[Candidate, ...],
+                     deadline: float | None = None) -> list[dict]:
         """Model-level scores: top-1 accuracy of the rung's trained model
         at each candidate's resolved precision width (store-cached per
         (style, n_eval, width) — many candidates share a width)."""
@@ -296,6 +321,7 @@ class SearchSession:
                 self.stats.cached += 1
                 out.append(stored)
                 continue
+            self._check_deadline(deadline, f"top1 candidate {i}")
             self.stats.computed += 1
             from repro.analysis._model_cache import trained_model
             from repro.analysis.accuracy import accuracy_vs_precision
@@ -315,19 +341,33 @@ class SearchSession:
 
     # -- the front door ----------------------------------------------------
 
-    def run(self, spec: SearchSpec) -> SearchResult:
-        """Run (or resume) the whole halving ladder; see module docstring."""
+    def run(self, spec: SearchSpec,
+            rung_deadline_seconds: float | None = None) -> SearchResult:
+        """Run (or resume) the whole halving ladder; see module docstring.
+
+        ``rung_deadline_seconds`` bounds each *non-resumed* rung's wall
+        clock: the budget is checked between candidate evaluations (and
+        passed through as the fleet dispatch timeout), so a hung rung raises
+        :class:`~repro.chaos.errors.DeadlineExceeded` fast instead of
+        stalling the ladder. Resumed rungs and store-served evaluations are
+        exempt — a warm replay always finishes — and every evaluation that
+        completed before the deadline persists, so a re-run picks up where
+        the timed-out one stopped.
+        """
         spec = SearchSpec.from_dict(spec)
         candidates = spec.candidates()
         active = list(range(len(candidates)))
         records: list[RungRecord] = []
         for ri, rung in enumerate(spec.rungs):
             self.stats.rungs_total += 1
+            deadline = (None if rung_deadline_seconds is None
+                        else time.monotonic() + rung_deadline_seconds)
             record = self._load_rung(spec, ri, active, rung.top1)
             if record is not None:
                 self.stats.rungs_resumed += 1
             elif rung.top1:
-                scored = self._top1_scores(spec, rung, active, candidates)
+                scored = self._top1_scores(spec, rung, active, candidates,
+                                           deadline=deadline)
                 scores = [(s["top1_accuracy"],) for s in scored]
                 keep = keep_count(len(active), spec.eta)
                 ranked = sorted(
@@ -342,7 +382,8 @@ class SearchSession:
                                     metrics=tuple(scored), top1=True)
                 self._save_rung(spec, record)
             else:
-                reports = self._evaluate_rung(spec, ri, rung, active, candidates)
+                reports = self._evaluate_rung(spec, ri, rung, active,
+                                              candidates, deadline=deadline)
                 local, scores = select_survivors(reports, spec.objective,
                                                  spec.eta)
                 metrics = tuple(

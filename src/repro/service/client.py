@@ -15,6 +15,15 @@ A 429 (queue full) from :meth:`~ServiceClient.submit` is retried
 automatically, honoring the server's ``Retry-After`` hint, until
 ``busy_timeout`` runs out — backpressure slows a client down instead of
 failing it.
+
+Transport failures are *classified*, not treated uniformly: connection
+reset/refused/aborted, timeouts, and HTTP 429/503 mark the resulting
+:class:`ServiceError` ``retryable`` (and retryable non-429 errors are
+retried in-client under a bounded :class:`repro.chaos.RetryPolicy`,
+honoring ``Retry-After``); everything else — bad requests, auth failures,
+DNS errors, job errors — is fatal and surfaces immediately.
+(:mod:`repro.chaos` is stdlib-only, so this module still works without the
+emulation stack installed.)
 """
 
 from __future__ import annotations
@@ -27,22 +36,38 @@ import urllib.error
 import urllib.request
 from pathlib import Path
 
+from repro.chaos.engine import chaos_hook
+from repro.chaos.errors import InjectedFault, is_retryable
+from repro.chaos.retry import RetryPolicy
+
 __all__ = ["ServiceClient", "ServiceError"]
+
+# Client-side transport retries: small and bounded — the coordinator and
+# submit()'s busy_timeout loop layer their own policies on top.
+DEFAULT_CLIENT_RETRY = RetryPolicy(attempts=3, backoff=0.1, max_backoff=2.0)
 
 
 class ServiceError(RuntimeError):
     """An HTTP-level or job-level failure, carrying the server's payload.
 
     ``retry_after`` is set (seconds) when the server sent a ``Retry-After``
-    hint, i.e. on 429 queue-full responses.
+    hint, i.e. on 429 queue-full responses. ``retryable`` classifies the
+    failure: transient transport faults (connection reset/refused, timeouts)
+    and backpressure statuses (429, 503) are retryable; everything else —
+    bad requests, auth failures, job errors — is fatal.
     """
 
     def __init__(self, message: str, status: int | None = None, payload=None,
-                 retry_after: float | None = None):
+                 retry_after: float | None = None, retryable: bool = False):
         super().__init__(message)
         self.status = status
         self.payload = payload
         self.retry_after = retry_after
+        self.retryable = retryable
+
+
+# HTTP statuses that signal a transient server condition.
+_RETRYABLE_STATUSES = (429, 503)
 
 
 def _as_spec_dict(spec) -> dict:
@@ -79,17 +104,26 @@ class ServiceClient:
     """
 
     def __init__(self, url: str, timeout: float = 30.0,
-                 token: str | None = None):
+                 token: str | None = None, retry: RetryPolicy | None = None):
         self.url = url.rstrip("/")
         self.timeout = timeout
         if token is None:
             token = os.environ.get("REPRO_SERVICE_TOKEN") or None
         self.token = token
+        self.retry = DEFAULT_CLIENT_RETRY if retry is None else retry
 
     # -- transport ---------------------------------------------------------
 
-    def _request(self, method: str, path: str, payload=None,
-                 timeout: float | None = None) -> dict:
+    def _request_once(self, method: str, path: str, payload=None,
+                      timeout: float | None = None) -> dict:
+        """One HTTP round trip, with the failure classified (see
+        :class:`ServiceError`). The ``client.request`` chaos hook fires
+        before the wire so injected resets exercise the real retry path."""
+        try:
+            chaos_hook("client.request", method=method, path=path)
+        except InjectedFault as exc:
+            raise ServiceError(f"{method} {path} to {self.url} failed: {exc}",
+                               retryable=True) from exc
         body = None if payload is None else (json.dumps(payload) + "\n").encode()
         headers = {"Content-Type": "application/json"} if body else {}
         if self.token is not None:
@@ -111,16 +145,44 @@ class ServiceClient:
             except (TypeError, ValueError):
                 retry_after = None
             raise ServiceError(message, status=exc.code, payload=detail,
-                               retry_after=retry_after) from exc
+                               retry_after=retry_after,
+                               retryable=exc.code in _RETRYABLE_STATUSES) from exc
         except urllib.error.URLError as exc:
+            # classify on the underlying reason: reset/refused/timeout are
+            # transient; DNS failures, bad schemes etc. are fatal
+            reason = exc.reason
+            retryable = isinstance(reason, BaseException) and is_retryable(reason)
             raise ServiceError(f"cannot reach service at {self.url}: "
-                               f"{exc.reason}") from exc
+                               f"{reason}", retryable=retryable) from exc
         except (OSError, http.client.HTTPException) as exc:
             # a connection die mid-request (e.g. the server was killed)
             # surfaces as RemoteDisconnected/ConnectionResetError, not
             # URLError — same transport failure, same exception type here
-            raise ServiceError(f"connection to {self.url} failed: "
-                               f"{exc!r}") from exc
+            raise ServiceError(f"connection to {self.url} failed: {exc!r}",
+                               retryable=is_retryable(exc)) from exc
+
+    def _request(self, method: str, path: str, payload=None,
+                 timeout: float | None = None, retry: bool = True) -> dict:
+        """:meth:`_request_once` under the client's :class:`RetryPolicy`.
+
+        Only *retryable* failures are retried (a ``Retry-After`` hint
+        stretches the backoff delay). 429 is deliberately excluded — queue
+        backpressure belongs to :meth:`submit`'s ``busy_timeout`` loop, so
+        retrying it here would double-count the wait.
+        """
+        delays = self.retry.delays() if retry else iter(())
+        while True:
+            try:
+                return self._request_once(method, path, payload, timeout)
+            except ServiceError as exc:
+                if not exc.retryable or exc.status == 429:
+                    raise
+                delay = next(delays, None)
+                if delay is None:
+                    raise
+                if exc.retry_after is not None:
+                    delay = max(delay, exc.retry_after)
+                time.sleep(delay)
 
     # -- the API -----------------------------------------------------------
 
@@ -174,12 +236,20 @@ class ServiceClient:
         return self.result(ticket["job"], timeout=timeout)
 
     def health(self) -> dict:
-        """GET /v1/healthz — liveness without auth (the one open endpoint)."""
-        return self._request("GET", "/v1/healthz")
+        """GET /v1/healthz — liveness without auth (the one open endpoint).
+
+        Single attempt, no retries: health probes want an honest answer
+        *now* (the fleet's circuit breaker owns the when-to-retry logic).
+        """
+        return self._request("GET", "/v1/healthz", retry=False)
 
     def stats(self) -> dict:
         return self._request("GET", "/v1/stats")
 
     def shutdown(self) -> dict:
-        """Ask the service to stop; returns its final stats snapshot."""
-        return self._request("POST", "/v1/shutdown")
+        """Ask the service to stop; returns its final stats snapshot.
+
+        Single attempt: re-POSTing a shutdown whose response was lost would
+        just hammer an already-dying server.
+        """
+        return self._request("POST", "/v1/shutdown", retry=False)

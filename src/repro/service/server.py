@@ -63,6 +63,7 @@ from repro.api import (
 )
 from repro.api.session import sweep_points_to_dicts
 from repro.api.spec import spec_from_kind
+from repro.chaos.engine import chaos_hook, current_engine
 from repro.store import ResultStore
 
 __all__ = ["SweepService", "ServiceServer", "ServiceBusy", "Job"]
@@ -269,6 +270,9 @@ class SweepService:
             job.status = "running"
             job.started = time.time()
             try:
+                # slow-response faults land here: the latency is injected
+                # server-side, before compute, so results stay bit-identical
+                chaos_hook("service.job", kind=job.kind)
                 with fp_lock:
                     job.result = self._compute(job)
                 job.status = "done"
@@ -351,6 +355,8 @@ class SweepService:
             "store": None if self.store is None else self.store.stats.as_dict(),
             "emulation": self.emulation.stats.as_dict(),
             "design": self.design.stats.as_dict(),
+            "chaos": (None if current_engine() is None
+                      else current_engine().stats()),
         }
 
     def close(self) -> None:

@@ -13,14 +13,24 @@ small at scale). Guarantees:
 
 - **atomic writes** — payloads are staged to a same-directory temp file,
   fsynced, then :func:`os.replace`d into place, so a reader (or a crash)
-  never observes a partial entry; a corrupt entry (torn by an unclean
-  filesystem) is treated as a miss and deleted rather than served;
+  never observes a partial entry;
+- **checksummed reads + quarantine** — every write leaves a ``.sum``
+  sidecar (blake2b of the committed bytes, outside the LRU budget); a
+  read whose bytes fail the checksum or fail to decode is *never served*:
+  the entry is moved to ``root/.quarantine/`` (evidence preserved,
+  ``stats.quarantined`` counted) and reported as a miss so the caller
+  recomputes. :meth:`verify` walks the store and quarantines bad entries
+  eagerly (backfilling missing sidecars); :meth:`repair` additionally
+  purges the quarantine directory;
 - **last-writer-wins concurrency** — entries are content-addressed, so
   concurrent writers of one key are writing identical bytes and the race
   is benign; no cross-process locks are taken;
 - **LRU byte budget** — reads bump an entry's recency (mtime on disk, and
   the in-memory index); when a write pushes the store past ``max_bytes``,
-  oldest-read entries are deleted until it fits;
+  oldest-read entries are deleted until it fits. Entries younger than
+  ``evict_grace_seconds`` are never evicted — this closes the race where
+  eviction unlinks a path that a concurrent ``put`` just committed — so
+  the store may transiently exceed the budget while everything is fresh;
 - **indexed eviction** — eviction order and sizes come from an in-memory
   size/recency index maintained by every read/write, so an over-budget
   write never walks the store directory. The index is rebuilt from a
@@ -36,6 +46,7 @@ small at scale). Guarantees:
 
 from __future__ import annotations
 
+import hashlib
 import io
 import json
 import os
@@ -47,10 +58,19 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.chaos.engine import chaos_hook
+
 __all__ = ["ResultStore", "StoreStats"]
 
 # Temp files older than this are presumed crashed writers and swept.
 _STALE_TMP_SECONDS = 3600.0
+
+# Quarantined entries live here (inside the root, outside the LRU index).
+_QUARANTINE_DIR = ".quarantine"
+
+
+def _checksum(blob: bytes) -> str:
+    return hashlib.blake2b(blob, digest_size=16).hexdigest()
 
 
 @dataclass
@@ -63,6 +83,7 @@ class StoreStats:
     evictions: int = 0
     bytes: int = 0
     index_rebuilds: int = 0
+    quarantined: int = 0
 
     def as_dict(self) -> dict:
         return asdict(self)
@@ -79,14 +100,23 @@ class ResultStore:
         LRU byte budget. Writes that push past it evict least-recently-read
         entries; a single payload larger than the budget is still stored
         (and evicted by the next write).
+    evict_grace_seconds:
+        Entries read or written more recently than this are never evicted,
+        closing the eviction-vs-concurrent-``put`` race on one fingerprint
+        path. ``0.0`` restores strict LRU (useful in tests).
     """
 
-    def __init__(self, root: str | Path, max_bytes: int = 1 << 30):
+    def __init__(self, root: str | Path, max_bytes: int = 1 << 30,
+                 evict_grace_seconds: float = 1.0):
         if max_bytes < 1:
             raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        if evict_grace_seconds < 0:
+            raise ValueError(
+                f"evict_grace_seconds must be >= 0, got {evict_grace_seconds}")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.max_bytes = max_bytes
+        self.evict_grace_seconds = evict_grace_seconds
         self.stats = StoreStats()
         self._lock = threading.Lock()
         # path -> [recency, size]: the eviction index (see module docstring)
@@ -107,13 +137,21 @@ class ResultStore:
             raise ValueError(f"fingerprint must be lowercase hex, got {fp!r}")
         return self.root / kind / fp[:2] / f"{fp}{suffix}"
 
+    @staticmethod
+    def _sum_path(path: Path) -> Path:
+        """The checksum sidecar for a payload path (``<entry>.sum``)."""
+        return path.with_name(path.name + ".sum")
+
     def _scan(self):
-        """All committed entries as ``(mtime, size, path)`` (temp files skipped)."""
+        """All committed entries as ``(mtime, size, path)`` (temp files,
+        checksum sidecars, and quarantined entries skipped)."""
         entries = []
         for path in self.root.rglob("*"):
             if not path.is_file():
                 continue
             if path.suffix not in (".json", ".npz"):
+                continue
+            if _QUARANTINE_DIR in path.parts:
                 continue
             try:
                 st = path.stat()
@@ -145,17 +183,55 @@ class ResultStore:
 
     # -- read side ---------------------------------------------------------
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a bad entry (plus its sidecar) into ``root/.quarantine/``.
+
+        Quarantined entries keep their bytes as evidence but are invisible
+        to reads, ``contains``, and the LRU index; ``stats.quarantined``
+        counts them and :meth:`repair` purges them.
+        """
+        qdir = self.root / _QUARANTINE_DIR
+        qdir.mkdir(parents=True, exist_ok=True)
+        kind = path.parent.parent.name
+        try:
+            os.replace(path, qdir / f"{kind}__{path.name}")
+        except OSError:
+            path.unlink(missing_ok=True)  # cross-device or racing unlink
+        sidecar = self._sum_path(path)
+        try:
+            os.replace(sidecar, qdir / f"{kind}__{sidecar.name}")
+        except OSError:
+            sidecar.unlink(missing_ok=True)
+        with self._lock:
+            self.stats.quarantined += 1
+
+    def _verify_checksum(self, path: Path, raw: bytes) -> None:
+        """Raise ``ValueError`` when the sidecar disagrees with ``raw``.
+
+        A missing sidecar (entry from an older store version, or a crash
+        between payload and sidecar commit) falls back to decode-only
+        validation; :meth:`verify` backfills those.
+        """
+        try:
+            expected = self._sum_path(path).read_text().strip()
+        except OSError:
+            return
+        if expected != _checksum(raw):
+            raise ValueError(f"checksum mismatch for {path.name}")
+
     def _read(self, kind: str, fp: str, suffix: str, decode):
         path = self._path(kind, fp, suffix)
         try:
             raw = path.read_bytes()
+            self._verify_checksum(path, raw)
             payload = decode(raw)
         except FileNotFoundError:
             payload = None
         except Exception:
-            # torn/corrupt entry (e.g. unclean shutdown mid-sector): never
-            # serve it — drop it and report a miss so the caller recomputes
-            path.unlink(missing_ok=True)
+            # torn/corrupt entry (unclean shutdown, bit rot, checksum
+            # mismatch): never serve it — quarantine the bytes and report a
+            # miss so the caller recomputes
+            self._quarantine(path)
             payload = None
         with self._lock:
             if payload is None:
@@ -209,6 +285,11 @@ class ResultStore:
         except BaseException:
             Path(tmp).unlink(missing_ok=True)
             raise
+        self._write_sidecar(path, blob)
+        directive = chaos_hook("store.put", kind=kind, fingerprint=fp,
+                               suffix=suffix)
+        if directive is not None and directive.get("action") == "corrupt":
+            self._corrupt_on_disk(path)
         with self._lock:
             self.stats.puts += 1
             replaced = self._index.get(path)
@@ -219,6 +300,33 @@ class ResultStore:
             over = self.stats.bytes > self.max_bytes
         if over:
             self._evict()
+
+    def _write_sidecar(self, path: Path, blob: bytes) -> None:
+        """Commit the checksum sidecar (atomically, like the payload)."""
+        sidecar = self._sum_path(path)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".sum-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(_checksum(blob) + "\n")
+            os.replace(tmp, sidecar)
+        except BaseException:
+            Path(tmp).unlink(missing_ok=True)
+            raise
+
+    def _corrupt_on_disk(self, path: Path) -> None:
+        """Chaos-only: flip bytes of a committed entry in place, simulating
+        torn sectors / bit rot. The sidecar keeps the original checksum so
+        the next read detects the damage and quarantines the entry."""
+        try:
+            raw = bytearray(path.read_bytes())
+        except OSError:
+            return
+        if not raw:
+            return
+        mid = len(raw) // 2
+        span = slice(mid, min(mid + 8, len(raw)))
+        raw[span] = bytes(b ^ 0xFF for b in raw[span])
+        path.write_bytes(bytes(raw))
 
     def put_json(self, kind: str, fp: str, payload) -> None:
         """Store a JSON-serializable payload under ``(kind, fp)`` atomically."""
@@ -249,14 +357,24 @@ class ResultStore:
             self._evict_pass()
 
     def _evict_pass(self) -> tuple[bool, bool]:
-        """One index-driven eviction sweep; returns ``(stale, still_over)``."""
+        """One index-driven eviction sweep; returns ``(stale, still_over)``.
+
+        Entries younger than ``evict_grace_seconds`` are skipped (never
+        evicted), so a budget overshoot caused only by fresh entries does
+        not count as *still over* — rebuilding the index could not help.
+        """
+        cutoff = time.time() - self.evict_grace_seconds
         with self._lock:
             entries = sorted(self._index.items(), key=lambda kv: kv[1][0])
             total = sum(entry[1] for _, entry in entries)
             victims = []
+            skipped_fresh = False
             for path, entry in entries[:-1]:  # the newest entry always survives
                 if total <= self.max_bytes:
                     break
+                if entry[0] > cutoff:  # within the grace window: not evictable
+                    skipped_fresh = True
+                    continue
                 victims.append(path)
                 total -= entry[1]
                 del self._index[path]
@@ -270,7 +388,72 @@ class ResultStore:
                 stale = True  # another process removed it first
             except OSError:
                 stale = True
+            self._sum_path(path).unlink(missing_ok=True)
         with self._lock:
             self.stats.evictions += evicted
-            over = self.stats.bytes > self.max_bytes
+            over = self.stats.bytes > self.max_bytes and not skipped_fresh
         return stale, over
+
+    # -- maintenance -------------------------------------------------------
+
+    def verify(self, repair: bool = False) -> dict:
+        """Walk every committed entry, checksum + decode it, and quarantine
+        anything bad (the entry is preserved under ``root/.quarantine/``).
+
+        Entries without a checksum sidecar (written by an older store
+        version) get one backfilled from their current — validated — bytes.
+        With ``repair=True`` the quarantine directory is purged afterwards.
+        Returns a report: ``checked`` / ``ok`` / ``quarantined`` (this pass)
+        / ``backfilled`` / ``quarantine_entries`` (files still quarantined)
+        / ``purged``.
+        """
+        checked = ok = quarantined = backfilled = 0
+        for _, _, path in self._scan():
+            checked += 1
+            try:
+                raw = path.read_bytes()
+                self._verify_checksum(path, raw)
+                if path.suffix == ".json":
+                    json.loads(raw.decode())
+                else:
+                    with np.load(io.BytesIO(raw)) as bundle:
+                        for name in bundle.files:
+                            bundle[name]
+            except FileNotFoundError:
+                continue  # concurrently evicted
+            except Exception:
+                self._quarantine(path)
+                with self._lock:
+                    dropped = self._index.pop(path, None)
+                    if dropped is not None:
+                        self.stats.bytes -= dropped[1]
+                quarantined += 1
+                continue
+            ok += 1
+            if not self._sum_path(path).exists():
+                self._write_sidecar(path, raw)
+                backfilled += 1
+        qdir = self.root / _QUARANTINE_DIR
+        purged = 0
+        if repair and qdir.is_dir():
+            for entry in list(qdir.iterdir()):
+                try:
+                    entry.unlink()
+                    purged += 1
+                except OSError:
+                    pass
+        remaining = (sum(1 for p in qdir.iterdir()
+                         if p.is_file() and p.suffix != ".sum")
+                     if qdir.is_dir() else 0)
+        return {
+            "checked": checked,
+            "ok": ok,
+            "quarantined": quarantined,
+            "backfilled": backfilled,
+            "quarantine_entries": remaining,
+            "purged": purged,
+        }
+
+    def repair(self) -> dict:
+        """:meth:`verify` + purge the quarantine directory."""
+        return self.verify(repair=True)

@@ -1,0 +1,83 @@
+"""repro.chaos.breaker: the three-state machine, driven by a fake clock."""
+
+import pytest
+
+from repro.chaos import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows_calls(self, clock):
+        breaker = CircuitBreaker(clock=clock)
+        assert breaker.state == CLOSED
+        assert breaker.allow() is True
+
+    def test_opens_at_the_failure_threshold(self, clock):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown=5.0,
+                                 clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.allow() is False
+
+    def test_cooldown_half_opens_with_a_single_probe_slot(self, clock):
+        breaker = CircuitBreaker(cooldown=5.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.allow() is False
+        clock.advance(4.9)
+        assert breaker.allow() is False  # still cooling down
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow() is True   # the probe
+        assert breaker.allow() is False  # everyone else waits on it
+
+    def test_probe_success_closes(self, clock):
+        breaker = CircuitBreaker(cooldown=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow() is True
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow() is True and breaker.allow() is True
+
+    def test_probe_failure_reopens_for_a_fresh_cooldown(self, clock):
+        breaker = CircuitBreaker(cooldown=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow() is True
+        breaker.record_failure()  # the probe failed
+        assert breaker.state == OPEN
+        assert breaker.allow() is False
+        clock.advance(1.0)  # the cooldown restarted at the probe failure
+        assert breaker.allow() is True
+
+    def test_success_resets_the_failure_count(self, clock):
+        breaker = CircuitBreaker(failure_threshold=2, clock=clock)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # the count restarted after success
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(failure_threshold=0), dict(cooldown=-1.0),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            CircuitBreaker(**kwargs)

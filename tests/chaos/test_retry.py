@@ -1,0 +1,110 @@
+"""repro.chaos.retry: deterministic backoff schedules and classified calls."""
+
+import pytest
+
+from repro.chaos import (
+    FatalError,
+    RetriesExhausted,
+    RetryableError,
+    RetryPolicy,
+    is_retryable,
+)
+
+
+class TestDelays:
+    def test_schedule_is_deterministic_per_policy(self):
+        policy = RetryPolicy(attempts=5, backoff=0.1, max_backoff=2.0, seed=3)
+        assert list(policy.delays()) == list(policy.delays())
+
+    def test_exponential_growth_capped_and_jittered(self):
+        policy = RetryPolicy(attempts=6, backoff=0.1, max_backoff=0.4,
+                             jitter=0.25)
+        delays = list(policy.delays())
+        assert len(delays) == 5
+        bases = [0.1, 0.2, 0.4, 0.4, 0.4]  # doubled, then capped
+        for delay, base in zip(delays, bases):
+            assert base * 0.75 <= delay <= base * 1.25
+
+    def test_single_attempt_has_no_delays(self):
+        assert list(RetryPolicy(attempts=1).delays()) == []
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(attempts=0), dict(backoff=-1.0), dict(jitter=1.5),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestCall:
+    def test_retries_retryable_until_success(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise RetryableError("transient")
+            return "ok"
+
+        policy = RetryPolicy(attempts=4, backoff=0.01)
+        assert policy.call(flaky, sleep=lambda s: None) == "ok"
+        assert len(calls) == 3
+
+    def test_fatal_errors_propagate_on_the_first_attempt(self):
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise FatalError("deterministic")
+
+        with pytest.raises(FatalError):
+            RetryPolicy(attempts=5).call(broken, sleep=lambda s: None)
+        assert len(calls) == 1
+
+    def test_exhaustion_wraps_the_last_error(self):
+        def always():
+            raise ConnectionResetError("peer reset")
+
+        with pytest.raises(RetriesExhausted) as info:
+            RetryPolicy(attempts=3, backoff=0.0).call(
+                always, sleep=lambda s: None)
+        assert info.value.attempts == 3
+        assert isinstance(info.value.last, ConnectionResetError)
+        assert not is_retryable(info.value)  # exhausted = fatal upstream
+
+    def test_on_retry_observes_each_backoff(self):
+        seen = []
+
+        def always():
+            raise RetryableError("again")
+
+        policy = RetryPolicy(attempts=3, backoff=0.05)
+        with pytest.raises(RetriesExhausted):
+            policy.call(always, on_retry=lambda exc, d: seen.append(d),
+                        sleep=lambda s: None)
+        assert seen == list(policy.delays())
+
+
+class TestTaxonomy:
+    @pytest.mark.parametrize("exc,expected", [
+        (ConnectionResetError(), True),
+        (ConnectionRefusedError(), True),
+        (BrokenPipeError(), True),
+        (TimeoutError(), True),
+        (RetryableError("x"), True),
+        (FatalError("x"), False),
+        (ValueError("x"), False),
+        (KeyError("x"), False),
+    ])
+    def test_is_retryable_classification(self, exc, expected):
+        assert is_retryable(exc) is expected
+
+    def test_retryable_attribute_is_honored(self):
+        class Custom(Exception):
+            retryable = True
+
+        class CustomOff(Exception):
+            retryable = False
+
+        assert is_retryable(Custom()) is True
+        assert is_retryable(CustomOff()) is False

@@ -2,12 +2,14 @@
 
 import json
 import threading
+import time
 
 import pytest
 
 from repro.api import DesignSweepSpec, PrecisionPoint, RunSpec
 from repro.fleet import FleetCoordinator, FleetError, LocalEndpoint, ShardPlan
 from repro.service import ServiceClient, ServiceError, ServiceServer, SweepService
+from repro.store import ResultStore
 
 SPEC = RunSpec.grid(name="fleet-spec", precisions=(10, 12, 14, 16),
                     accumulators=("fp32",), sources=("laplace", "normal"),
@@ -123,11 +125,120 @@ class TestFanOut:
             survivor.close()
             doomed_backend.close()
 
-    def test_all_endpoints_dead_raises_fleet_error(self):
+    def test_all_endpoints_dead_raises_without_local_fallback(self):
         coordinator = FleetCoordinator([_NeverReachable(), _NeverReachable()],
-                                       retries=1, backoff=0.01)
+                                       retries=1, backoff=0.01,
+                                       local_fallback=False)
         with pytest.raises(FleetError, match="dead"):
             coordinator.run(SPEC)
+
+    def test_all_endpoints_dead_degrades_to_local_execution(
+            self, reference_service):
+        """The graceful-degradation path: every endpoint down → remaining
+        shards run on an in-process service, merge still byte-identical."""
+        coordinator = FleetCoordinator([_NeverReachable(), _NeverReachable()],
+                                       shards=3, retries=1, backoff=0.01)
+        try:
+            merged = coordinator.run(SPEC)
+            direct = _direct_payload(reference_service, SPEC, "sweep")
+            assert json.dumps(merged, sort_keys=True) == \
+                   json.dumps(direct, sort_keys=True)
+            stats = coordinator.stats()
+            assert stats["shards_local"] == 3
+            assert stats["shards_completed"] == 3
+            assert all(e["dead"] for e in stats["endpoints"])
+        finally:
+            coordinator.close()
+
+    def test_recovered_endpoint_rejoins_after_cooldown(self, reference_service):
+        """An endpoint that dies and comes back is probed closed again
+        (circuit breaker half-open → healthz → rejoin), not dropped forever."""
+
+        class _Flaky:
+            """Down for the first sweep, healthy afterwards."""
+
+            url = "stub://flaky"
+
+            def __init__(self, service):
+                self._inner = LocalEndpoint(service, name="flaky")
+                self.down = True
+
+            def submit(self, spec, kind=None, busy_timeout=60.0):
+                if self.down:
+                    raise ServiceError("connection refused", retryable=True)
+                return self._inner.submit(spec, kind=kind,
+                                          busy_timeout=busy_timeout)
+
+            def result(self, job_id, timeout=600.0):
+                return self._inner.result(job_id, timeout=timeout)
+
+            def health(self):
+                if self.down:
+                    raise ServiceError("connection refused", retryable=True)
+                return self._inner.health()
+
+        backend, steady = SweepService(), SweepService(queue_workers=2)
+        flaky = _Flaky(backend)
+        try:
+            coordinator = FleetCoordinator([flaky, steady], shards=2,
+                                           retries=2, backoff=0.01,
+                                           breaker_cooldown=0.05)
+            coordinator.run(SPEC)
+            assert coordinator.stats()["endpoints"][0]["dead"] is True
+            flaky.down = False
+            time.sleep(0.1)  # past the breaker cooldown
+            merged = coordinator.run(SPEC)
+            direct = _direct_payload(reference_service, SPEC, "sweep")
+            assert json.dumps(merged, sort_keys=True) == \
+                   json.dumps(direct, sort_keys=True)
+            stats = coordinator.stats()
+            assert stats["rejoins"] >= 1
+            assert stats["endpoints"][0]["dead"] is False
+            assert stats["endpoints"][0]["jobs"] >= 1
+        finally:
+            backend.close()
+            steady.close()
+
+    def test_killed_endpoint_plus_corrupt_store_entry_recovers(
+            self, tmp_path, reference_service):
+        """The satellite scenario: an endpoint dies mid-sweep (its shards
+        re-dispatch) AND one cached shard payload is corrupted on disk —
+        the corrupt entry must be quarantined (counted, never merged) and
+        the re-run's merged output must stay byte-identical."""
+        direct = _direct_payload(reference_service, SPEC, "sweep")
+        store = ResultStore(tmp_path / "fleet-store")
+        survivor = SweepService(queue_workers=2)
+        doomed_backend = SweepService()
+        doomed = _KilledAfterAccept(doomed_backend)
+        try:
+            coordinator = FleetCoordinator([doomed, survivor], shards=4,
+                                           retries=2, backoff=0.01,
+                                           store=store)
+            merged = coordinator.run(SPEC)
+            assert json.dumps(merged, sort_keys=True) == \
+                   json.dumps(direct, sort_keys=True)
+            assert coordinator.stats()["redispatches"] >= 1
+        finally:
+            doomed_backend.close()
+
+        # corrupt one committed shard payload (the partial work the killed
+        # endpoint left behind) without touching its checksum sidecar
+        victim = sorted((tmp_path / "fleet-store").rglob("*.json"))[0]
+        victim.write_bytes(victim.read_bytes()[:-2] + b"zz")
+        rerun_store = ResultStore(tmp_path / "fleet-store")
+        try:
+            coordinator = FleetCoordinator([survivor], shards=4,
+                                           retries=2, backoff=0.01,
+                                           store=rerun_store)
+            merged = coordinator.run(SPEC)
+            assert json.dumps(merged, sort_keys=True) == \
+                   json.dumps(direct, sort_keys=True)
+            stats = coordinator.stats()
+            assert rerun_store.stats.quarantined >= 1  # caught, counted
+            assert stats["shards_skipped_warm"] == 3   # the intact cache
+            assert stats["shards_completed"] == 1      # only the bad one
+        finally:
+            survivor.close()
 
     def test_deterministic_job_failure_fails_fast(self):
         a, b = SweepService(), SweepService()
@@ -181,11 +292,21 @@ class TestFleetCLI:
         assert strip(direct) == strip(via_fleet)
         assert any(l.startswith("[fleet ") for l in via_fleet.splitlines())
 
-    def test_fleet_with_unreachable_endpoints_exits_2(self, tmp_path, capsys):
+    def test_fleet_with_unreachable_endpoints_degrades_locally(
+            self, tmp_path, capsys):
+        """Unreachable endpoints no longer kill the run: shards fall back to
+        an in-process service and the CLI warns about the degradation."""
         from repro.experiments.runner import main
 
         path = tmp_path / "spec.json"
         SPEC.to_json(path)
+        assert main(["--spec", str(path)]) == 0
+        direct = capsys.readouterr().out
         assert main(["--spec", str(path), "--fleet", "http://127.0.0.1:9",
-                     "--shards", "2"]) == 2
-        assert "fleet error" in capsys.readouterr().err
+                     "--shards", "2"]) == 0
+        out, err = capsys.readouterr()
+        strip = lambda text: [l for l in text.splitlines()
+                              if not l.startswith("[")]
+        assert strip(direct) == strip(out)
+        assert "fleet degraded" in err
+        assert "local=2" in out

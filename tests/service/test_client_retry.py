@@ -1,0 +1,140 @@
+"""ServiceClient failure classification + bounded transport retries.
+
+One regression test per failure class: injected connection resets recover,
+503s retry honoring Retry-After, 429 stays with submit's busy loop, 4xx and
+DNS-level failures are fatal on the first attempt.
+"""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.chaos import FaultPlan, RetryPolicy, install
+from repro.service import ServiceClient, ServiceError, ServiceServer
+
+
+class _ScriptedHandler(BaseHTTPRequestHandler):
+    """Replays a per-server script of (status, headers, body) responses."""
+
+    def _respond(self):
+        self.server.requests.append((self.command, self.path))
+        if self.server.script:
+            status, headers, body = self.server.script.pop(0)
+        else:
+            status, headers, body = 200, {}, {"ok": True}
+        payload = json.dumps(body).encode()
+        self.send_response(status)
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    do_GET = do_POST = _respond
+
+    def log_message(self, *args):
+        pass
+
+
+@pytest.fixture
+def scripted_server():
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _ScriptedHandler)
+    server.script = []
+    server.requests = []
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join()
+
+
+def _client(server, **kwargs):
+    host, port = server.server_address
+    kwargs.setdefault("retry", RetryPolicy(attempts=3, backoff=0.01,
+                                           max_backoff=0.05))
+    return ServiceClient(f"http://{host}:{port}", timeout=5.0, **kwargs)
+
+
+class TestRetryableClasses:
+    def test_injected_conn_reset_is_retried_to_success(self):
+        with ServiceServer(port=0) as server:
+            client = ServiceClient(server.url, retry=RetryPolicy(
+                attempts=3, backoff=0.01, max_backoff=0.05))
+            with install(FaultPlan.of("conn-reset@request:0")) as engine:
+                stats = client.stats()
+            assert stats["jobs"]["total"] == 0  # the retry reached the server
+            assert engine.stats()["injected"] == {"conn-reset": 1}
+
+    def test_503_retries_honoring_retry_after(self, scripted_server):
+        scripted_server.script = [
+            (503, {"Retry-After": "0.02"}, {"error": "overloaded"}),
+            (200, {}, {"ok": True}),
+        ]
+        assert _client(scripted_server).stats() == {"ok": True}
+        assert len(scripted_server.requests) == 2
+
+    def test_retries_are_bounded_by_the_policy(self, scripted_server):
+        scripted_server.script = [
+            (503, {}, {"error": "overloaded"})] * 5
+        with pytest.raises(ServiceError) as info:
+            _client(scripted_server).stats()
+        assert info.value.retryable is True
+        assert info.value.status == 503
+        assert len(scripted_server.requests) == 3  # attempts, then give up
+
+    def test_connection_refused_classifies_retryable(self):
+        # nothing listens on a fresh ephemeral port the OS just released
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = ServiceClient(f"http://127.0.0.1:{port}",
+                               retry=RetryPolicy(attempts=2, backoff=0.01))
+        with pytest.raises(ServiceError) as info:
+            client.health()  # health() is single-attempt by design
+        assert info.value.retryable is True
+
+
+class TestFatalClasses:
+    def test_4xx_is_fatal_on_the_first_attempt(self, scripted_server):
+        scripted_server.script = [(404, {}, {"error": "no such job"})]
+        with pytest.raises(ServiceError) as info:
+            _client(scripted_server).job("nope")
+        assert info.value.retryable is False
+        assert info.value.status == 404
+        assert len(scripted_server.requests) == 1  # never retried
+
+    def test_429_is_left_to_submits_busy_loop(self, scripted_server):
+        scripted_server.script = [
+            (429, {"Retry-After": "0.01"}, {"error": "queue full"})] * 2 + [
+            (200, {}, {"job": "j1", "status": "queued"})]
+        ticket = _client(scripted_server).submit({"name": "x", "points": []},
+                                                 kind="sweep",
+                                                 busy_timeout=5.0)
+        assert ticket["job"] == "j1"
+        # every request was a fresh POST from the busy loop, not _request's
+        # transport retry (which excludes 429 to avoid double-counting)
+        assert [m for m, _ in scripted_server.requests] == ["POST"] * 3
+
+    def test_unknown_host_is_fatal(self):
+        client = ServiceClient("http://no-such-host.invalid:1",
+                               retry=RetryPolicy(attempts=3, backoff=0.01))
+        with pytest.raises(ServiceError) as info:
+            client.stats()
+        assert info.value.retryable is False
+
+    def test_job_error_payloads_are_fatal(self, scripted_server):
+        scripted_server.script = [
+            (200, {}, {"status": "error", "error": "bad operand source"})]
+        with pytest.raises(ServiceError) as info:
+            _client(scripted_server).result("j1", timeout=5.0)
+        assert info.value.retryable is False
+        assert len(scripted_server.requests) == 1

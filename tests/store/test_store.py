@@ -146,7 +146,7 @@ class TestResultStore:
         assert ResultStore(tmp_path).get_arrays("kind", FP2) is None
 
     def test_crashed_writer_tmp_file_invisible(self, tmp_path):
-        store = ResultStore(tmp_path)
+        store = ResultStore(tmp_path, evict_grace_seconds=0.0)
         stale = tmp_path / "kind" / FP[:2] / f".{FP[:8]}-dead.tmp"
         stale.parent.mkdir(parents=True)
         stale.write_bytes(b'{"x": 1')  # a writer died mid-write
@@ -158,7 +158,7 @@ class TestResultStore:
         assert not stale.exists()
 
     def test_lru_eviction_at_byte_budget(self, tmp_path):
-        store = ResultStore(tmp_path)
+        store = ResultStore(tmp_path, evict_grace_seconds=0.0)
         payload = {"data": "z" * 200}
         now = time.time()
         for i, fp in enumerate((FP, FP2)):
@@ -175,7 +175,8 @@ class TestResultStore:
         assert store.contains("kind", "ee" + "2" * 30)
 
     def test_read_bumps_lru_recency(self, tmp_path):
-        store = ResultStore(tmp_path, max_bytes=500)
+        store = ResultStore(tmp_path, max_bytes=500,
+                            evict_grace_seconds=0.0)
         payload = {"data": "z" * 200}
         now = time.time()
         for i, fp in enumerate((FP, FP2)):
@@ -186,6 +187,92 @@ class TestResultStore:
         store.put_json("kind", "ee" + "2" * 30, payload)  # evicts one entry
         assert store.contains("kind", FP)
         assert not store.contains("kind", FP2)
+
+    def test_checksum_mismatch_quarantined_never_served(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put_json("kind", FP, {"x": 1})
+        path = store._path("kind", FP, ".json")
+        # flip committed bytes without touching the sidecar (disk bit-rot /
+        # an injected store-corrupt fault): still valid JSON, wrong sum
+        path.write_bytes(path.read_bytes().replace(b"1", b"7"))
+        assert store.get_json("kind", FP) is None  # a miss, not garbage
+        assert store.stats.quarantined == 1
+        assert not path.exists()
+        evidence = list((tmp_path / ".quarantine").iterdir())
+        assert any(p.name.startswith("kind__") for p in evidence)
+        # the caller recomputes and the key serves correctly again
+        store.put_json("kind", FP, {"x": 1})
+        assert store.get_json("kind", FP) == {"x": 1}
+
+    def test_verify_quarantines_backfills_and_repair_purges(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put_json("kind", FP, {"x": 1})
+        store.put_arrays("kind", FP2, {"k0": np.arange(4.0)})
+        good = store._path("kind", FP, ".json")
+        bad = store._path("kind", FP2, ".npz")
+        bad.write_bytes(bad.read_bytes()[:-2] + b"zz")
+        store._sum_path(good).unlink()  # an entry from an older store
+        report = ResultStore(tmp_path).verify()
+        assert report["checked"] == 2
+        assert report["quarantined"] == 1
+        assert report["backfilled"] == 1
+        assert report["quarantine_entries"] == 1
+        clean = ResultStore(tmp_path)
+        assert clean.verify() == {"checked": 1, "ok": 1, "quarantined": 0,
+                                  "backfilled": 0, "quarantine_entries": 1,
+                                  "purged": 0}
+        assert clean.repair()["purged"] == 2  # the entry + its sidecar
+        assert not any((tmp_path / ".quarantine").iterdir())
+
+    def test_grace_window_shields_fresh_entries_from_eviction(self, tmp_path):
+        store = ResultStore(tmp_path, max_bytes=1, evict_grace_seconds=60.0)
+        store.put_json("kind", FP, {"data": "z" * 200})
+        store.put_json("kind", FP2, {"data": "z" * 200})
+        # both entries are over budget but inside the grace window
+        assert store.stats.evictions == 0
+        assert store.contains("kind", FP) and store.contains("kind", FP2)
+
+    def test_concurrent_puts_and_evictions_never_corrupt(self, tmp_path):
+        """The eviction-vs-put race (satellite): one thread hammering puts
+        while another forces eviction sweeps must never surface an error or
+        serve a torn payload."""
+        store = ResultStore(tmp_path, max_bytes=2048,
+                            evict_grace_seconds=0.05)
+        errors = []
+        payload = {"data": "z" * 300}
+        stop = threading.Event()
+
+        def writer():
+            try:
+                for i in range(120):
+                    fp = f"{i % 6:02d}" + "b" * 30
+                    store.put_json("race", fp, payload)
+                    got = store.get_json("race", fp)
+                    assert got is None or got == payload
+            except Exception as exc:  # noqa: BLE001 - surface in main thread
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def evictor():
+            try:
+                while not stop.is_set():
+                    store.put_json("churn", "ff" + "c" * 30,
+                                   {"data": "y" * 600})
+                    time.sleep(0.002)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer),
+                   threading.Thread(target=evictor)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert store.stats.quarantined == 0
+        report = store.verify()
+        assert report["quarantined"] == 0
 
     def test_concurrent_writers_and_readers(self, tmp_path):
         store = ResultStore(tmp_path)
