@@ -652,13 +652,60 @@ def bench_chaos(repeats):
     }
 
 
+def bench_obs(repeats):
+    """Trace-hook cost: disarmed (the production default) vs armed.
+
+    Mirrors ``bench_chaos``: disarmed, every ``trace_span`` site is one
+    module-global load plus a ``None`` check. The armed leg installs a
+    live tracer so every span is actually recorded; both legs must stay
+    bit-identical to each other.
+    """
+    from repro.obs.trace import install
+
+    spec = RunSpec.grid(name="bench-obs", precisions=(8, 12, 16, 20),
+                        accumulators=("fp32",), sources=("laplace", "normal"),
+                        batch=4000, chunks=2, seed=0)
+    EmulationSession().sweep(spec)  # warm-up: neither leg pays first-run costs
+    spans_recorded = 0
+
+    def disarmed():
+        return EmulationSession().sweep(spec)
+
+    def armed():
+        nonlocal spans_recorded
+        with install() as tracer:
+            sweep = EmulationSession().sweep(spec)
+            spans_recorded = len(tracer.export())
+            return sweep
+
+    # the true per-span cost is microseconds, far below this container's
+    # run-to-run noise — interleave the legs so drift hits both equally,
+    # and take the min over enough rounds to converge
+    disarmed_s = armed_s = float("inf")
+    base = traced = None
+    for _ in range(max(repeats, 7)):
+        d, base = _best_of(disarmed, 1)
+        a, traced = _best_of(armed, 1)
+        disarmed_s, armed_s = min(disarmed_s, d), min(armed_s, a)
+    return {
+        "obs_overhead": {
+            "hooks_disarmed_seconds": round(disarmed_s, 4),
+            "hooks_armed_seconds": round(armed_s, 4),
+            "seconds": round(armed_s, 4),
+            "obs_overhead_pct": round(100 * (armed_s / disarmed_s - 1), 2),
+            "spans_recorded": spans_recorded,
+            "identical": traced.points == base.points,
+        },
+    }
+
+
 def bench_kernels_and_session(repeats):
     return {**bench_kernels(repeats), **bench_engine_modes(repeats),
             **bench_session(repeats), **bench_chunk_block(repeats),
             **bench_design_space(repeats), **bench_search_halving(repeats),
             **bench_store(repeats),
             **bench_service(repeats), **bench_fleet(repeats),
-            **bench_chaos(repeats)}
+            **bench_chaos(repeats), **bench_obs(repeats)}
 
 
 def bench_fig3(repeats):
@@ -743,6 +790,11 @@ def main(argv=None) -> int:
                 print(f"  int32 {r['int32_seconds']}s -> forced int64 "
                       f"{r['int64_seconds']}s ({r['int64_cost']}x cost, "
                       f"results {mark})")
+            elif "obs_overhead_pct" in r:
+                print(f"  trace hooks: disarmed {r['hooks_disarmed_seconds']}s "
+                      f"-> armed {r['hooks_armed_seconds']}s "
+                      f"({r['obs_overhead_pct']:+.2f}% overhead, "
+                      f"{r['spans_recorded']} spans, results {mark})")
             elif "chaos_overhead_pct" in r:
                 print(f"  chaos hooks: disarmed {r['hooks_disarmed_seconds']}s "
                       f"-> armed (empty plan) {r['hooks_armed_seconds']}s "

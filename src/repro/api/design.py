@@ -44,6 +44,8 @@ from repro.hw.efficiency import (
 from repro.hw.registry import parse_design, parse_tile
 from repro.hw.tile_cost import TileCost, tile_cost
 from repro.nn.zoo import WORKLOADS
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import trace_span
 from repro.store import ResultStore
 from repro.store.fingerprint import fingerprint as _result_key
 from repro.tile.config import SMALL_TILE, TileConfig
@@ -342,6 +344,11 @@ class DesignSession:
         self._layer_lists: dict[str, tuple] = {}
         self._lock = threading.Lock()
         self._closed = False
+        REGISTRY.register_object(
+            self, lambda session: session.stats.as_dict(),
+            prefix="repro_design",
+            labels={"instance": REGISTRY.next_instance("design")},
+            counters={"hits", "misses", "tasks_dispatched", "shm_bytes"})
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -584,10 +591,13 @@ class DesignSession:
         if self._closed:
             raise RuntimeError("session is closed")
         point = DesignPoint.from_dict(point)
-        stored = self._load_report(point, accuracy)
-        if stored is not None:
-            return stored
-        return self._evaluate_fresh(point, accuracy)
+        with trace_span("design.evaluate", design=point.design.name) as sp:
+            stored = self._load_report(point, accuracy)
+            if stored is not None:
+                sp.set(warm=True)
+                return stored
+            sp.set(warm=False)
+            return self._evaluate_fresh(point, accuracy)
 
     def _evaluate_fresh(self, point: DesignPoint,
                         accuracy: RunSpec | None = None) -> DesignReport:
@@ -653,6 +663,11 @@ class DesignSession:
         caches persist across its tasks. Reports come back in spec order,
         identical to a serial sweep (every computation is deterministic).
         """
+        with trace_span("design.sweep", backend=self.executor.name):
+            return self._sweep_impl(spec, accuracy)
+
+    def _sweep_impl(self, spec: DesignSweepSpec | list,
+                    accuracy: RunSpec | None) -> list[DesignReport]:
         if isinstance(spec, DesignSweepSpec):
             points = list(spec.points())
             if spec.accuracy is not None:

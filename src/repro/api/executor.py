@@ -59,6 +59,14 @@ import numpy as np
 
 from repro.chaos.engine import chaos_hook
 from repro.fp.formats import np_float_dtype
+from repro.obs.trace import (
+    trace_attach,
+    trace_capture,
+    trace_ingest,
+    trace_span,
+    trace_wire,
+    worker_trace,
+)
 from repro.ipu.engine import (
     FPIPBatchResult,
     PackedOperands,
@@ -182,6 +190,14 @@ def _concat_results(slabs: list[list[FPIPBatchResult]]) -> list[FPIPBatchResult]
     return out
 
 
+def _attached(state: dict, fn):
+    """Wrap ``fn`` so pool threads run it under the captured trace context."""
+    def wrapped(item):
+        with trace_attach(state):
+            return fn(item)
+    return wrapped
+
+
 class SerialExecutor:
     """Inline execution; the reference every other backend must match."""
 
@@ -194,6 +210,10 @@ class SerialExecutor:
         self.shm_bytes_tx = 0
         self.shm_bytes_rx = 0
         self.results_pickled = 0
+        # every backend exposes the full counter set (sessions sync these
+        # attributes directly, no getattr fallbacks); serial never restarts
+        self.worker_restarts = 0
+        self.chunks_redispatched = 0
 
     def run_points(self, pa, pb, points, shape, chunk_rows=None, engine=None):
         return fp_ip_points(pa, pb, points, chunk_rows=chunk_rows, engine=engine)
@@ -225,6 +245,8 @@ class ThreadExecutor:
         self.shm_bytes_tx = 0
         self.shm_bytes_rx = 0
         self.results_pickled = 0
+        self.worker_restarts = 0
+        self.chunks_redispatched = 0
         self._pool: ThreadPoolExecutor | None = None
         self._lock = threading.Lock()
 
@@ -242,12 +264,22 @@ class ThreadExecutor:
         if len(spans) <= 1:
             return fp_ip_points(pa, pb, points, chunk_rows=chunk_rows, engine=engine)
         pool = self._ensure_pool()
-        futures = [
-            pool.submit(fp_ip_points, _slab(pa, shape, lo, hi),
-                        _slab(pb, shape, lo, hi), points, chunk_rows,
-                        None, engine)
-            for lo, hi in spans
-        ]
+        state = trace_capture()
+        if state is None:  # disarmed fast path: submit the kernel directly
+            futures = [
+                pool.submit(fp_ip_points, _slab(pa, shape, lo, hi),
+                            _slab(pb, shape, lo, hi), points, chunk_rows,
+                            None, engine)
+                for lo, hi in spans
+            ]
+        else:
+            def traced(lo, hi):
+                with trace_attach(state), trace_span(
+                        "executor.chunk", backend="thread", lo=lo, hi=hi):
+                    return fp_ip_points(_slab(pa, shape, lo, hi),
+                                        _slab(pb, shape, lo, hi), points,
+                                        chunk_rows=chunk_rows, engine=engine)
+            futures = [pool.submit(traced, lo, hi) for lo, hi in spans]
         with self._lock:
             self.tasks_dispatched += len(futures)
         return _concat_results([f.result() for f in futures])
@@ -257,6 +289,9 @@ class ThreadExecutor:
         if len(items) <= 1:
             return [fn(item) for item in items]
         pool = self._ensure_pool()
+        state = trace_capture()
+        if state is not None:
+            fn = _attached(state, fn)
         futures = [pool.submit(fn, item) for item in items]
         with self._lock:
             self.tasks_dispatched += len(futures)
@@ -393,7 +428,7 @@ def _release_plan(shm: shared_memory.SharedMemory) -> None:
 
 
 def _kernel_task(desc_a, desc_b, shape, lo, hi, points, chunk_rows, own_tracker,
-                 engine, result, crash=False):
+                 engine, result, crash=False, trace=None):
     """One span of fp_ip_points against shared-memory operand plans.
 
     ``result`` describes the parent's preallocated result block; the span's
@@ -406,9 +441,32 @@ def _kernel_task(desc_a, desc_b, shape, lo, hi, points, chunk_rows, own_tracker,
     engine): the worker dies before touching the result block, the pool
     breaks, and the parent re-dispatches the span — spans write disjoint
     rows, so a re-run is idempotent.
+
+    ``trace`` is the parent's wire context (``None`` when tracing is
+    disarmed — the fast path is byte-for-byte the old behavior, returning
+    ``None``).  When set, the worker arms a task-local tracer adopted under
+    the parent span and ships its finished span dicts back as
+    ``{"trace_spans": [...]}`` — telemetry, not kernel output, so the
+    zero-copy result invariant (``results_pickled == 0``) still holds.  A
+    crashed worker never returns, so a re-dispatched span's trace is
+    recorded exactly once.
     """
     if crash:
         os._exit(17)  # noqa: SLF001 - simulate a hard worker death
+    if trace is not None:
+        with worker_trace(trace) as collected:
+            with trace_span("executor.chunk", backend="process",
+                            lo=lo, hi=hi):
+                _kernel_task_body(desc_a, desc_b, shape, lo, hi, points,
+                                  chunk_rows, own_tracker, engine, result)
+        return {"trace_spans": collected}
+    _kernel_task_body(desc_a, desc_b, shape, lo, hi, points, chunk_rows,
+                      own_tracker, engine, result)
+    return None
+
+
+def _kernel_task_body(desc_a, desc_b, shape, lo, hi, points, chunk_rows,
+                      own_tracker, engine, result):
     shape = tuple(shape)
     shm_a, pa = _attach_plan(desc_a, own_tracker)
     shm_b, pb = _attach_plan(desc_b, own_tracker)
@@ -658,12 +716,13 @@ class ProcessExecutor:
             mm = np.memmap(path, dtype=np.uint8, mode="r+", shape=(total,))
             result_desc = {"path": path, "total": total,
                            "layout": layout, "rows": rows}
+            wire = trace_wire()  # None when tracing is disarmed
 
             def submit(to_pool, span, crash=False):
                 return to_pool.submit(_kernel_task, desc_a, desc_b,
                                       tuple(shape), span[0], span[1], points,
                                       chunk_rows, own_tracker, engine,
-                                      result_desc, crash)
+                                      result_desc, crash, wire)
 
             jobs = []
             for index, span in enumerate(spans):
@@ -676,7 +735,11 @@ class ProcessExecutor:
                 self.tasks_dispatched += len(jobs)
             returned = self._drain(pool, jobs, submit)
             for value in returned.values():
-                if value is not None:  # pragma: no cover - defensive
+                if isinstance(value, dict) and "trace_spans" in value:
+                    # worker telemetry, merged into the armed tracer; not
+                    # kernel output, so results_pickled stays 0
+                    trace_ingest(value["trace_spans"])
+                elif value is not None:  # pragma: no cover - defensive
                     self.results_pickled += 1
             slots = _result_views(mm, layout, rows)
         finally:

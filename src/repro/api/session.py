@@ -47,6 +47,8 @@ from repro.ipu.engine import (
     resolve_engine,
 )
 from repro.ipu.reference import cpu_fp32_dot_batch
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import trace_span
 from repro.store import ResultStore
 from repro.store.fingerprint import fingerprint as _result_key
 from repro.utils.rng import as_generator
@@ -88,9 +90,26 @@ class SessionStats:
     shm_bytes_tx: int = 0
     shm_bytes_rx: int = 0
     results_pickled: int = 0
+    worker_restarts: int = 0
+    chunks_redispatched: int = 0
 
     def as_dict(self) -> dict:
         return asdict(self)
+
+
+# SessionStats fields that are monotonic counters (the rest are gauges or
+# descriptive strings); shared by the metrics adapter below.
+_SESSION_COUNTERS = frozenset({
+    "plan_hits", "plan_misses", "plan_evictions", "kernel_rows",
+    "parallel_batches", "tasks_dispatched", "shm_bytes", "shm_bytes_tx",
+    "shm_bytes_rx", "results_pickled", "worker_restarts",
+    "chunks_redispatched",
+})
+
+
+def _collect_session_stats(session: "EmulationSession") -> dict:
+    session._sync_executor_stats()
+    return session.stats.as_dict()
 
 
 def _fingerprint(values: np.ndarray, fmt: FPFormat) -> tuple[tuple, np.ndarray]:
@@ -207,6 +226,10 @@ class EmulationSession:
         self._plan_lock = threading.Lock()  # callers may share one session
         self._weight_plans: dict = {}
         self._closed = False
+        REGISTRY.register_object(
+            self, _collect_session_stats, prefix="repro_session",
+            labels={"instance": REGISTRY.next_instance("emulation")},
+            counters=_SESSION_COUNTERS)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -220,11 +243,14 @@ class EmulationSession:
         self._closed = True
 
     def _sync_executor_stats(self) -> None:
+        # every backend exposes the full counter set (no getattr fallbacks)
         self.stats.tasks_dispatched = self.executor.tasks_dispatched
         self.stats.shm_bytes = self.executor.shm_bytes
-        self.stats.shm_bytes_tx = getattr(self.executor, "shm_bytes_tx", 0)
-        self.stats.shm_bytes_rx = getattr(self.executor, "shm_bytes_rx", 0)
-        self.stats.results_pickled = getattr(self.executor, "results_pickled", 0)
+        self.stats.shm_bytes_tx = self.executor.shm_bytes_tx
+        self.stats.shm_bytes_rx = self.executor.shm_bytes_rx
+        self.stats.results_pickled = self.executor.results_pickled
+        self.stats.worker_restarts = self.executor.worker_restarts
+        self.stats.chunks_redispatched = self.executor.chunks_redispatched
 
     def __enter__(self) -> "EmulationSession":
         return self
@@ -377,12 +403,16 @@ class EmulationSession:
         self.stats.kernel_rows += rows * len(points)
         if (self.executor.workers <= 1 or shape[0] <= 1
                 or rows < MIN_PARALLEL_ROWS):
-            return fp_ip_points(pa, pb, points, chunk_rows=self.chunk_rows,
-                                engine=engine)
+            with trace_span("engine.kernels", rows=rows, kernels=len(points),
+                            parallel=False):
+                return fp_ip_points(pa, pb, points, chunk_rows=self.chunk_rows,
+                                    engine=engine)
         self.stats.parallel_batches += 1
-        results = self.executor.run_points(pa, pb, points, shape,
-                                           chunk_rows=self.chunk_rows,
-                                           engine=engine)
+        with trace_span("engine.kernels", rows=rows, kernels=len(points),
+                        parallel=True, backend=self.executor.name):
+            results = self.executor.run_points(pa, pb, points, shape,
+                                               chunk_rows=self.chunk_rows,
+                                               engine=engine)
         self._sync_executor_stats()
         return results
 
@@ -508,6 +538,12 @@ class EmulationSession:
         :class:`~repro.chaos.errors.DeadlineExceeded` with every finished
         chunk already persisted — a re-run resumes from where it stopped.
         """
+        with trace_span("session.sweep", spec=spec.name,
+                        sources=len(spec.sources), points=len(spec.points)):
+            return self._sweep_impl(spec, rng, store, deadline_seconds)
+
+    def _sweep_impl(self, spec: RunSpec, rng, store,
+                    deadline_seconds: float | None) -> PrecisionSweep:
         if self._closed:
             raise RuntimeError("session is closed")
         if not spec.points:

@@ -25,7 +25,17 @@ Usage::
         --fleet http://127.0.0.1:8731,http://127.0.0.1:8732 --store results/
     python -m repro.experiments.runner --spec spec.json --store results/ \
         --chaos examples/specs/chaos_quick.json   # fault-injected replay
+    python -m repro.experiments.runner --spec spec.json --trace trace.json
+    python -m repro.experiments.runner --design-spec spec.json --profile
+    python -m repro.experiments.runner --design-spec spec.json \
+        --fleet http://127.0.0.1:8731,http://127.0.0.1:8732 --trace trace.json
     python -m repro.experiments.runner --verify-store results/
+
+``--trace`` writes a Chrome trace-event JSON (load it in Perfetto /
+``chrome://tracing``) covering every layer the run crossed — including
+remote service jobs, whose spans come back over the wire. ``--profile``
+prints a per-phase wall-time tree after the result. Both leave the result
+output byte-identical to an untraced run.
 """
 
 from __future__ import annotations
@@ -133,7 +143,9 @@ def _run_spec(path: str, workers: int | None, backend: str | None = None,
     executor = _session_executor(spec.executor, backend, workers)
     with EmulationSession(backend=executor, store=store) as session:
         sweep = session.sweep(spec)
-    return render_sweep(sweep, title=spec.name)
+        session._sync_executor_stats()
+        stats = session.stats.as_dict()
+    return render_sweep(sweep, title=spec.name), stats
 
 
 def _run_design_spec(path: str, workers: int | None, backend: str | None = None,
@@ -148,7 +160,8 @@ def _run_design_spec(path: str, workers: int | None, backend: str | None = None,
     executor = _session_executor(spec.executor, backend, workers)
     with DesignSession(backend=executor, store=store) as session:
         reports = session.sweep(spec)
-    return render_design_reports(reports, title=spec.name)
+        stats = session.stats.as_dict()
+    return render_design_reports(reports, title=spec.name), stats
 
 
 def _fleet_coordinator(args):
@@ -201,7 +214,7 @@ def _run_fleet(args, path: str, kind: str) -> int:
           f"done in {elapsed:.1f}s]")
     if args.json:
         with open(args.json, "w") as fh:
-            json.dump({"spec": path, "fleet": stats,
+            json.dump({"spec": path, "fleet": stats, "stats": stats,
                        "seconds": {"fleet": elapsed}}, fh, indent=2)
             fh.write("\n")
     return 0
@@ -304,15 +317,25 @@ def _submit(args) -> int:
     except ServiceError as exc:
         print(f"service error: {exc}", file=sys.stderr)
         return 2
+    from repro.obs.trace import trace_ingest
+
+    spans = result.pop("trace_spans", None) if isinstance(result, dict) else None
+    if spans:  # the service's job spans, parented under our trace
+        trace_ingest(spans)
     print(result["rendered"])
     elapsed = round(time.time() - start, 3)
     print(f"[submit {args.submit} job {ticket['job']} "
           f"coalesced={str(ticket.get('coalesced', False)).lower()} "
           f"done in {elapsed:.1f}s]")
     if args.json:
+        try:
+            stats = client.stats()
+        except ServiceError:  # stats are best-effort observability
+            stats = None
         with open(args.json, "w") as fh:
             json.dump({"submit": args.submit, "job": ticket["job"],
-                       "seconds": {"submit": elapsed}}, fh, indent=2)
+                       "stats": stats, "seconds": {"submit": elapsed}},
+                      fh, indent=2)
             fh.write("\n")
     return 0
 
@@ -411,6 +434,15 @@ def main(argv: list[str] | None = None) -> int:
                              "boundaries (recovery keeps results "
                              "byte-identical; a [chaos ...] footer reports "
                              "the injected counts)")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="arm the repro.obs tracer for the run and write "
+                             "a Chrome trace-event JSON (Perfetto / "
+                             "chrome://tracing) to PATH; spans cover every "
+                             "layer crossed, including remote service jobs; "
+                             "the result output stays byte-identical")
+    parser.add_argument("--profile", action="store_true",
+                        help="arm the repro.obs tracer and print a per-phase "
+                             "wall-time tree after the result")
     parser.add_argument("--verify-store", metavar="DIR", default=None,
                         help="verify every entry of a result-store directory "
                              "against its checksum sidecar and print the JSON "
@@ -450,6 +482,10 @@ def main(argv: list[str] | None = None) -> int:
         ("--fleet", args.fleet is not None,
          {"--spec", "--design-spec", "--search"}),
         ("--chaos", args.chaos is not None, session_modes),
+        ("--trace", args.trace is not None,
+         {"--spec", "--design-spec", "--search", "--submit"}),
+        ("--profile", args.profile,
+         {"--spec", "--design-spec", "--search", "--submit"}),
     ):
         if on and not (modes and modes[0] in needs):
             print(f"{flag} only applies to {'/'.join(sorted(needs))} runs",
@@ -483,6 +519,34 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     if args.verify_store is not None:
         return _verify_store(args)
+    if args.trace is None and not args.profile:
+        return _chaos_dispatch(args, parser)
+    from repro.obs.export import render_profile, to_chrome_trace
+    from repro.obs.trace import install as obs_install
+    from repro.obs.trace import trace_span
+
+    mode = modes[0].lstrip("-") if modes else "experiments"
+    with obs_install() as tracer:
+        with trace_span("runner", mode=mode):
+            rc = _chaos_dispatch(args, parser)
+        spans = tracer.export()
+    if args.trace is not None:
+        try:
+            with open(args.trace, "w") as fh:
+                json.dump(to_chrome_trace(spans), fh)
+                fh.write("\n")
+        except OSError as exc:
+            print(f"cannot write trace {args.trace!r}: {exc}", file=sys.stderr)
+            return 2
+        print(f"[trace {args.trace} spans={len(spans)} "
+              f"dropped={tracer.dropped}]")
+    if args.profile:
+        print(render_profile(spans))
+    return rc
+
+
+def _chaos_dispatch(args, parser) -> int:
+    """:func:`_dispatch`, under a chaos engine when ``--chaos`` asked."""
     if args.chaos is None:
         return _dispatch(args, parser)
     from repro.chaos import FaultPlan, install
@@ -517,11 +581,11 @@ def _dispatch(args, parser) -> int:
         start = time.time()
         try:
             if args.spec is not None:
-                output = _run_spec(path, args.workers, args.backend, args.store,
-                                   args.engine)
+                output, stats = _run_spec(path, args.workers, args.backend,
+                                          args.store, args.engine)
             else:
-                output = _run_design_spec(path, args.workers, args.backend,
-                                          args.store)
+                output, stats = _run_design_spec(path, args.workers,
+                                                 args.backend, args.store)
         except SystemExit as exc:
             print(exc, file=sys.stderr)
             return 2
@@ -530,7 +594,8 @@ def _dispatch(args, parser) -> int:
         print(f"[spec {path} done in {elapsed:.1f}s]")
         if args.json:
             with open(args.json, "w") as fh:
-                json.dump({"spec": path, "seconds": {"spec": elapsed}}, fh, indent=2)
+                json.dump({"spec": path, "stats": stats,
+                           "seconds": {"spec": elapsed}}, fh, indent=2)
                 fh.write("\n")
         return 0
     names = list(EXPERIMENTS) if args.all else args.experiments

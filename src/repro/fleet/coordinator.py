@@ -42,6 +42,9 @@ from repro.chaos.engine import chaos_hook
 from repro.chaos.errors import InjectedFault
 from repro.chaos.retry import RetryPolicy
 from repro.fleet.shard import ShardPlan
+from repro.obs.metrics import REGISTRY, Family
+from repro.obs.trace import (trace_attach, trace_capture, trace_ingest,
+                             trace_span, trace_wire)
 from repro.service.client import ServiceClient, ServiceError, _as_spec_dict
 from repro.store import ResultStore
 from repro.store.fingerprint import fingerprint as _fingerprint
@@ -70,7 +73,10 @@ class LocalEndpoint:
         deadline = time.monotonic() + busy_timeout
         while True:
             try:
-                job, coalesced = self.service.submit(kind, spec_dict)
+                # mirror the HTTP client's X-Repro-Trace header: hand the
+                # current span over so the in-process job joins the trace
+                job, coalesced = self.service.submit(kind, spec_dict,
+                                                     trace=trace_wire())
             except (ValueError, KeyError, TypeError) as exc:
                 # mirror the HTTP 400: a malformed spec is deterministic
                 raise ServiceError(f"invalid {kind} spec: {exc}",
@@ -118,6 +124,29 @@ def _as_endpoint(endpoint, token: str | None):
     if hasattr(endpoint, "job") and hasattr(endpoint, "healthz"):
         return LocalEndpoint(endpoint)
     raise TypeError(f"cannot use {type(endpoint).__name__} as a fleet endpoint")
+
+
+def _collect_fleet_metrics(coordinator) -> list:
+    """Metrics-registry adapter: shard/retry counters plus one breaker-state
+    gauge per endpoint (0 closed, 1 half-open, 2 open), so a scrape sees
+    breaker flips and retry storms without parsing ``stats()``."""
+    base = dict(coordinator._metrics_labels)
+    with coordinator._lock:
+        counters = Family("repro_fleet", "counter", "Fleet coordinator counters.")
+        for name in ("shards_completed", "shards_skipped_warm", "shards_local",
+                     "retries", "redispatches", "rejoins"):
+            counters.add(getattr(coordinator, f"_{name}"),
+                         {**base, "counter": name}, suffix="_total")
+        jobs = Family("repro_fleet_endpoint_jobs", "counter",
+                      "Jobs completed per endpoint.")
+        state = Family("repro_fleet_breaker_state", "gauge",
+                       "Endpoint breaker state (0 closed, 1 half-open, 2 open).")
+        order = {"closed": 0, "half-open": 1, "open": 2}
+        for i, ep in enumerate(coordinator.endpoints):
+            labels = {**base, "endpoint": ep.url}
+            jobs.add(coordinator._jobs_by_endpoint[i], labels, suffix="_total")
+            state.add(order.get(coordinator._breakers[i].state, 2), labels)
+    return [counters, jobs, state]
 
 
 def _is_deterministic(exc: ServiceError) -> bool:
@@ -189,6 +218,9 @@ class FleetCoordinator:
         self._shards_completed = 0
         self._shards_skipped_warm = 0
         self._shards_local = 0
+        self._metrics_labels = {"instance": REGISTRY.next_instance("fleet")}
+        REGISTRY.register_object(self, _collect_fleet_metrics,
+                                 prefix="repro_fleet")
 
     # -- dispatch ----------------------------------------------------------
 
@@ -201,19 +233,24 @@ class FleetCoordinator:
         plan = ShardPlan.build(spec_dict, self.shards or len(self.endpoints))
         started = time.monotonic()
         durations = [0.0] * len(plan.shards)
+        with trace_span("fleet.sweep", kind=plan.kind, shards=len(plan.shards),
+                        endpoints=len(self.endpoints)):
+            state = trace_capture()
 
-        def run_one(shard):
-            t0 = time.monotonic()
-            payload = self._cached_dispatch(plan.kind, shard.index, shard.spec)
-            durations[shard.index] = time.monotonic() - t0
-            return payload
+            def run_one(shard):
+                t0 = time.monotonic()
+                with trace_attach(state):
+                    payload = self._cached_dispatch(plan.kind, shard.index,
+                                                    shard.spec)
+                durations[shard.index] = time.monotonic() - t0
+                return payload
 
-        with ThreadPoolExecutor(
-                max_workers=min(len(plan.shards), 4 * len(self.endpoints)),
-                thread_name_prefix="fleet-shard") as pool:
-            payloads = list(pool.map(run_one, plan.shards))
-        self._note_stragglers(plan, durations, time.monotonic() - started)
-        return plan.merge_payloads(payloads)
+            with ThreadPoolExecutor(
+                    max_workers=min(len(plan.shards), 4 * len(self.endpoints)),
+                    thread_name_prefix="fleet-shard") as pool:
+                payloads = list(pool.map(run_one, plan.shards))
+            self._note_stragglers(plan, durations, time.monotonic() - started)
+            return plan.merge_payloads(payloads)
 
     def run_specs(self, specs, kind: str | None = None,
                   timeout: float | None = None) -> list[dict]:
@@ -235,14 +272,19 @@ class FleetCoordinator:
             return []
         kind = kind or spec_kind_of(spec_dicts[0])
         parsed = [spec_from_kind(kind, d) for d in spec_dicts]
+        with trace_span("fleet.sweep", kind=kind, shards=len(parsed),
+                        endpoints=len(self.endpoints), fanout="specs"):
+            state = trace_capture()
 
-        def run_one(i):
-            return self._cached_dispatch(kind, i, parsed[i], timeout=timeout)
+            def run_one(i):
+                with trace_attach(state):
+                    return self._cached_dispatch(kind, i, parsed[i],
+                                                 timeout=timeout)
 
-        with ThreadPoolExecutor(
-                max_workers=min(len(parsed), 4 * len(self.endpoints)),
-                thread_name_prefix="fleet-spec") as pool:
-            return list(pool.map(run_one, range(len(parsed))))
+            with ThreadPoolExecutor(
+                    max_workers=min(len(parsed), 4 * len(self.endpoints)),
+                    thread_name_prefix="fleet-spec") as pool:
+                return list(pool.map(run_one, range(len(parsed))))
 
     # -- store cache -------------------------------------------------------
 
@@ -265,6 +307,12 @@ class FleetCoordinator:
                     self._shards_skipped_warm += 1
                 return payload
         payload = self._run_shard(kind, index, spec, timeout=timeout)
+        spans = payload.pop("trace_spans", None)
+        if spans:
+            # merge the shard service's spans into this trace *before* the
+            # payload is persisted or merged — telemetry never reaches the
+            # store or the result, so warm/cold stay byte-identical
+            trace_ingest(spans)
         if self.store is not None:
             self.store.put_json("fleet-payload",
                                 self._payload_key(kind, spec), payload)
@@ -313,9 +361,12 @@ class FleetCoordinator:
             for ep_idx in rotation:
                 endpoint = self.endpoints[ep_idx]
                 try:
-                    chaos_hook("fleet.shard", shard=index, endpoint=ep_idx)
-                    ticket = endpoint.submit(spec, kind=kind)
-                    payload = endpoint.result(ticket["job"], timeout=timeout)
+                    with trace_span("fleet.shard", shard=index,
+                                    endpoint=endpoint.url, attempt=attempt):
+                        chaos_hook("fleet.shard", shard=index, endpoint=ep_idx)
+                        ticket = endpoint.submit(spec, kind=kind)
+                        payload = endpoint.result(ticket["job"],
+                                                  timeout=timeout)
                 except (ServiceError, InjectedFault) as exc:
                     if isinstance(exc, ServiceError) and _is_deterministic(exc):
                         raise FleetError(
@@ -370,8 +421,10 @@ class FleetCoordinator:
 
     def _run_local(self, kind: str, index: int, spec, timeout: float) -> dict:
         endpoint = LocalEndpoint(self._ensure_local_service(), name="fallback")
-        ticket = endpoint.submit(spec, kind=kind)
-        payload = endpoint.result(ticket["job"], timeout=timeout)
+        with trace_span("fleet.shard", shard=index, endpoint=endpoint.url,
+                        attempt=-1, fallback=True):
+            ticket = endpoint.submit(spec, kind=kind)
+            payload = endpoint.result(ticket["job"], timeout=timeout)
         with self._lock:
             self._shards_local += 1
             self._shards_completed += 1

@@ -27,6 +27,8 @@ from dataclasses import dataclass
 from repro.api.design import DesignReport, DesignSession
 from repro.api.spec import DesignSweepSpec
 from repro.chaos.errors import DeadlineExceeded
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import trace_span
 from repro.search.halving import RungSpec, SearchSpec, keep_count, select_survivors
 from repro.search.space import Candidate
 from repro.store import ResultStore
@@ -202,6 +204,12 @@ class SearchSession:
                 self.store = design.store
         self.fleet = fleet
         self.stats = SearchSessionStats()
+        REGISTRY.register_object(
+            self, lambda session: session.stats.to_dict(),
+            prefix="repro_search",
+            labels={"instance": REGISTRY.next_instance("search")},
+            counters=frozenset({"rungs_total", "rungs_resumed", "evaluated",
+                                "computed", "cached"}))
 
     def close(self) -> None:
         if self._owns_design:
@@ -356,46 +364,57 @@ class SearchSession:
         """
         spec = SearchSpec.from_dict(spec)
         candidates = spec.candidates()
+        with trace_span("search.run", spec=spec.name,
+                        candidates=len(candidates), rungs=len(spec.rungs)):
+            return self._run_rungs(spec, candidates, rung_deadline_seconds)
+
+    def _run_rungs(self, spec: SearchSpec, candidates,
+                   rung_deadline_seconds: float | None) -> SearchResult:
         active = list(range(len(candidates)))
         records: list[RungRecord] = []
         for ri, rung in enumerate(spec.rungs):
             self.stats.rungs_total += 1
             deadline = (None if rung_deadline_seconds is None
                         else time.monotonic() + rung_deadline_seconds)
-            record = self._load_rung(spec, ri, active, rung.top1)
-            if record is not None:
-                self.stats.rungs_resumed += 1
-            elif rung.top1:
-                scored = self._top1_scores(spec, rung, active, candidates,
-                                           deadline=deadline)
-                scores = [(s["top1_accuracy"],) for s in scored]
-                keep = keep_count(len(active), spec.eta)
-                ranked = sorted(
-                    range(len(active)),
-                    key=lambda j: ((-scores[j][0]
-                                    if math.isfinite(scores[j][0])
-                                    else math.inf), j))
-                survivors = [active[j] for j in sorted(ranked[:keep])]
-                record = RungRecord(index=ri, candidates=tuple(active),
-                                    scores=tuple(scores),
-                                    survivors=tuple(survivors),
-                                    metrics=tuple(scored), top1=True)
-                self._save_rung(spec, record)
-            else:
-                reports = self._evaluate_rung(spec, ri, rung, active,
-                                              candidates, deadline=deadline)
-                local, scores = select_survivors(reports, spec.objective,
-                                                 spec.eta)
-                metrics = tuple(
-                    {m: (math.nan if r is None else float(r.metric(m)))
-                     for m in SUMMARY_METRICS}
-                    for r in reports)
-                record = RungRecord(
-                    index=ri, candidates=tuple(active),
-                    scores=tuple(tuple(row) for row in scores),
-                    survivors=tuple(active[j] for j in local),
-                    metrics=metrics)
-                self._save_rung(spec, record)
+            with trace_span("search.rung", rung=ri, candidates=len(active),
+                            top1=rung.top1) as sp:
+                record = self._load_rung(spec, ri, active, rung.top1)
+                if record is not None:
+                    self.stats.rungs_resumed += 1
+                    sp.set(resumed=True)
+                elif rung.top1:
+                    scored = self._top1_scores(spec, rung, active, candidates,
+                                               deadline=deadline)
+                    scores = [(s["top1_accuracy"],) for s in scored]
+                    keep = keep_count(len(active), spec.eta)
+                    ranked = sorted(
+                        range(len(active)),
+                        key=lambda j: ((-scores[j][0]
+                                        if math.isfinite(scores[j][0])
+                                        else math.inf), j))
+                    survivors = [active[j] for j in sorted(ranked[:keep])]
+                    record = RungRecord(index=ri, candidates=tuple(active),
+                                        scores=tuple(scores),
+                                        survivors=tuple(survivors),
+                                        metrics=tuple(scored), top1=True)
+                    self._save_rung(spec, record)
+                else:
+                    reports = self._evaluate_rung(spec, ri, rung, active,
+                                                  candidates,
+                                                  deadline=deadline)
+                    local, scores = select_survivors(reports, spec.objective,
+                                                     spec.eta)
+                    metrics = tuple(
+                        {m: (math.nan if r is None else float(r.metric(m)))
+                         for m in SUMMARY_METRICS}
+                        for r in reports)
+                    record = RungRecord(
+                        index=ri, candidates=tuple(active),
+                        scores=tuple(tuple(row) for row in scores),
+                        survivors=tuple(active[j] for j in local),
+                        metrics=metrics)
+                    self._save_rung(spec, record)
+                sp.set(survivors=len(record.survivors))
             records.append(record)
             active = list(record.survivors)
         return SearchResult(spec=spec, candidates=candidates,

@@ -22,8 +22,11 @@ reset/refused/aborted, timeouts, and HTTP 429/503 mark the resulting
 retried in-client under a bounded :class:`repro.chaos.RetryPolicy`,
 honoring ``Retry-After``); everything else — bad requests, auth failures,
 DNS errors, job errors — is fatal and surfaces immediately.
-(:mod:`repro.chaos` is stdlib-only, so this module still works without the
-emulation stack installed.)
+When a :mod:`repro.obs` tracer is armed, every request carries the current
+span as an ``X-Repro-Trace`` header, so a server-side job is parented into
+the caller's trace and its spans come back on the result payload.
+(:mod:`repro.chaos` and :mod:`repro.obs` are stdlib-only, so this module
+still works without the emulation stack installed.)
 """
 
 from __future__ import annotations
@@ -39,6 +42,7 @@ from pathlib import Path
 from repro.chaos.engine import chaos_hook
 from repro.chaos.errors import InjectedFault, is_retryable
 from repro.chaos.retry import RetryPolicy
+from repro.obs.trace import TRACE_HEADER, format_trace_header, trace_wire
 
 __all__ = ["ServiceClient", "ServiceError"]
 
@@ -128,6 +132,11 @@ class ServiceClient:
         headers = {"Content-Type": "application/json"} if body else {}
         if self.token is not None:
             headers["Authorization"] = f"Bearer {self.token}"
+        wire = trace_wire()  # None unless a tracer is armed with an open span
+        if wire is not None:
+            # re-read per attempt, so a retried request still carries the
+            # caller's current span as the remote parent
+            headers[TRACE_HEADER] = format_trace_header(wire)
         req = urllib.request.Request(
             self.url + path, data=body, method=method, headers=headers,
         )

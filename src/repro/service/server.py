@@ -11,6 +11,7 @@ optional persistent :class:`~repro.store.ResultStore`) behind a JSON API::
     GET  /v1/jobs/<id>[?wait=SECONDS]                  -> job status/result
     GET  /v1/healthz                                   -> cheap liveness probe
     GET  /v1/stats                                     -> service + store stats
+    GET  /v1/metrics                                   -> Prometheus exposition
     POST /v1/shutdown                                  -> drain and stop
 
 Jobs run on a sized worker pool (``queue_workers``; HTTP handler threads
@@ -64,6 +65,14 @@ from repro.api import (
 from repro.api.session import sweep_points_to_dicts
 from repro.api.spec import spec_from_kind
 from repro.chaos.engine import chaos_hook, current_engine
+from repro.obs.metrics import CONTENT_TYPE as METRICS_CONTENT_TYPE
+from repro.obs.metrics import REGISTRY, Family, Histogram
+from repro.obs.trace import (
+    TRACE_HEADER,
+    ensure_armed,
+    parse_trace_header,
+    trace_span,
+)
 from repro.store import ResultStore
 
 __all__ = ["SweepService", "ServiceServer", "ServiceBusy", "Job"]
@@ -109,6 +118,9 @@ class Job:
     created: float = 0.0
     started: float | None = None
     finished: float | None = None
+    # wire trace context adopted while the job computes (None = untraced);
+    # telemetry only — never part of the fingerprint or the result points
+    trace: dict | None = None
     done: threading.Event = field(default_factory=threading.Event)
 
     def as_dict(self, include_result: bool = True) -> dict:
@@ -123,6 +135,65 @@ class Job:
         if include_result and self.result is not None:
             d["result"] = self.result
         return d
+
+
+# Fixed buckets for the per-job wall-time histogram (seconds): sweep jobs
+# span ~10ms quick specs to multi-minute fleet rungs.
+_JOB_SECONDS_BUCKETS = (0.01, 0.05, 0.25, 1.0, 5.0, 30.0, 120.0, 600.0)
+
+
+def _collect_service_metrics(service: "SweepService") -> list:
+    """Metrics adapter: service-layer families for the global registry.
+
+    The embedded sessions and store register their own adapters at
+    construction, so this only covers what the service itself owns — job
+    lifecycle, queue pressure, per-job wall time — plus the chaos engine's
+    counters when one is armed (the engine is process-global and has no
+    natural registration point of its own).
+    """
+    labels = service._metrics_labels
+    with service._lock:
+        jobs = list(service._jobs.values())
+        queued = service._queued
+    families = []
+
+    def single(name, kind, value, help_text):
+        fam = Family(name=name, kind=kind, help=help_text)
+        fam.add(value, labels)
+        families.append(fam)
+
+    by_status = Family(name="repro_service_jobs", kind="gauge",
+                       help="Currently retained jobs by status.")
+    for status in ("queued", "running", "done", "error"):
+        by_status.add(sum(1 for j in jobs if j.status == status),
+                      {**labels, "status": status})
+    families.append(by_status)
+    single("repro_service_queue_depth", "gauge", queued,
+           "Jobs enqueued but not yet picked up by a worker.")
+    single("repro_service_coalesced_total", "counter", service.coalesced,
+           "Submissions coalesced onto an in-flight twin.")
+    single("repro_service_rejected_busy_total", "counter",
+           service.rejected_busy, "Submissions refused with HTTP 429.")
+    single("repro_service_jobs_completed_total", "counter",
+           service._jobs_completed, "Jobs finished (done or error).")
+    single("repro_service_uptime_seconds", "gauge",
+           round(time.time() - service.started_at, 3),
+           "Seconds since the service started.")
+    families.append(service._job_seconds.family(
+        "repro_service_job_seconds", labels, "Per-job wall time (seconds)."))
+    engine = current_engine()
+    if engine is not None:
+        stats = engine.stats()
+        calls = Family(name="repro_chaos_hook_calls_total", kind="counter",
+                       help="Chaos hook evaluations by site.")
+        for site, n in (stats.get("calls") or {}).items():
+            calls.add(n, {**labels, "site": site})
+        injected = Family(name="repro_chaos_injected_total", kind="counter",
+                          help="Faults injected by kind.")
+        for kind, n in (stats.get("injected") or {}).items():
+            injected.add(n, {**labels, "kind": kind})
+        families.extend([calls, injected])
+    return families
 
 
 class SweepService:
@@ -165,6 +236,16 @@ class SweepService:
         self._queue: queue.Queue[Job | None] = queue.Queue()
         self._queued = 0  # jobs enqueued but not yet picked up by a worker
         self._avg_job_seconds: float | None = None
+        # per-job wall-time telemetry (finished jobs get pruned, so the
+        # counters live here rather than being derived from _jobs)
+        self._jobs_completed = 0
+        self._job_wall_seconds = 0.0
+        self._last_job_seconds: float | None = None
+        self._job_seconds = Histogram(_JOB_SECONDS_BUCKETS)
+        self._metrics_labels = {
+            "instance": REGISTRY.next_instance("service")}
+        REGISTRY.register_object(self, _collect_service_metrics,
+                                 prefix="repro_service")
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
         self._closed = False
@@ -192,9 +273,16 @@ class SweepService:
         hint = avg * max(1, self._queued) / self.queue_workers
         return min(MAX_RETRY_AFTER, max(MIN_RETRY_AFTER, hint))
 
-    def submit(self, kind: str, spec_dict: dict) -> tuple[Job, bool]:
+    def submit(self, kind: str, spec_dict: dict,
+               trace: dict | None = None) -> tuple[Job, bool]:
         """Queue a spec (validated eagerly) or coalesce onto an in-flight
         twin; returns ``(job, coalesced)``.
+
+        ``trace`` is an adopted wire context (from an ``X-Repro-Trace``
+        header or an in-process caller): the job's spans are parented under
+        it and shipped back on the result payload as ``"trace_spans"``. A
+        submission that coalesces onto an in-flight twin keeps the *first*
+        submitter's context — one job, one trace.
 
         Raises ``RuntimeError`` once :meth:`close` has begun (checked under
         the lock, and the enqueue happens under the same lock, so a submit
@@ -217,7 +305,8 @@ class SweepService:
                     f"job queue is full ({self._queued} queued, cap "
                     f"{self.queue_cap})", retry_after=self._retry_after_hint())
             job = Job(id=f"job-{next(self._ids)}-{fingerprint[:8]}", kind=kind,
-                      fingerprint=fingerprint, spec=spec, created=time.time())
+                      fingerprint=fingerprint, spec=spec, created=time.time(),
+                      trace=trace)
             self._jobs[job.id] = job
             self._inflight[(kind, fingerprint)] = job
             self._queued += 1
@@ -273,8 +362,21 @@ class SweepService:
                 # slow-response faults land here: the latency is injected
                 # server-side, before compute, so results stay bit-identical
                 chaos_hook("service.job", kind=job.kind)
-                with fp_lock:
-                    job.result = self._compute(job)
+                if job.trace is None:
+                    with fp_lock:
+                        job.result = self._compute(job)
+                else:
+                    # adopt the submitter's trace: the job's spans (and its
+                    # sessions'/store's, recursively) are collected and
+                    # handed back on the payload — rendered output and
+                    # result points are untouched, so byte-identity holds
+                    collected: list = []
+                    with ensure_armed().adopt(job.trace, collector=collected):
+                        with trace_span("service.job", kind=job.kind,
+                                        job=job.id):
+                            with fp_lock:
+                                result = self._compute(job)
+                    job.result = {**result, "trace_spans": collected}
                 job.status = "done"
             except Exception as exc:  # job errors must not kill the worker
                 job.error = f"{type(exc).__name__}: {exc}"
@@ -283,10 +385,14 @@ class SweepService:
                 self._checkin_fp_lock(key)
                 job.finished = time.time()
                 duration = job.finished - job.started
+                self._job_seconds.observe(duration)
                 with self._lock:
                     self._avg_job_seconds = (
                         duration if self._avg_job_seconds is None
                         else 0.7 * self._avg_job_seconds + 0.3 * duration)
+                    self._jobs_completed += 1
+                    self._job_wall_seconds += duration
+                    self._last_job_seconds = duration
                     self._inflight.pop(key, None)
                     self._prune_finished()
                 job.done.set()
@@ -352,6 +458,18 @@ class SweepService:
             "queue": {"workers": self.queue_workers, "cap": self.queue_cap,
                       "depth": self._queued,
                       "rejected_busy": self.rejected_busy},
+            # per-job wall time: what the fleet coordinator sizes retry
+            # hints and shard budgets from
+            "timing": {
+                "jobs_completed": self._jobs_completed,
+                "avg_job_seconds": (
+                    None if self._avg_job_seconds is None
+                    else round(self._avg_job_seconds, 6)),
+                "last_job_seconds": (
+                    None if self._last_job_seconds is None
+                    else round(self._last_job_seconds, 6)),
+                "wall_seconds_total": round(self._job_wall_seconds, 6),
+            },
             "store": None if self.store is None else self.store.stats.as_dict(),
             "emulation": self.emulation.stats.as_dict(),
             "design": self.design.stats.as_dict(),
@@ -411,6 +529,14 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, code: int, text: str, content_type: str) -> None:
+        body = text.encode()
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _authorized(self) -> bool:
         """Bearer-token check (constant-time); open when no token is set."""
         token = self.server.token  # type: ignore[attr-defined]
@@ -440,6 +566,12 @@ class _Handler(BaseHTTPRequestHandler):
             return
         if url.path == "/v1/stats":
             self._send(200, self.service.stats())
+            return
+        if url.path == "/v1/metrics":
+            # Prometheus text exposition over the process-global registry:
+            # covers the service, its sessions, the store, and (when armed)
+            # the chaos engine — authenticated like /v1/stats
+            self._send_text(200, REGISTRY.render(), METRICS_CONTENT_TYPE)
             return
         if url.path.startswith("/v1/jobs/"):
             job_id = url.path[len("/v1/jobs/"):]
@@ -478,8 +610,9 @@ class _Handler(BaseHTTPRequestHandler):
         except (ValueError, UnicodeDecodeError) as exc:
             self._send(400, {"error": f"request body is not JSON: {exc}"})
             return
+        trace = parse_trace_header(self.headers.get(TRACE_HEADER))
         try:
-            job, coalesced = self.service.submit(kind, spec_dict)
+            job, coalesced = self.service.submit(kind, spec_dict, trace=trace)
         except ServiceBusy as exc:
             self._send(429, {"error": str(exc),
                              "retry_after": exc.retry_after},

@@ -59,8 +59,14 @@ from pathlib import Path
 import numpy as np
 
 from repro.chaos.engine import chaos_hook
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import trace_span
 
 __all__ = ["ResultStore", "StoreStats"]
+
+# StoreStats fields that are monotonic counters ("bytes" is a gauge).
+_STORE_COUNTERS = frozenset(
+    {"hits", "misses", "puts", "evictions", "index_rebuilds", "quarantined"})
 
 # Temp files older than this are presumed crashed writers and swept.
 _STALE_TMP_SECONDS = 3600.0
@@ -122,6 +128,10 @@ class ResultStore:
         # path -> [recency, size]: the eviction index (see module docstring)
         self._index: dict[Path, list] = {}
         self._rebuild_index()
+        REGISTRY.register_object(
+            self, lambda store: store.stats.as_dict(), prefix="repro_store",
+            labels={"instance": REGISTRY.next_instance("store")},
+            counters=_STORE_COUNTERS)
 
     @classmethod
     def coerce(cls, store) -> "ResultStore | None":
@@ -220,6 +230,12 @@ class ResultStore:
             raise ValueError(f"checksum mismatch for {path.name}")
 
     def _read(self, kind: str, fp: str, suffix: str, decode):
+        with trace_span("store.get", kind=kind) as sp:
+            payload = self._read_impl(kind, fp, suffix, decode)
+            sp.set(hit=payload is not None)
+            return payload
+
+    def _read_impl(self, kind: str, fp: str, suffix: str, decode):
         path = self._path(kind, fp, suffix)
         try:
             raw = path.read_bytes()
@@ -273,6 +289,10 @@ class ResultStore:
     # -- write side --------------------------------------------------------
 
     def _write(self, kind: str, fp: str, suffix: str, blob: bytes) -> None:
+        with trace_span("store.put", kind=kind, nbytes=len(blob)):
+            self._write_impl(kind, fp, suffix, blob)
+
+    def _write_impl(self, kind: str, fp: str, suffix: str, blob: bytes) -> None:
         path = self._path(kind, fp, suffix)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{fp[:8]}-", suffix=".tmp")
